@@ -1,0 +1,104 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/timer.h"
+
+namespace uvd {
+namespace bench {
+
+double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("UVD_BENCH_SCALE");
+    if (env == nullptr) return 0.2;
+    const double v = std::atof(env);
+    return std::clamp(v > 0 ? v : 0.2, 0.01, 10.0);
+  }();
+  return scale;
+}
+
+size_t ScaledCount(size_t paper_count) {
+  return std::max<size_t>(500, static_cast<size_t>(paper_count * Scale()));
+}
+
+double SimulatedIoMs() {
+  static const double latency = [] {
+    const char* env = std::getenv("UVD_SIM_IO_MS");
+    if (env == nullptr) return 5.0;
+    const double v = std::atof(env);
+    return std::clamp(v, 0.0, 100.0);
+  }();
+  return latency;
+}
+
+std::vector<size_t> SizeSweep() {
+  std::vector<size_t> sizes;
+  for (size_t paper_n = 10000; paper_n <= 80000; paper_n += 10000) {
+    sizes.push_back(ScaledCount(paper_n));
+  }
+  return sizes;
+}
+
+void PrintBanner(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("UVD_BENCH_SCALE=%.2f (paper |O| scaled by this factor)\n", Scale());
+  std::printf("UVD_SIM_IO_MS=%.1f (simulated disk latency charged per page read)\n",
+              SimulatedIoMs());
+  std::printf("==============================================================\n");
+}
+
+core::UVDiagram BuildDiagram(std::vector<uncertain::UncertainObject> objects,
+                             const geom::Box& domain, core::UVDiagramOptions options,
+                             Stats* stats) {
+  return core::UVDiagram::Build(std::move(objects), domain, options, stats)
+      .ValueOrDie();
+}
+
+PnnWorkloadResult MeasurePnn(const core::UVDiagram& diagram,
+                             const std::vector<geom::Point>& queries) {
+  PnnWorkloadResult r;
+  Stats& stats = diagram.stats();
+  const double n = static_cast<double>(queries.size());
+
+  stats.Reset();
+  size_t answers = 0;
+  Timer uv_timer;
+  for (const geom::Point& q : queries) {
+    answers += diagram.QueryPnn(q, &r.uv_breakdown).ValueOrDie().size();
+  }
+  r.uv_cpu_ms = uv_timer.ElapsedMillis() / n;
+  r.uv_leaf_io = static_cast<double>(stats.Get(Ticker::kUvIndexLeafReads)) / n;
+  r.uv_object_io = static_cast<double>(stats.Get(Ticker::kPageReads) -
+                                       stats.Get(Ticker::kUvIndexLeafReads)) /
+                   n;
+  r.avg_answers = static_cast<double>(answers) / n;
+
+  stats.Reset();
+  Timer rt_timer;
+  for (const geom::Point& q : queries) {
+    UVD_CHECK(diagram.QueryPnnWithRtree(q, &r.rtree_breakdown).ok());
+  }
+  r.rtree_cpu_ms = rt_timer.ElapsedMillis() / n;
+  r.rtree_leaf_io = static_cast<double>(stats.Get(Ticker::kRtreeLeafReads)) / n;
+  r.rtree_object_io = static_cast<double>(stats.Get(Ticker::kPageReads) -
+                                          stats.Get(Ticker::kRtreeLeafReads)) /
+                      n;
+
+  // Charge simulated disk latency: leaf reads belong to the index phase,
+  // object-record reads to the retrieval phase (Fig. 6(c) components).
+  const double lat_s = SimulatedIoMs() * 1e-3;
+  r.uv_ms = r.uv_cpu_ms + (r.uv_leaf_io + r.uv_object_io) * SimulatedIoMs();
+  r.rtree_ms =
+      r.rtree_cpu_ms + (r.rtree_leaf_io + r.rtree_object_io) * SimulatedIoMs();
+  r.uv_breakdown.index_seconds += r.uv_leaf_io * n * lat_s;
+  r.uv_breakdown.retrieval_seconds += r.uv_object_io * n * lat_s;
+  r.rtree_breakdown.index_seconds += r.rtree_leaf_io * n * lat_s;
+  r.rtree_breakdown.retrieval_seconds += r.rtree_object_io * n * lat_s;
+  return r;
+}
+
+}  // namespace bench
+}  // namespace uvd

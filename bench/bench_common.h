@@ -1,0 +1,75 @@
+// Shared infrastructure for the per-figure benchmark binaries.
+//
+// Every bench prints the series of the paper figure/table it reproduces.
+// Dataset sizes scale with the environment variable UVD_BENCH_SCALE
+// (default 0.2): the paper's |O| = 10K..80K sweep runs as 2K..16K by
+// default so the whole bench suite finishes in minutes; set
+// UVD_BENCH_SCALE=1 for paper-scale runs.
+#ifndef UVD_BENCH_BENCH_COMMON_H_
+#define UVD_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/uv_diagram.h"
+#include "datagen/generators.h"
+#include "datagen/workload.h"
+
+namespace uvd {
+namespace bench {
+
+/// Scale factor from UVD_BENCH_SCALE (clamped to [0.01, 10]).
+double Scale();
+
+/// Simulated disk latency charged per page read when reporting query
+/// times, from UVD_SIM_IO_MS (default 5 ms — a 2010-era SATA seek, the
+/// paper's hardware). The storage layer itself is RAM-backed; wall-clock
+/// CPU time plus this charge reproduces the paper's disk-bound T_q. Set
+/// UVD_SIM_IO_MS=0 for pure CPU numbers.
+double SimulatedIoMs();
+
+/// Paper object count scaled down/up; at least 500.
+size_t ScaledCount(size_t paper_count);
+
+/// The |O| sweep of Fig. 6-7 (paper: 10K..80K), scaled.
+std::vector<size_t> SizeSweep();
+
+/// Number of PNN query points (paper Sec. VI-A: 50).
+constexpr int kNumQueries = 50;
+
+/// Prints the standard bench banner (title + scale + paper reference).
+void PrintBanner(const std::string& title, const std::string& paper_ref);
+
+/// Builds a UVDiagram over the given objects with external stats, aborting
+/// on error (bench context).
+core::UVDiagram BuildDiagram(std::vector<uncertain::UncertainObject> objects,
+                             const geom::Box& domain, core::UVDiagramOptions options,
+                             Stats* stats);
+
+/// Result of running the PNN workload through both index paths. Reported
+/// times include the simulated disk charge (SimulatedIoMs per page read);
+/// the pure CPU component is available separately.
+struct PnnWorkloadResult {
+  double uv_ms = 0;            ///< mean ms/query via UV-index (CPU + sim I/O)
+  double rtree_ms = 0;         ///< mean ms/query via R-tree baseline
+  double uv_cpu_ms = 0;        ///< CPU-only portion
+  double rtree_cpu_ms = 0;
+  double uv_leaf_io = 0;       ///< mean index leaf pages read/query
+  double rtree_leaf_io = 0;
+  double uv_object_io = 0;     ///< mean object-pdf pages read/query
+  double rtree_object_io = 0;
+  double avg_answers = 0;      ///< mean answer objects/query
+  rtree::PnnBreakdown uv_breakdown;     // totals over the workload
+  rtree::PnnBreakdown rtree_breakdown;
+};
+
+/// Runs the fixed uniform query workload through both paths and gathers
+/// timing + I/O (stats are reset around each phase).
+PnnWorkloadResult MeasurePnn(const core::UVDiagram& diagram,
+                             const std::vector<geom::Point>& queries);
+
+}  // namespace bench
+}  // namespace uvd
+
+#endif  // UVD_BENCH_BENCH_COMMON_H_

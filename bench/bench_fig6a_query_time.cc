@@ -1,0 +1,26 @@
+// Fig. 6(a): PNN query time T_q(ms) vs |O| for the UV-index and the
+// R-tree baseline. Paper shape: both grow with |O|; the UV-diagram wins
+// throughout (about half the R-tree's time at |O| = 60K).
+#include "bench_common.h"
+
+int main() {
+  using namespace uvd;
+  bench::PrintBanner("Fig. 6(a): T_q (ms) vs |O|",
+                     "UV-diagram vs R-tree query time, uniform data");
+  std::printf("%10s %14s %14s %10s\n", "|O|", "UV-diagram(ms)", "R-tree(ms)",
+              "ratio");
+  for (size_t n : bench::SizeSweep()) {
+    datagen::DatasetOptions opts;
+    opts.count = n;
+    opts.seed = 42;
+    Stats stats;
+    auto diagram = bench::BuildDiagram(datagen::GenerateUniform(opts),
+                                       datagen::DomainFor(opts), {}, &stats);
+    const auto queries =
+        datagen::UniformQueryPoints(bench::kNumQueries, diagram.domain(), 7);
+    const auto r = bench::MeasurePnn(diagram, queries);
+    std::printf("%10zu %14.3f %14.3f %9.2fx\n", n, r.uv_ms, r.rtree_ms,
+                r.rtree_ms / r.uv_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fig. 6(b): PNN index I/O (leaf pages read per query) vs |O|. Paper
+// shape: R-tree I/O grows with |O| (about 7x the UV-index at 70K); the
+// UV-index stays nearly flat around one page chain per query.
+#include "bench_common.h"
+
+int main() {
+  using namespace uvd;
+  bench::PrintBanner("Fig. 6(b): T_q (I/O) vs |O|",
+                     "index leaf pages read per PNN query");
+  std::printf("%10s %12s %12s %12s %12s\n", "|O|", "UV leaf I/O", "R-tree I/O",
+              "UV obj I/O", "R-tree objIO");
+  for (size_t n : bench::SizeSweep()) {
+    datagen::DatasetOptions opts;
+    opts.count = n;
+    opts.seed = 42;
+    Stats stats;
+    auto diagram = bench::BuildDiagram(datagen::GenerateUniform(opts),
+                                       datagen::DomainFor(opts), {}, &stats);
+    const auto queries =
+        datagen::UniformQueryPoints(bench::kNumQueries, diagram.domain(), 7);
+    const auto r = bench::MeasurePnn(diagram, queries);
+    std::printf("%10zu %12.2f %12.2f %12.2f %12.2f\n", n, r.uv_leaf_io,
+                r.rtree_leaf_io, r.uv_object_io, r.rtree_object_io);
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fig. 6(d): T_q vs uncertainty-region size (diameter 20..100). Paper
+// shape: both indexes slow down as regions grow (more answer objects per
+// query); the UV-diagram stays ahead.
+#include "bench_common.h"
+
+int main() {
+  using namespace uvd;
+  bench::PrintBanner("Fig. 6(d): T_q vs uncertainty-region size",
+                     "diameter sweep 20..100, |O|=30K scaled");
+  std::printf("%10s %14s %14s %14s\n", "diameter", "UV-diagram(ms)", "R-tree(ms)",
+              "avg answers");
+  for (double diameter : {20.0, 40.0, 60.0, 80.0, 100.0}) {
+    datagen::DatasetOptions opts;
+    opts.count = bench::ScaledCount(30000);
+    opts.diameter = diameter;
+    opts.seed = 42;
+    Stats stats;
+    auto diagram = bench::BuildDiagram(datagen::GenerateUniform(opts),
+                                       datagen::DomainFor(opts), {}, &stats);
+    const auto queries =
+        datagen::UniformQueryPoints(bench::kNumQueries, diagram.domain(), 7);
+    const auto r = bench::MeasurePnn(diagram, queries);
+    std::printf("%10.0f %14.3f %14.3f %14.2f\n", diameter, r.uv_ms, r.rtree_ms,
+                r.avg_answers);
+  }
+  return 0;
+}

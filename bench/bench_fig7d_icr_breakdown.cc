@@ -1,0 +1,28 @@
+// Fig. 7(d): ICR construction time decomposition: I+C pruning, r-object
+// generation (exact cell refinement), indexing. Paper shape: r-object
+// generation dominates for most sizes.
+#include "bench_common.h"
+
+int main() {
+  using namespace uvd;
+  bench::PrintBanner("Fig. 7(d): components of ICR's T_c (%)",
+                     "pruning / r-object generation / indexing");
+  std::printf("%10s %14s %16s %12s\n", "|O|", "I+C prune(%)", "gen r-object(%)",
+              "indexing(%)");
+  for (size_t n : bench::SizeSweep()) {
+    datagen::DatasetOptions opts;
+    opts.count = n;
+    opts.seed = 42;
+    Stats stats;
+    core::UVDiagramOptions options;
+    options.method = core::BuildMethod::kICR;
+    auto d = bench::BuildDiagram(datagen::GenerateUniform(opts),
+                                 datagen::DomainFor(opts), options, &stats);
+    const auto& bs = d.build_stats();
+    const double total = bs.pruning_seconds + bs.robject_seconds + bs.indexing_seconds;
+    std::printf("%10zu %14.1f %16.1f %12.1f\n", n,
+                100.0 * bs.pruning_seconds / total, 100.0 * bs.robject_seconds / total,
+                100.0 * bs.indexing_seconds / total);
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Fig. 7(e): IC construction time decomposition: I+C pruning vs indexing
+// (no r-object generation at all). Paper shape: pruning dominates.
+#include "bench_common.h"
+
+int main() {
+  using namespace uvd;
+  bench::PrintBanner("Fig. 7(e): components of IC's T_c (%)",
+                     "pruning / indexing (IC never generates r-objects)");
+  std::printf("%10s %14s %12s\n", "|O|", "I+C prune(%)", "indexing(%)");
+  for (size_t n : bench::SizeSweep()) {
+    datagen::DatasetOptions opts;
+    opts.count = n;
+    opts.seed = 42;
+    Stats stats;
+    auto d = bench::BuildDiagram(datagen::GenerateUniform(opts),
+                                 datagen::DomainFor(opts), {}, &stats);
+    const auto& bs = d.build_stats();
+    const double total = bs.pruning_seconds + bs.indexing_seconds;
+    std::printf("%10zu %14.1f %12.1f\n", n, 100.0 * bs.pruning_seconds / total,
+                100.0 * bs.indexing_seconds / total);
+  }
+  return 0;
+}

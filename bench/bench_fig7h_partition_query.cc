@@ -1,0 +1,31 @@
+// Fig. 7(h): UV-partition query time vs query-region size (100..500).
+// Paper shape: T_q grows with the region (more partitions retrieved) and
+// stays small in absolute terms.
+#include "bench_common.h"
+
+#include "common/timer.h"
+
+int main() {
+  using namespace uvd;
+  bench::PrintBanner("Fig. 7(h): UV-partition query T_q vs region size",
+                     "pattern-analysis range query over the adaptive grid");
+  datagen::DatasetOptions opts;
+  opts.count = bench::ScaledCount(30000);
+  opts.seed = 42;
+  Stats stats;
+  auto diagram = bench::BuildDiagram(datagen::GenerateUniform(opts),
+                                     datagen::DomainFor(opts), {}, &stats);
+  std::printf("%12s %12s %16s\n", "region size", "T_q(ms)", "avg partitions");
+  for (double side : {100.0, 200.0, 300.0, 400.0, 500.0}) {
+    const auto regions =
+        datagen::SquareQueryRegions(bench::kNumQueries, diagram.domain(), side, 7);
+    size_t partitions = 0;
+    Timer t;
+    for (const auto& r : regions) {
+      partitions += diagram.QueryUvPartitions(r).size();
+    }
+    std::printf("%12.0f %12.4f %16.2f\n", side, t.ElapsedMillis() / regions.size(),
+                static_cast<double>(partitions) / regions.size());
+  }
+  return 0;
+}

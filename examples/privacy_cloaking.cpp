@@ -1,0 +1,92 @@
+// Privacy-preserving location services (paper Sec. I, [9][10][16]): user
+// positions are deliberately "cloaked" into larger regions before being
+// released. The service still wants to answer "which user could be nearest
+// to this point of interest?" — and the cloaked regions are exactly
+// attribute uncertainty.
+//
+// This example cloaks polygonal home zones into minimal bounding circles
+// (the paper's Sec. III-C conversion), builds the UV-diagram, and shows
+// how enlarging the cloaking radius spreads nearest-neighbor probability
+// over more users (better privacy, vaguer answers).
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "core/uv_diagram.h"
+
+namespace {
+
+// A jittered polygon around a home position: the cloaking region handed to
+// the service instead of the exact location.
+std::vector<uvd::geom::Point> CloakPolygon(uvd::geom::Point home, double spread,
+                                           uvd::Rng* rng) {
+  std::vector<uvd::geom::Point> poly;
+  const int corners = 5 + static_cast<int>(rng->UniformInt(0, 3));
+  for (int c = 0; c < corners; ++c) {
+    const double ang = 2.0 * M_PI * c / corners + rng->Uniform(-0.2, 0.2);
+    const double rad = spread * rng->Uniform(0.6, 1.0);
+    poly.push_back(home + uvd::geom::UnitVector(ang) * rad);
+  }
+  return poly;
+}
+
+double EntropyOfAnswers(const std::vector<uvd::uncertain::PnnAnswer>& answers) {
+  double h = 0;
+  for (const auto& a : answers) {
+    if (a.probability > 0) h -= a.probability * std::log2(a.probability);
+  }
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  using namespace uvd;
+
+  const double kSide = 8000.0;
+  const geom::Box domain({0, 0}, {kSide, kSide});
+  Rng rng(99);
+
+  // 2000 users with home positions; the same population cloaked at two
+  // different radii.
+  std::vector<geom::Point> homes;
+  for (int i = 0; i < 2000; ++i) {
+    homes.push_back({rng.Uniform(200, kSide - 200), rng.Uniform(200, kSide - 200)});
+  }
+
+  for (const double spread : {60.0, 240.0}) {
+    Rng poly_rng(7);
+    std::vector<uncertain::UncertainObject> users;
+    for (size_t i = 0; i < homes.size(); ++i) {
+      // Polygonal cloak -> minimal bounding circle (Sec. III-C): the
+      // UV-diagram built on the MBCs answers a superset of the exact
+      // polygon answers, so no user is ever wrongly excluded.
+      users.push_back(uncertain::UncertainObject::FromPolygonRegion(
+          static_cast<int>(i), CloakPolygon(homes[i], spread, &poly_rng)));
+    }
+    auto diagram = core::UVDiagram::Build(std::move(users), domain).ValueOrDie();
+
+    // Average number of plausible nearest users and answer entropy over a
+    // fixed panel of points of interest.
+    Rng poi_rng(5);
+    double avg_candidates = 0, avg_entropy = 0;
+    const int kPois = 100;
+    for (int p = 0; p < kPois; ++p) {
+      const geom::Point poi{poi_rng.Uniform(0, kSide), poi_rng.Uniform(0, kSide)};
+      const auto answers = diagram.QueryPnn(poi).ValueOrDie();
+      avg_candidates += static_cast<double>(answers.size());
+      avg_entropy += EntropyOfAnswers(answers);
+    }
+    avg_candidates /= kPois;
+    avg_entropy /= kPois;
+    std::printf(
+        "cloak spread %5.0f m: avg %.2f plausible nearest users/POI, "
+        "answer entropy %.3f bits\n",
+        spread, avg_candidates, avg_entropy);
+  }
+
+  std::printf(
+      "\nlarger cloaks spread NN probability across more users: stronger\n"
+      "location privacy, less precise service answers — quantified above.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a UV-diagram over a handful of uncertain objects and
+// run a probabilistic nearest-neighbor (PNN) query.
+//
+//   $ ./quickstart
+//
+// Walks through the three core calls: dataset construction,
+// UVDiagram::Build, and QueryPnn.
+#include <cstdio>
+
+#include "core/uv_diagram.h"
+#include "datagen/generators.h"
+
+int main() {
+  using namespace uvd;
+
+  // A 1000 x 1000 domain with eight uncertain objects: each has a circular
+  // uncertainty region and a Gaussian pdf bounded inside it.
+  const geom::Box domain({0, 0}, {1000, 1000});
+  std::vector<uncertain::UncertainObject> objects;
+  const geom::Point centers[] = {{150, 200}, {420, 260}, {700, 150}, {820, 540},
+                                 {600, 620}, {320, 700}, {150, 520}, {480, 450}};
+  for (int i = 0; i < 8; ++i) {
+    objects.push_back(
+        uncertain::UncertainObject::WithGaussianPdf(i, {centers[i], 45.0}));
+  }
+
+  // Build: object store + R-tree + UV-index (IC construction by default).
+  auto diagram = core::UVDiagram::Build(std::move(objects), domain).ValueOrDie();
+  std::printf("built UV-index: %zu leaves, %d non-leaf nodes, height %d\n",
+              diagram.index().num_leaves(), diagram.index().num_nonleaf(),
+              diagram.index().height());
+
+  // PNN query: which objects can be the nearest neighbor of q, and with
+  // what probability?
+  const geom::Point q{500, 400};
+  std::printf("\nPNN at (%.0f, %.0f):\n", q.x, q.y);
+  for (const auto& answer : diagram.QueryPnn(q).ValueOrDie()) {
+    std::printf("  object %d  probability %.4f\n", answer.id, answer.probability);
+  }
+
+  // The same query through the R-tree baseline gives identical answers;
+  // the UV-index just finds them with fewer page reads.
+  diagram.stats().Reset();
+  UVD_CHECK(diagram.QueryPnn(q).ok());
+  const uint64_t uv_io = diagram.stats().Get(Ticker::kUvIndexLeafReads);
+  diagram.stats().Reset();
+  UVD_CHECK(diagram.QueryPnnWithRtree(q).ok());
+  const uint64_t rtree_io = diagram.stats().Get(Ticker::kRtreeLeafReads);
+  std::printf("\nindex leaf I/O for this query: UV-index %llu vs R-tree %llu\n",
+              static_cast<unsigned long long>(uv_io),
+              static_cast<unsigned long long>(rtree_io));
+
+  // Pattern analysis: the approximate extent of object 7's UV-cell.
+  const auto summary = diagram.QueryUvCellSummary(7);
+  if (summary.ok()) {
+    std::printf("\nUV-cell of object 7: ~%.0f area units across %zu leaves\n",
+                summary.value().area, summary.value().num_leaves);
+  }
+  return 0;
+}

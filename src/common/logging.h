@@ -1,0 +1,65 @@
+// Assertion / logging macros (UVD_CHECK aborts; UVD_DCHECK compiles away in
+// release builds), following the arrow/rocksdb internal-check idiom.
+#ifndef UVD_COMMON_LOGGING_H_
+#define UVD_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace uvd {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* expr) {
+    stream_ << "Check failed at " << file << ":" << line << " (" << expr << ") ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed arguments when a check is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace uvd
+
+#define UVD_CHECK(cond)                                               \
+  if (!(cond))                                                        \
+  ::uvd::internal::FatalLogMessage(__FILE__, __LINE__, #cond).stream()
+
+#define UVD_CHECK_EQ(a, b) UVD_CHECK((a) == (b))
+#define UVD_CHECK_NE(a, b) UVD_CHECK((a) != (b))
+#define UVD_CHECK_LT(a, b) UVD_CHECK((a) < (b))
+#define UVD_CHECK_LE(a, b) UVD_CHECK((a) <= (b))
+#define UVD_CHECK_GT(a, b) UVD_CHECK((a) > (b))
+#define UVD_CHECK_GE(a, b) UVD_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define UVD_DCHECK(cond) \
+  if (false) ::uvd::internal::NullStream()
+#else
+#define UVD_DCHECK(cond) UVD_CHECK(cond)
+#endif
+
+#define UVD_DCHECK_EQ(a, b) UVD_DCHECK((a) == (b))
+#define UVD_DCHECK_LT(a, b) UVD_DCHECK((a) < (b))
+#define UVD_DCHECK_LE(a, b) UVD_DCHECK((a) <= (b))
+#define UVD_DCHECK_GT(a, b) UVD_DCHECK((a) > (b))
+#define UVD_DCHECK_GE(a, b) UVD_DCHECK((a) >= (b))
+
+#endif  // UVD_COMMON_LOGGING_H_

@@ -1,0 +1,48 @@
+// Deterministic random number generation. All dataset generators and
+// Monte-Carlo code take an explicit Rng so that every experiment is
+// reproducible from a seed recorded in the bench output.
+#ifndef UVD_COMMON_RANDOM_H_
+#define UVD_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace uvd {
+
+/// Seeded pseudo-random generator wrapping std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+
+  /// Normal variate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p) { return std::bernoulli_distribution(p)(gen_); }
+
+  /// Exponential variate with the given rate.
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(gen_);
+  }
+
+  std::mt19937_64& generator() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace uvd
+
+#endif  // UVD_COMMON_RANDOM_H_

@@ -1,0 +1,74 @@
+// Result<T>: value-or-Status, in the spirit of arrow::Result.
+#ifndef UVD_COMMON_RESULT_H_
+#define UVD_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace uvd {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Usage:
+/// \code
+///   Result<int> ParsePort(std::string_view s);
+///   UVD_ASSIGN_OR_RETURN(int port, ParsePort(arg));
+/// \endcode
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit construction from a value (OK result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    UVD_DCHECK(!status_.ok()) << "Result constructed from OK status without value";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; undefined if !ok() (checked in debug).
+  const T& value() const& {
+    UVD_DCHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    UVD_DCHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    UVD_DCHECK(ok()) << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Returns the value or aborts with the error (tools / examples only).
+  T ValueOrDie() && {
+    if (!ok()) {
+      UVD_CHECK(false) << status_.ToString();
+    }
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace uvd
+
+#define UVD_CONCAT_IMPL(a, b) a##b
+#define UVD_CONCAT(a, b) UVD_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result expression; on error returns its Status, otherwise
+/// binds the value to `lhs`.
+#define UVD_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto UVD_CONCAT(_res_, __LINE__) = (rexpr);                   \
+  if (!UVD_CONCAT(_res_, __LINE__).ok())                        \
+    return UVD_CONCAT(_res_, __LINE__).status();                \
+  lhs = std::move(UVD_CONCAT(_res_, __LINE__)).value()
+
+#endif  // UVD_COMMON_RESULT_H_

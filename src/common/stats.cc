@@ -1,0 +1,50 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace uvd {
+
+const char* TickerName(Ticker t) {
+  switch (t) {
+    case Ticker::kPageReads:
+      return "page.reads";
+    case Ticker::kPageWrites:
+      return "page.writes";
+    case Ticker::kBufferPoolHits:
+      return "bufferpool.hits";
+    case Ticker::kBufferPoolMisses:
+      return "bufferpool.misses";
+    case Ticker::kRtreeNodeVisits:
+      return "rtree.node.visits";
+    case Ticker::kRtreeLeafReads:
+      return "rtree.leaf.reads";
+    case Ticker::kUvIndexNodeVisits:
+      return "uvindex.node.visits";
+    case Ticker::kUvIndexLeafReads:
+      return "uvindex.leaf.reads";
+    case Ticker::kHyperbolaTests:
+      return "geom.hyperbola.tests";
+    case Ticker::kEnvelopeInsertions:
+      return "geom.envelope.insertions";
+    case Ticker::kOverlapChecks:
+      return "uvindex.overlap.checks";
+    case Ticker::kFourPointTests:
+      return "uvindex.fourpoint.tests";
+    case Ticker::kQualificationIntegrations:
+      return "pnn.qualification.integrations";
+    case Ticker::kNumTickers:
+      break;
+  }
+  return "unknown";
+}
+
+std::string Stats::ToString() const {
+  std::ostringstream out;
+  for (uint32_t i = 0; i < static_cast<uint32_t>(Ticker::kNumTickers); ++i) {
+    if (counters_[i] == 0) continue;
+    out << TickerName(static_cast<Ticker>(i)) << " = " << counters_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace uvd

@@ -1,0 +1,56 @@
+// Statistics registry in the spirit of rocksdb::Statistics: named tickers
+// incremented on hot paths, snapshotted by benchmarks. Page I/O tickers are
+// the unit reported in Fig. 6(b) of the paper.
+#ifndef UVD_COMMON_STATS_H_
+#define UVD_COMMON_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace uvd {
+
+/// Ticker identifiers. Extend here and in TickerName() together.
+enum class Ticker : uint32_t {
+  kPageReads = 0,       ///< Simulated disk pages read.
+  kPageWrites,          ///< Simulated disk pages written.
+  kBufferPoolHits,      ///< Page reads served from the buffer pool.
+  kBufferPoolMisses,    ///< Page reads that went to "disk".
+  kRtreeNodeVisits,     ///< R-tree nodes popped during any traversal.
+  kRtreeLeafReads,      ///< R-tree leaf pages fetched (I/O unit for R-tree).
+  kUvIndexNodeVisits,   ///< UV-index non-leaf nodes visited.
+  kUvIndexLeafReads,    ///< UV-index leaf pages fetched (I/O unit for UVD).
+  kHyperbolaTests,      ///< Point-vs-outside-region dominance tests.
+  kEnvelopeInsertions,  ///< Radial-envelope constraint insertions.
+  kOverlapChecks,       ///< CheckOverlap (Algorithm 5) invocations.
+  kFourPointTests,      ///< 4-point corner tests inside CheckOverlap.
+  kQualificationIntegrations,  ///< Numerical integrations performed.
+  kNumTickers,  // must be last
+};
+
+/// Returns the display name for a ticker.
+const char* TickerName(Ticker t);
+
+/// \brief Counter bundle. Not thread-safe by design: the paper's system and
+/// this reproduction are single-threaded per operation, matching a
+/// Core2-Duo-era evaluation; benches own one Stats each.
+class Stats {
+ public:
+  void Add(Ticker t, uint64_t delta = 1) {
+    counters_[static_cast<uint32_t>(t)] += delta;
+  }
+
+  uint64_t Get(Ticker t) const { return counters_[static_cast<uint32_t>(t)]; }
+
+  void Reset() { counters_.fill(0); }
+
+  /// Multi-line human-readable dump of all non-zero counters.
+  std::string ToString() const;
+
+ private:
+  std::array<uint64_t, static_cast<uint32_t>(Ticker::kNumTickers)> counters_{};
+};
+
+}  // namespace uvd
+
+#endif  // UVD_COMMON_STATS_H_

@@ -1,0 +1,101 @@
+// Status: exception-free error propagation, in the spirit of
+// arrow::Status / rocksdb::Status. Library code returns Status (or
+// Result<T>, see result.h) instead of throwing; benchmarks and examples
+// may abort on error via UVD_CHECK_OK.
+#ifndef UVD_COMMON_STATUS_H_
+#define UVD_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace uvd {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kInternal,
+  kNotImplemented,
+  kIOError,
+};
+
+/// \brief Lightweight status object carrying an error code and message.
+///
+/// An OK status carries no allocation. Statuses are cheap to move and
+/// are annotated nodiscard so silently dropped errors fail the build.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Returns the canonical name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+}  // namespace uvd
+
+/// Propagates a non-OK status to the caller.
+#define UVD_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::uvd::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Aborts the process if the status is not OK (tools / examples only).
+#define UVD_CHECK_OK(expr)                                               \
+  do {                                                                   \
+    ::uvd::Status _st = (expr);                                          \
+    if (!_st.ok()) {                                                     \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__,      \
+                   _st.ToString().c_str());                              \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#endif  // UVD_COMMON_STATUS_H_

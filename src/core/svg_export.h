@@ -1,0 +1,41 @@
+// SVG rendering of UV-diagrams (paper Sec. V-C mentions displaying the
+// approximate shape of UV-cells on the user's screen). Renders uncertainty
+// regions, exact UV-cell boundaries (sampled hyperbolic arcs) and the
+// adaptive grid's leaf regions.
+#ifndef UVD_CORE_SVG_EXPORT_H_
+#define UVD_CORE_SVG_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/uv_cell.h"
+#include "core/uv_diagram.h"
+
+namespace uvd {
+namespace core {
+
+/// Rendering options.
+struct SvgOptions {
+  double canvas_px = 800.0;     ///< Output width/height in pixels.
+  bool draw_grid = true;        ///< Leaf regions of the UV-index.
+  bool draw_objects = true;     ///< Uncertainty circles.
+  int samples_per_arc = 24;     ///< Boundary sampling density.
+};
+
+/// Renders the diagram (grid + objects) plus the given exact cells into an
+/// SVG document string.
+std::string RenderSvg(const UVDiagram& diagram, const std::vector<UVCell>& cells,
+                      const SvgOptions& options = {});
+
+/// Renders stand-alone cells over a domain (no index required).
+std::string RenderCellsSvg(const geom::Box& domain, const std::vector<UVCell>& cells,
+                           const SvgOptions& options = {});
+
+/// Writes an SVG string to a file.
+Status WriteSvgFile(const std::string& path, const std::string& svg);
+
+}  // namespace core
+}  // namespace uvd
+
+#endif  // UVD_CORE_SVG_EXPORT_H_

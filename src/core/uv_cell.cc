@@ -1,0 +1,38 @@
+#include "core/uv_cell.h"
+
+#include "common/logging.h"
+
+namespace uvd {
+namespace core {
+
+UVCell BuildExactUvCell(const std::vector<uncertain::UncertainObject>& objects,
+                        size_t index, const geom::Box& domain, Stats* stats) {
+  UVD_CHECK_LT(index, objects.size());
+  const uncertain::UncertainObject& anchor = objects[index];
+  UVCell cell(anchor.region(), anchor.id(), domain, stats);
+  for (size_t j = 0; j < objects.size(); ++j) {
+    if (j == index) continue;
+    cell.SubtractOutsideRegion(objects[j].region(), objects[j].id());
+  }
+  return cell;
+}
+
+UVCell BuildUvCellFromCandidates(const std::vector<uncertain::UncertainObject>& objects,
+                                 size_t index, const std::vector<int>& candidate_ids,
+                                 const geom::Box& domain, Stats* stats) {
+  UVD_CHECK_LT(index, objects.size());
+  const uncertain::UncertainObject& anchor = objects[index];
+  UVCell cell(anchor.region(), anchor.id(), domain, stats);
+  for (int id : candidate_ids) {
+    if (id == anchor.id()) continue;
+    UVD_DCHECK_GE(id, 0);
+    UVD_DCHECK_LT(static_cast<size_t>(id), objects.size());
+    const uncertain::UncertainObject& other = objects[static_cast<size_t>(id)];
+    UVD_DCHECK_EQ(other.id(), id) << "objects must be stored in id order";
+    cell.SubtractOutsideRegion(other.region(), other.id());
+  }
+  return cell;
+}
+
+}  // namespace core
+}  // namespace uvd

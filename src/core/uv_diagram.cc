@@ -1,0 +1,111 @@
+#include "core/uv_diagram.h"
+
+namespace uvd {
+namespace core {
+
+Result<UVDiagram> UVDiagram::Build(std::vector<uncertain::UncertainObject> objects,
+                                   const geom::Box& domain, const Options& options,
+                                   Stats* stats) {
+  if (objects.empty()) {
+    return Status::InvalidArgument("cannot build a UV-diagram over zero objects");
+  }
+  for (size_t i = 0; i < objects.size(); ++i) {
+    if (objects[i].id() != static_cast<int>(i)) {
+      return Status::InvalidArgument("objects must have ids 0..n-1 in order");
+    }
+    if (!domain.Contains(objects[i].center())) {
+      return Status::InvalidArgument("object center outside the domain");
+    }
+  }
+
+  UVDiagram d;
+  d.objects_ = std::move(objects);
+  d.domain_ = domain;
+  d.options_ = options;
+  if (stats != nullptr) {
+    d.stats_ = stats;
+  } else {
+    d.owned_stats_ = std::make_unique<Stats>();
+    d.stats_ = d.owned_stats_.get();
+  }
+
+  d.pm_ = std::make_unique<storage::PageManager>(options.page_size, d.stats_);
+  d.store_ = std::make_unique<uncertain::ObjectStore>(d.pm_.get());
+  UVD_RETURN_NOT_OK(d.store_->BulkLoad(d.objects_, &d.ptrs_));
+
+  UVD_ASSIGN_OR_RETURN(
+      rtree::RTree tree,
+      rtree::RTree::BulkLoad(d.objects_, d.ptrs_, d.pm_.get(), options.rtree, d.stats_));
+  d.rtree_ = std::make_unique<rtree::RTree>(std::move(tree));
+
+  d.index_ = std::make_unique<UVIndex>(domain, d.pm_.get(), options.index, d.stats_);
+  UVD_RETURN_NOT_OK(BuildUvIndex(d.objects_, d.ptrs_, *d.rtree_, domain, options.method,
+                                 options.cr, d.index_.get(), &d.build_stats_,
+                                 d.stats_));
+  return d;
+}
+
+void UVDiagram::RefreshRtreeIfStale() const {
+  if (!rtree_stale_) return;
+  auto tree =
+      rtree::RTree::BulkLoad(objects_, ptrs_, pm_.get(), options_.rtree, stats_);
+  UVD_CHECK(tree.ok()) << tree.status().ToString();
+  *rtree_ = std::move(tree).value();
+  rtree_stale_ = false;
+}
+
+Status UVDiagram::InsertObject(uncertain::UncertainObject object) {
+  if (object.id() != static_cast<int>(objects_.size())) {
+    return Status::InvalidArgument("new object id must equal objects().size()");
+  }
+  if (!domain_.Contains(object.center())) {
+    return Status::InvalidArgument("object center outside the domain");
+  }
+  // Persist the record and register the object.
+  auto ptr = store_->Append(object);
+  if (!ptr.ok()) return ptr.status();
+  objects_.push_back(std::move(object));
+  ptrs_.push_back(ptr.value());
+  rtree_stale_ = true;
+
+  // Derive the new object's cr-objects against the full population (the
+  // lazily rebuilt R-tree covers every earlier insert).
+  RefreshRtreeIfStale();
+  const CrObjectFinder finder(objects_, *rtree_, domain_, options_.cr, stats_);
+  const CrResult cr = finder.Find(objects_.size() - 1);
+  std::vector<geom::Circle> cr_regions;
+  cr_regions.reserve(cr.cr_objects.size());
+  for (int id : cr.cr_objects) {
+    cr_regions.push_back(objects_[static_cast<size_t>(id)].region());
+  }
+  return index_->InsertObjectLive(objects_.back().region(), objects_.back().id(),
+                                  ptrs_.back(), std::move(cr_regions));
+}
+
+Result<std::vector<uncertain::PnnAnswer>> UVDiagram::QueryPnn(
+    const geom::Point& q, rtree::PnnBreakdown* breakdown) const {
+  return EvaluatePnnWithUvIndex(*index_, *store_, q, options_.qualification, stats_,
+                                breakdown);
+}
+
+Result<std::vector<uncertain::PnnAnswer>> UVDiagram::QueryPnnWithRtree(
+    const geom::Point& q, rtree::PnnBreakdown* breakdown) const {
+  RefreshRtreeIfStale();
+  return rtree::EvaluatePnnWithRtree(*rtree_, *store_, q, options_.qualification,
+                                     stats_, breakdown);
+}
+
+Result<std::vector<int>> UVDiagram::AnswerObjectIds(const geom::Point& q) const {
+  return RetrievePnnAnswerIds(*index_, q, stats_);
+}
+
+std::vector<UvPartition> UVDiagram::QueryUvPartitions(const geom::Box& range) const {
+  return RetrieveUvPartitions(*index_, range, stats_);
+}
+
+Result<UvCellSummary> UVDiagram::QueryUvCellSummary(int object_id) const {
+  return RetrieveUvCellSummary(*index_, object_id, /*use_offline_lists=*/true, stats_);
+}
+
+}  // namespace core
+}  // namespace uvd

@@ -1,0 +1,112 @@
+// Public facade of the library: owns the dataset, the simulated disk, the
+// object store, the R-tree (pruning driver and PNN baseline) and the
+// UV-index, and exposes the paper's queries.
+//
+// Quickstart:
+//   auto diagram = core::UVDiagram::Build(objects, domain).ValueOrDie();
+//   auto answers = diagram.QueryPnn({x, y});
+//   for (const auto& a : answers) use(a.id, a.probability);
+#ifndef UVD_CORE_UV_DIAGRAM_H_
+#define UVD_CORE_UV_DIAGRAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "core/builder.h"
+#include "core/pattern_queries.h"
+#include "core/pnn.h"
+#include "core/uv_index.h"
+#include "geom/box.h"
+#include "rtree/pnn_baseline.h"
+#include "rtree/rtree.h"
+#include "storage/page_manager.h"
+#include "uncertain/object_store.h"
+#include "uncertain/uncertain_object.h"
+
+namespace uvd {
+namespace core {
+
+/// Build configuration for a UVDiagram (paper defaults throughout).
+struct UVDiagramOptions {
+  BuildMethod method = BuildMethod::kIC;
+  CrFinderOptions cr;
+  UVIndexOptions index;
+  rtree::RTreeOptions rtree;
+  uncertain::QualificationOptions qualification;
+  size_t page_size = storage::kDefaultPageSize;
+};
+
+/// \brief An indexed UV-diagram over a set of uncertain objects.
+class UVDiagram {
+ public:
+  using Options = UVDiagramOptions;
+
+  /// Builds everything: object store, R-tree, UV-index. Objects must have
+  /// ids 0..n-1 in order and centers inside `domain`. If `stats` is null an
+  /// internal Stats is used.
+  static Result<UVDiagram> Build(std::vector<uncertain::UncertainObject> objects,
+                                 const geom::Box& domain, const Options& options = {},
+                                 Stats* stats = nullptr);
+
+  /// Incremental insertion (paper Sec. VII future work): derives the new
+  /// object's cr-objects against the current population and appends it to
+  /// the frozen grid (UVIndex::InsertObjectLive). The object id must be
+  /// objects().size(). The R-tree is rebuilt lazily before its next use,
+  /// so both query paths stay consistent. Suitable for modest insert
+  /// rates; rebuild the diagram when leaf chains degrade.
+  Status InsertObject(uncertain::UncertainObject object);
+
+  /// PNN through the UV-index (paper Sec. V-A). Errors (I/O failures,
+  /// query outside the domain) propagate as Status.
+  Result<std::vector<uncertain::PnnAnswer>> QueryPnn(
+      const geom::Point& q, rtree::PnnBreakdown* breakdown = nullptr) const;
+
+  /// PNN through the R-tree baseline of [14] (the paper's comparator).
+  Result<std::vector<uncertain::PnnAnswer>> QueryPnnWithRtree(
+      const geom::Point& q, rtree::PnnBreakdown* breakdown = nullptr) const;
+
+  /// Answer-object ids only (no probability computation).
+  Result<std::vector<int>> AnswerObjectIds(const geom::Point& q) const;
+
+  /// Pattern queries (paper Sec. V-C).
+  std::vector<UvPartition> QueryUvPartitions(const geom::Box& range) const;
+  Result<UvCellSummary> QueryUvCellSummary(int object_id) const;
+
+  const std::vector<uncertain::UncertainObject>& objects() const { return objects_; }
+  const geom::Box& domain() const { return domain_; }
+  const UVIndex& index() const { return *index_; }
+  const rtree::RTree& rtree() const {
+    RefreshRtreeIfStale();
+    return *rtree_;
+  }
+  const uncertain::ObjectStore& store() const { return *store_; }
+  const BuildStats& build_stats() const { return build_stats_; }
+  Stats& stats() const { return *stats_; }
+  const Options& options() const { return options_; }
+
+ private:
+  UVDiagram() = default;
+
+  /// Rebuilds the R-tree if live inserts made it stale.
+  void RefreshRtreeIfStale() const;
+
+  std::vector<uncertain::UncertainObject> objects_;
+  geom::Box domain_;
+  Options options_;
+  Stats* stats_ = nullptr;                 // external or owned_stats_.get()
+  std::unique_ptr<Stats> owned_stats_;
+  std::unique_ptr<storage::PageManager> pm_;
+  std::unique_ptr<uncertain::ObjectStore> store_;
+  std::vector<uncertain::ObjectPtr> ptrs_;
+  mutable std::unique_ptr<rtree::RTree> rtree_;
+  mutable bool rtree_stale_ = false;
+  std::unique_ptr<UVIndex> index_;
+  BuildStats build_stats_;
+};
+
+}  // namespace core
+}  // namespace uvd
+
+#endif  // UVD_CORE_UV_DIAGRAM_H_

@@ -1,0 +1,3 @@
+// UVEdge is header-only; this translation unit keeps the library layout
+// uniform and anchors the header's compilation.
+#include "core/uv_edge.h"

@@ -1,0 +1,71 @@
+// UV-edge E_i(j) (paper Sec. III-A): the locus where the minimum distance
+// from O_i equals the maximum distance from O_j, and its convex outside
+// region X_i(j) where O_j always dominates. Dominance tests are plain
+// distance comparisons (cheap); the Eq. 5 conic and the radial form are
+// exposed for cell construction and rendering.
+#ifndef UVD_CORE_UV_EDGE_H_
+#define UVD_CORE_UV_EDGE_H_
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "geom/box.h"
+#include "geom/circle.h"
+#include "geom/hyperbola.h"
+#include "geom/radial.h"
+
+namespace uvd {
+namespace core {
+
+/// The UV-edge of an anchor object O_i with respect to O_j.
+class UVEdge {
+ public:
+  UVEdge(const geom::Circle& oi, const geom::Circle& oj, int j_id)
+      : oi_(oi), oj_(oj), j_id_(j_id) {}
+
+  int other_id() const { return j_id_; }
+  const geom::Circle& anchor() const { return oi_; }
+  const geom::Circle& other() const { return oj_; }
+
+  /// True iff the outside region is empty (overlapping uncertainty
+  /// regions; paper Sec. III-C treats X_i(j) as zero-area).
+  bool OutsideRegionEmpty() const {
+    return geom::Distance(oi_.center, oj_.center) <= oi_.radius + oj_.radius;
+  }
+
+  /// True iff p lies strictly in X_i(j): dist_min(O_i,p) > dist_max(O_j,p).
+  bool InOutsideRegion(const geom::Point& p, Stats* stats = nullptr) const {
+    if (stats != nullptr) stats->Add(Ticker::kHyperbolaTests);
+    return oi_.DistMin(p) > oj_.DistMax(p);
+  }
+
+  /// The 4-point test of Algorithm 5: a square region r is contained in the
+  /// convex X_i(j) iff all four corners are (paper Sec. V-B "Overlap
+  /// Checking").
+  bool RegionInOutside(const geom::Box& r, Stats* stats = nullptr) const {
+    if (stats != nullptr) stats->Add(Ticker::kFourPointTests);
+    for (const geom::Point& corner : r.Corners()) {
+      if (!InOutsideRegion(corner, stats)) return false;
+    }
+    return true;
+  }
+
+  /// Radial-constraint view used by exact UV-cell construction.
+  geom::RadialConstraint AsRadialConstraint() const {
+    return geom::RadialConstraint::ForObjects(oi_, oj_, j_id_);
+  }
+
+  /// The rotated conic of Eq. 5 (fails for overlapping or point pairs).
+  Result<geom::Hyperbola> AsHyperbola() const {
+    return geom::Hyperbola::FromObjects(oi_, oj_);
+  }
+
+ private:
+  geom::Circle oi_;
+  geom::Circle oj_;
+  int j_id_;
+};
+
+}  // namespace core
+}  // namespace uvd
+
+#endif  // UVD_CORE_UV_EDGE_H_

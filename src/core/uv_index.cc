@@ -1,0 +1,392 @@
+#include "core/uv_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "rtree/leaf_codec.h"
+
+namespace uvd {
+namespace core {
+
+UVIndex::UVIndex(const geom::Box& domain, storage::PageManager* pm,
+                 const UVIndexOptions& options, Stats* stats)
+    : domain_(domain), pm_(pm), options_(options), stats_(stats) {
+  UVD_CHECK_GT(options_.leaf_fanout, 0);
+  UVD_CHECK_GE(options_.split_threshold, 0.0);
+  UVD_CHECK_LE(options_.split_threshold, 1.0);
+  UVD_CHECK(2 + static_cast<size_t>(options_.leaf_fanout) * rtree::kLeafEntryBytes <=
+            pm_->page_size())
+      << "leaf fanout too large for the page size";
+  Node root;
+  root.region = domain;
+  nodes_.push_back(std::move(root));
+  // The paper initializes nonleafnum to 1 (Sec. V-B "Framework").
+  nonleaf_count_ = 1;
+}
+
+bool UVIndex::CheckOverlap(const Member& m, const geom::Box& region) const {
+  if (stats_ != nullptr) stats_->Add(Ticker::kOverlapChecks);
+  // Algorithm 5: if any cr-object's outside region fully contains the grid
+  // region, the UV-cell cannot overlap it (Lemma 4).
+  const size_t n = m.cr_regions.size();
+  if (n == 0) return true;
+  // Interior fast path: if the region lies inside the cell bounded by the
+  // cr-objects' edges, no single outside region can contain it, so the
+  // scan below would certainly answer "overlap". Identical decision, O(1)
+  // amortized instead of O(|C_i|).
+  if (m.cell != nullptr && m.cell->ContainsBox(region)) return true;
+  // Scan, trying the cr-object that pruned last time first: consecutive
+  // checks cover adjacent regions, so it usually prunes again.
+  if (m.last_pruner < n) {
+    const UVEdge edge(m.region, m.cr_regions[m.last_pruner], /*j_id=*/-1);
+    if (edge.RegionInOutside(region, stats_)) return false;
+  }
+  for (size_t k = 0; k < n; ++k) {
+    if (k == m.last_pruner) continue;
+    const UVEdge edge(m.region, m.cr_regions[k], /*j_id=*/-1);
+    if (edge.RegionInOutside(region, stats_)) {
+      m.last_pruner = k;
+      return false;
+    }
+  }
+  return true;
+}
+
+void UVIndex::EnsureSplitCache(uint32_t node_idx) {
+  Node& node = nodes_[node_idx];
+  if (node.split_cache_valid) return;
+  for (auto& list : node.split_cache) list.clear();
+  for (uint32_t slot : node.member_slots) {
+    const Member& m = members_[slot];
+    for (int k = 0; k < 4; ++k) {
+      if (CheckOverlap(m, node.region.Quadrant(k))) {
+        node.split_cache[static_cast<size_t>(k)].push_back(slot);
+      }
+    }
+  }
+  node.split_cache_valid = true;
+}
+
+void UVIndex::AddToSplitCache(uint32_t node_idx, uint32_t member_slot) {
+  Node& node = nodes_[node_idx];
+  if (!node.split_cache_valid) return;  // rebuilt lazily when needed
+  const Member& m = members_[member_slot];
+  for (int k = 0; k < 4; ++k) {
+    if (CheckOverlap(m, node.region.Quadrant(k))) {
+      node.split_cache[static_cast<size_t>(k)].push_back(member_slot);
+    }
+  }
+}
+
+UVIndex::SplitDecision UVIndex::CheckSplit(
+    uint32_t node_idx, uint32_t incoming_slot,
+    std::array<std::vector<uint32_t>, 4>* child_lists) {
+  // Steps 1-3: room left on the allocated pages.
+  if (nodes_[node_idx].member_slots.size() < LeafCapacity(nodes_[node_idx])) {
+    return SplitDecision::kNormal;
+  }
+  // Steps 4-5: non-leaf budget exhausted.
+  if (nonleaf_count_ + 1 > options_.max_nonleaf) return SplitDecision::kOverflow;
+
+  // Steps 7-15: distribute A = O_i union g.list over the four quarters.
+  // The resident part of the distribution is memoized (split_cache) and
+  // maintained incrementally by the insertion paths, so only the incoming
+  // object is tested here.
+  EnsureSplitCache(node_idx);
+  Node& node = nodes_[node_idx];
+  std::array<bool, 4> incoming{};
+  for (int k = 0; k < 4; ++k) {
+    incoming[static_cast<size_t>(k)] =
+        CheckOverlap(members_[incoming_slot], node.region.Quadrant(k));
+  }
+
+  // Step 16: split fraction theta (denominator is |g.list|, the resident
+  // count before the insertion, as in the paper).
+  size_t min_child = SIZE_MAX;
+  for (int k = 0; k < 4; ++k) {
+    min_child = std::min(min_child, node.split_cache[static_cast<size_t>(k)].size() +
+                                        (incoming[static_cast<size_t>(k)] ? 1 : 0));
+  }
+  const double theta =
+      static_cast<double>(min_child) / static_cast<double>(node.member_slots.size());
+  if (theta >= options_.split_threshold) return SplitDecision::kOverflow;
+
+  // SPLIT: hand the cached lists (plus the incoming object) to the caller
+  // and drop the cache.
+  for (int k = 0; k < 4; ++k) {
+    (*child_lists)[static_cast<size_t>(k)] =
+        std::move(node.split_cache[static_cast<size_t>(k)]);
+    if (incoming[static_cast<size_t>(k)]) {
+      (*child_lists)[static_cast<size_t>(k)].push_back(incoming_slot);
+    }
+    node.split_cache[static_cast<size_t>(k)].clear();
+  }
+  node.split_cache_valid = false;
+  return SplitDecision::kSplit;
+}
+
+void UVIndex::InsertInto(uint32_t node_idx, uint32_t member_slot) {
+  // Algorithm 3 Step 1.
+  if (!CheckOverlap(members_[member_slot], nodes_[node_idx].region)) return;
+
+  if (!nodes_[node_idx].is_leaf) {
+    // Steps 2-5: recurse into all four children.
+    const std::array<uint32_t, 4> children = nodes_[node_idx].children;
+    for (uint32_t child : children) InsertInto(child, member_slot);
+    return;
+  }
+
+  std::array<std::vector<uint32_t>, 4> child_lists;
+  switch (CheckSplit(node_idx, member_slot, &child_lists)) {
+    case SplitDecision::kNormal:
+      nodes_[node_idx].member_slots.push_back(member_slot);
+      AddToSplitCache(node_idx, member_slot);
+      break;
+    case SplitDecision::kOverflow:
+      nodes_[node_idx].num_pages += 1;  // Step 13: allocate a new page
+      nodes_[node_idx].member_slots.push_back(member_slot);
+      AddToSplitCache(node_idx, member_slot);
+      break;
+    case SplitDecision::kSplit: {
+      // Steps 16-22: the node becomes a non-leaf; CheckSplit already
+      // distributed the members (incoming one included) into the quarters.
+      std::array<uint32_t, 4> child_idx{};
+      for (int k = 0; k < 4; ++k) {
+        Node child;
+        child.region = nodes_[node_idx].region.Quadrant(k);
+        child.member_slots = std::move(child_lists[static_cast<size_t>(k)]);
+        child.num_pages = std::max<size_t>(
+            1, (child.member_slots.size() + static_cast<size_t>(options_.leaf_fanout) - 1) /
+                   static_cast<size_t>(options_.leaf_fanout));
+        nodes_.push_back(std::move(child));
+        child_idx[static_cast<size_t>(k)] = static_cast<uint32_t>(nodes_.size() - 1);
+      }
+      Node& parent = nodes_[node_idx];  // re-fetch: vector may have grown
+      parent.is_leaf = false;
+      parent.children = child_idx;
+      parent.member_slots.clear();
+      parent.member_slots.shrink_to_fit();
+      parent.num_pages = 0;
+      ++nonleaf_count_;
+      break;
+    }
+  }
+}
+
+Status UVIndex::InsertObject(const geom::Circle& region, int id,
+                             uncertain::ObjectPtr ptr,
+                             std::vector<geom::Circle> cr_regions) {
+  if (finalized_) {
+    return Status::InvalidArgument("index already finalized");
+  }
+  if (!domain_.Contains(region.center)) {
+    return Status::InvalidArgument("object center outside the domain");
+  }
+  members_.push_back(MakeMember(region, id, ptr, std::move(cr_regions)));
+  InsertInto(root(), static_cast<uint32_t>(members_.size() - 1));
+  return Status::OK();
+}
+
+UVIndex::Member UVIndex::MakeMember(const geom::Circle& region, int id,
+                                    uncertain::ObjectPtr ptr,
+                                    std::vector<geom::Circle> cr_regions) const {
+  Member member{region, id, ptr, std::move(cr_regions), nullptr, 0};
+  // The interior fast path (envelope containment) only pays off when the
+  // cr-object scan it replaces is long; small sets are cheaper to scan
+  // directly than to summarize.
+  constexpr size_t kCellFastPathThreshold = 32;
+  if (member.cr_regions.size() > kCellFastPathThreshold) {
+    member.cell = std::make_unique<geom::RadialEnvelope>(region.center, domain_);
+    for (size_t k = 0; k < member.cr_regions.size(); ++k) {
+      member.cell->Insert(geom::RadialConstraint::ForObjects(
+          region, member.cr_regions[k], static_cast<int>(k)));
+    }
+  }
+  return member;
+}
+
+Status UVIndex::Finalize() {
+  if (finalized_) return Status::OK();
+  std::vector<rtree::LeafEntry> tuples;
+  std::vector<uint8_t> buf;
+  for (Node& node : nodes_) {
+    if (!node.is_leaf) continue;
+    tuples.clear();
+    tuples.reserve(node.member_slots.size());
+    for (uint32_t slot : node.member_slots) {
+      const Member& m = members_[slot];
+      tuples.push_back({m.id, m.region, m.ptr});
+    }
+    const size_t per_page = static_cast<size_t>(options_.leaf_fanout);
+    UVD_DCHECK_LE(tuples.size(), LeafCapacity(node));
+    node.pages.reserve(node.num_pages);
+    for (size_t p = 0; p < node.num_pages; ++p) {
+      const size_t begin = p * per_page;
+      const size_t count =
+          begin >= tuples.size() ? 0 : std::min(per_page, tuples.size() - begin);
+      buf.clear();
+      rtree::EncodeLeafEntries(tuples.data() + begin, count, &buf);
+      const storage::PageId page = pm_->Allocate();
+      UVD_RETURN_NOT_OK(pm_->Write(page, buf));
+      node.pages.push_back(page);
+    }
+  }
+  // Drop the construction caches; ids/regions stay for pattern analysis.
+  for (Member& m : members_) {
+    m.cr_regions.clear();
+    m.cr_regions.shrink_to_fit();
+    m.cell.reset();
+  }
+  for (Node& node : nodes_) {
+    for (auto& list : node.split_cache) {
+      list.clear();
+      list.shrink_to_fit();
+    }
+    node.split_cache_valid = false;
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+Status UVIndex::InsertObjectLive(const geom::Circle& region, int id,
+                                 uncertain::ObjectPtr ptr,
+                                 std::vector<geom::Circle> cr_regions) {
+  if (!finalized_) {
+    return Status::InvalidArgument(
+        "live insertion requires a finalized index; use InsertObject");
+  }
+  if (!domain_.Contains(region.center)) {
+    return Status::InvalidArgument("object center outside the domain");
+  }
+  members_.push_back(MakeMember(region, id, ptr, std::move(cr_regions)));
+  const uint32_t slot = static_cast<uint32_t>(members_.size() - 1);
+
+  // Collect the overlapped leaves (no splits in live mode).
+  std::vector<uint32_t> leaves;
+  std::vector<uint32_t> stack = {root()};
+  while (!stack.empty()) {
+    const uint32_t idx = stack.back();
+    stack.pop_back();
+    if (!CheckOverlap(members_[slot], nodes_[idx].region)) continue;
+    if (nodes_[idx].is_leaf) {
+      leaves.push_back(idx);
+    } else {
+      for (uint32_t c : nodes_[idx].children) stack.push_back(c);
+    }
+  }
+
+  // Append the tuple to each leaf's page chain, rewriting only the tail
+  // page (allocating a fresh one on overflow).
+  const size_t per_page = static_cast<size_t>(options_.leaf_fanout);
+  std::vector<uint8_t> buf;
+  std::vector<rtree::LeafEntry> tail;
+  for (uint32_t leaf : leaves) {
+    Node& node = nodes_[leaf];
+    const size_t count = node.member_slots.size();
+    if (count == LeafCapacity(node)) {
+      node.num_pages += 1;
+      node.pages.push_back(pm_->Allocate());
+    }
+    node.member_slots.push_back(slot);
+    // Rebuild the tail page from its resident slots plus the new tuple.
+    const size_t tail_index = count / per_page;
+    tail.clear();
+    for (size_t i = tail_index * per_page; i < node.member_slots.size(); ++i) {
+      const Member& m = members_[node.member_slots[i]];
+      tail.push_back({m.id, m.region, m.ptr});
+    }
+    buf.clear();
+    rtree::EncodeLeafEntries(tail.data(), tail.size(), &buf);
+    UVD_RETURN_NOT_OK(pm_->Write(node.pages[tail_index], buf));
+  }
+
+  // Match Finalize(): drop the construction caches for the new member.
+  members_[slot].cr_regions.clear();
+  members_[slot].cr_regions.shrink_to_fit();
+  members_[slot].cell.reset();
+  return Status::OK();
+}
+
+uint32_t UVIndex::LocateLeaf(const geom::Point& q) const {
+  uint32_t idx = root();
+  while (!nodes_[idx].is_leaf) {
+    if (stats_ != nullptr) stats_->Add(Ticker::kUvIndexNodeVisits);
+    const Node& node = nodes_[idx];
+    const geom::Point c = node.region.Center();
+    const int k = (q.x >= c.x ? 1 : 0) + (q.y >= c.y ? 2 : 0);
+    idx = node.children[static_cast<size_t>(k)];
+  }
+  return idx;
+}
+
+Result<std::vector<rtree::LeafEntry>> UVIndex::RetrieveCandidates(
+    const geom::Point& q) const {
+  if (!finalized_) {
+    return Status::Internal("index must be finalized before queries");
+  }
+  if (!domain_.Contains(q)) {
+    return Status::InvalidArgument("query point outside the domain");
+  }
+  const uint32_t leaf = LocateLeaf(q);
+  std::vector<rtree::LeafEntry> out;
+  std::vector<uint8_t> buf;
+  for (storage::PageId page : nodes_[leaf].pages) {
+    if (stats_ != nullptr) stats_->Add(Ticker::kUvIndexLeafReads);
+    UVD_RETURN_NOT_OK(pm_->Read(page, &buf));
+    rtree::DecodeLeafEntries(buf, &out);
+  }
+  return out;
+}
+
+size_t UVIndex::num_leaves() const {
+  size_t n = 0;
+  for (const Node& node : nodes_) n += node.is_leaf ? 1 : 0;
+  return n;
+}
+
+size_t UVIndex::total_leaf_pages() const {
+  size_t n = 0;
+  for (const Node& node : nodes_) {
+    if (node.is_leaf) n += node.num_pages;
+  }
+  return n;
+}
+
+int UVIndex::height() const {
+  // Depth from the root region: each level halves the extent.
+  int max_depth = 1;
+  struct Item {
+    uint32_t idx;
+    int depth;
+  };
+  std::vector<Item> stack = {{root(), 1}};
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, item.depth);
+    const Node& node = nodes_[item.idx];
+    if (!node.is_leaf) {
+      for (uint32_t c : node.children) stack.push_back({c, item.depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+size_t UVIndex::LeafObjectCount(uint32_t node_index) const {
+  UVD_DCHECK(nodes_[node_index].is_leaf);
+  return nodes_[node_index].member_slots.size();
+}
+
+std::vector<int> UVIndex::LeafObjectIds(uint32_t node_index) const {
+  UVD_DCHECK(nodes_[node_index].is_leaf);
+  std::vector<int> ids;
+  ids.reserve(nodes_[node_index].member_slots.size());
+  for (uint32_t slot : nodes_[node_index].member_slots) {
+    ids.push_back(members_[slot].id);
+  }
+  return ids;
+}
+
+}  // namespace core
+}  // namespace uvd

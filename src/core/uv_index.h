@@ -1,0 +1,185 @@
+// The UV-index (paper Sec. V): an adaptive quad-tree over UV-cells. Leaf
+// nodes carry page lists of <ID, MBC, ptr> tuples on simulated disk; the
+// non-leaf level is bounded by M nodes kept in memory. Insertion follows
+// Algorithm 3 (InsertObj), split decisions Algorithm 4 (CheckSplit, split
+// fraction theta vs threshold T_theta), and cell/region overlap tests
+// Algorithm 5 (CheckOverlap with the 4-point corner test against the
+// outside regions of the object's cr-objects).
+#ifndef UVD_CORE_UV_INDEX_H_
+#define UVD_CORE_UV_INDEX_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include <memory>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "core/uv_edge.h"
+#include "geom/box.h"
+#include "geom/circle.h"
+#include "geom/envelope.h"
+#include "rtree/rtree.h"
+#include "storage/page_manager.h"
+#include "uncertain/object_store.h"
+
+namespace uvd {
+namespace core {
+
+/// Construction parameters with the paper's defaults (Sec. VI-A).
+struct UVIndexOptions {
+  int max_nonleaf = 4000;        ///< M: in-memory non-leaf node budget.
+  double split_threshold = 1.0;  ///< T_theta in [0, 1]; larger = more splits.
+  int leaf_fanout = 100;         ///< Tuples per 4 KB leaf page.
+};
+
+/// \brief Adaptive grid index over UV-cells.
+///
+/// Usage: construct, InsertObject() once per object (with its cr-objects
+/// from Algorithm 2 — or its exact r-objects for the ICR method), then
+/// Finalize() to write leaf pages; afterwards the index is queryable.
+class UVIndex {
+ public:
+  /// Quad-tree node. Children exist iff !is_leaf; `num_pages` models the
+  /// allocated page chain during construction (pages are materialized at
+  /// Finalize()).
+  struct Node {
+    geom::Box region;
+    bool is_leaf = true;
+    std::array<uint32_t, 4> children{};      // valid iff !is_leaf
+    std::vector<uint32_t> member_slots;      // construction-time tuple refs
+    size_t num_pages = 1;                    // allocated page count
+    std::vector<storage::PageId> pages;      // materialized at Finalize()
+    /// Memoized CheckSplit redistribution of member_slots over the four
+    /// quarters, maintained incrementally so repeated OVERFLOW decisions
+    /// stay O(|C_i|) instead of re-testing the whole resident list.
+    std::array<std::vector<uint32_t>, 4> split_cache;
+    bool split_cache_valid = false;
+  };
+
+  UVIndex(const geom::Box& domain, storage::PageManager* pm,
+          const UVIndexOptions& options = {}, Stats* stats = nullptr);
+
+  /// Algorithm 3: inserts one object. `cr_regions` are the uncertainty
+  /// regions of its cr-objects (C_i), used by CheckOverlap.
+  Status InsertObject(const geom::Circle& region, int id, uncertain::ObjectPtr ptr,
+                      std::vector<geom::Circle> cr_regions);
+
+  /// Writes every leaf's tuple list to disk pages. Required before queries;
+  /// drops the cr-object construction cache.
+  Status Finalize();
+
+  /// Incremental insertion into a finalized index (paper Sec. VII future
+  /// work). The grid structure is frozen — no splits — so the object is
+  /// appended to the page chain of every leaf its cell may overlap.
+  /// Correctness is preserved: a new object only shrinks other objects'
+  /// true cells, so existing leaf tuples remain conservative supersets
+  /// (Lemma 4 intact), and the new object's own tuples are placed by the
+  /// same CheckOverlap test used at construction. Leaf chains lengthen
+  /// over time; rebuild when query I/O degrades.
+  Status InsertObjectLive(const geom::Circle& region, int id,
+                          uncertain::ObjectPtr ptr,
+                          std::vector<geom::Circle> cr_regions);
+
+  /// PNN index phase: locate the leaf containing q, read its page chain and
+  /// return the stored tuples (a superset of the answer objects; the caller
+  /// applies the d_minmax verification of [14]).
+  Result<std::vector<rtree::LeafEntry>> RetrieveCandidates(const geom::Point& q) const;
+
+  /// Index of the leaf node whose region contains q.
+  uint32_t LocateLeaf(const geom::Point& q) const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  uint32_t root() const { return 0; }
+  const geom::Box& domain() const { return domain_; }
+  bool finalized() const { return finalized_; }
+
+  int num_nonleaf() const { return nonleaf_count_; }
+  size_t num_leaves() const;
+  size_t total_leaf_pages() const;
+  int height() const;
+
+  /// Number of objects associated with the leaf (the paper's offline
+  /// per-leaf counter for pattern queries, Sec. V-C).
+  size_t LeafObjectCount(uint32_t node_index) const;
+
+  /// Ids of the objects associated with the leaf (from the in-memory
+  /// construction metadata; no I/O).
+  std::vector<int> LeafObjectIds(uint32_t node_index) const;
+
+  /// The paper's non-leaf memory model: 16 bytes per non-leaf node.
+  size_t PaperMemoryBytes() const { return 16u * static_cast<size_t>(nonleaf_count_); }
+
+  /// Serializes the finalized index's structure (domain, options, nodes,
+  /// leaf page ids) into a byte stream; see uv_index_io.h for the paged
+  /// wrapper.
+  Status SerializeStructure(std::vector<uint8_t>* out) const;
+
+  /// Rebuilds a finalized index from SerializeStructure output. Re-reads
+  /// the (shared) leaf tuple pages to restore per-leaf object lists.
+  static Result<UVIndex> DeserializeStructure(const std::vector<uint8_t>& data,
+                                              storage::PageManager* pm,
+                                              Stats* stats);
+
+ private:
+  struct Member {
+    geom::Circle region;
+    int id;
+    uncertain::ObjectPtr ptr;
+    std::vector<geom::Circle> cr_regions;
+    /// Cell envelope from the cr-objects, used as an interior fast path in
+    /// CheckOverlap: a grid region fully inside the cell can never be
+    /// contained in any single outside region, so Algorithm 5 would answer
+    /// "overlap" without the scan. Dropped at Finalize().
+    std::unique_ptr<geom::RadialEnvelope> cell;
+    /// Index of the cr-object that pruned the last CheckOverlap; the
+    /// quad-tree descends spatially coherent regions, so the same
+    /// outside region usually prunes again.
+    mutable size_t last_pruner = 0;
+  };
+
+  enum class SplitDecision { kNormal, kOverflow, kSplit };
+
+  /// Algorithm 5: does the UV-cell represented by the member's cr-objects
+  /// overlap `region`? Conservative: may answer true for a disjoint cell
+  /// (extra candidates filtered at query time), never false for an
+  /// overlapping one (Lemma 4).
+  bool CheckOverlap(const Member& m, const geom::Box& region) const;
+
+  /// Algorithm 4. On kSplit, child_lists holds the redistributed members
+  /// (including the incoming one).
+  SplitDecision CheckSplit(uint32_t node_idx, uint32_t incoming_slot,
+                           std::array<std::vector<uint32_t>, 4>* child_lists);
+
+  /// Builds the construction-time member record; the cell envelope is only
+  /// materialized for large cr-sets where the interior fast path pays.
+  Member MakeMember(const geom::Circle& region, int id, uncertain::ObjectPtr ptr,
+                    std::vector<geom::Circle> cr_regions) const;
+
+  /// Rebuilds the node's split cache from member_slots if invalid.
+  void EnsureSplitCache(uint32_t node_idx);
+
+  /// Appends one member's quarter distribution to a valid split cache.
+  void AddToSplitCache(uint32_t node_idx, uint32_t member_slot);
+
+  void InsertInto(uint32_t node_idx, uint32_t member_slot);
+
+  size_t LeafCapacity(const Node& node) const {
+    return node.num_pages * static_cast<size_t>(options_.leaf_fanout);
+  }
+
+  geom::Box domain_;
+  storage::PageManager* pm_;
+  UVIndexOptions options_;
+  Stats* stats_;
+  std::vector<Node> nodes_;
+  std::vector<Member> members_;
+  int nonleaf_count_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace core
+}  // namespace uvd
+
+#endif  // UVD_CORE_UV_INDEX_H_

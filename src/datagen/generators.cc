@@ -1,0 +1,58 @@
+#include "datagen/generators.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace uvd {
+namespace datagen {
+
+geom::Box DomainFor(const DatasetOptions& options) {
+  return geom::Box({0.0, 0.0}, {options.domain_size, options.domain_size});
+}
+
+std::vector<uncertain::UncertainObject> ObjectsFromCenters(
+    const std::vector<geom::Point>& centers, const DatasetOptions& options) {
+  const double radius = options.diameter / 2.0;
+  std::vector<uncertain::UncertainObject> objects;
+  objects.reserve(centers.size());
+  for (size_t i = 0; i < centers.size(); ++i) {
+    uncertain::RadialHistogramPdf pdf =
+        options.pdf == uncertain::PdfKind::kGaussian
+            ? uncertain::RadialHistogramPdf::Gaussian(radius, options.num_bars)
+            : uncertain::RadialHistogramPdf::Uniform(radius, options.num_bars);
+    objects.emplace_back(static_cast<int>(i), geom::Circle(centers[i], radius),
+                         std::move(pdf));
+  }
+  return objects;
+}
+
+std::vector<uncertain::UncertainObject> GenerateUniform(const DatasetOptions& options) {
+  Rng rng(options.seed);
+  std::vector<geom::Point> centers;
+  centers.reserve(options.count);
+  for (size_t i = 0; i < options.count; ++i) {
+    centers.push_back({rng.Uniform(0.0, options.domain_size),
+                       rng.Uniform(0.0, options.domain_size)});
+  }
+  return ObjectsFromCenters(centers, options);
+}
+
+std::vector<uncertain::UncertainObject> GenerateGaussianCloud(
+    const DatasetOptions& options, double sigma) {
+  UVD_CHECK_GT(sigma, 0.0);
+  Rng rng(options.seed);
+  const double mid = options.domain_size / 2.0;
+  std::vector<geom::Point> centers;
+  centers.reserve(options.count);
+  for (size_t i = 0; i < options.count; ++i) {
+    const double x = std::clamp(rng.Gaussian(mid, sigma), 0.0, options.domain_size);
+    const double y = std::clamp(rng.Gaussian(mid, sigma), 0.0, options.domain_size);
+    centers.push_back({x, y});
+  }
+  return ObjectsFromCenters(centers, options);
+}
+
+}  // namespace datagen
+}  // namespace uvd

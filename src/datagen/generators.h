@@ -1,0 +1,50 @@
+// Synthetic dataset generators reproducing the paper's setup (Sec. VI-A):
+// uniform objects in a 10k x 10k domain with diameter-40 circular
+// uncertainty regions and Gaussian pdfs (sigma = diameter/6, 20 histogram
+// bars), plus the Gaussian-cloud skew datasets of Fig. 7(g).
+//
+// The paper used Theodoridis et al.'s generator from rtreeportal.org;
+// this module is the offline substitute documented in DESIGN.md Sec. 5.
+#ifndef UVD_DATAGEN_GENERATORS_H_
+#define UVD_DATAGEN_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/box.h"
+#include "uncertain/uncertain_object.h"
+
+namespace uvd {
+namespace datagen {
+
+/// Common dataset parameters (paper defaults).
+struct DatasetOptions {
+  size_t count = 30000;        ///< |O|
+  double domain_size = 10000;  ///< Square domain side length.
+  double diameter = 40;        ///< Uncertainty region diameter.
+  uncertain::PdfKind pdf = uncertain::PdfKind::kGaussian;
+  int num_bars = uncertain::kDefaultNumBars;
+  uint64_t seed = 42;
+};
+
+/// The square domain D for the given options.
+geom::Box DomainFor(const DatasetOptions& options);
+
+/// Uniformly distributed object centers (the paper's synthetic data).
+std::vector<uncertain::UncertainObject> GenerateUniform(const DatasetOptions& options);
+
+/// Centers drawn from an isotropic Gaussian at the domain center with the
+/// given sigma, clamped inside the domain — the skew datasets of
+/// Fig. 7(g) (sigma = 1500 ... 3500; smaller sigma = more skew).
+std::vector<uncertain::UncertainObject> GenerateGaussianCloud(
+    const DatasetOptions& options, double sigma);
+
+/// Helper shared by all generators: wraps centers into uncertain objects
+/// with ids 0..n-1 and the configured pdf.
+std::vector<uncertain::UncertainObject> ObjectsFromCenters(
+    const std::vector<geom::Point>& centers, const DatasetOptions& options);
+
+}  // namespace datagen
+}  // namespace uvd
+
+#endif  // UVD_DATAGEN_GENERATORS_H_

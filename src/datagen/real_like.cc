@@ -1,0 +1,137 @@
+#include "datagen/real_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace uvd {
+namespace datagen {
+
+namespace {
+
+geom::Point Clamp(const geom::Point& p, double size) {
+  return {std::clamp(p.x, 0.0, size), std::clamp(p.y, 0.0, size)};
+}
+
+/// Clustered point process: cluster centers uniform, members Gaussian
+/// around them, plus a sprinkle of background noise.
+std::vector<geom::Point> ClusteredCenters(size_t count, double size, Rng* rng,
+                                          int num_clusters, double cluster_sigma,
+                                          double noise_fraction) {
+  std::vector<geom::Point> hubs;
+  hubs.reserve(static_cast<size_t>(num_clusters));
+  for (int c = 0; c < num_clusters; ++c) {
+    hubs.push_back({rng->Uniform(0, size), rng->Uniform(0, size)});
+  }
+  std::vector<geom::Point> centers;
+  centers.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (rng->Bernoulli(noise_fraction)) {
+      centers.push_back({rng->Uniform(0, size), rng->Uniform(0, size)});
+      continue;
+    }
+    const geom::Point& hub = hubs[static_cast<size_t>(
+        rng->UniformInt(0, num_clusters - 1))];
+    centers.push_back(Clamp({rng->Gaussian(hub.x, cluster_sigma),
+                             rng->Gaussian(hub.y, cluster_sigma)},
+                            size));
+  }
+  return centers;
+}
+
+/// Random meandering polyline with the given segment count/length and
+/// heading volatility (radians per step).
+std::vector<geom::Point> RandomPolyline(double size, Rng* rng, int segments,
+                                        double step, double wiggle) {
+  std::vector<geom::Point> pts;
+  geom::Point p{rng->Uniform(0, size), rng->Uniform(0, size)};
+  double heading = rng->Uniform(0, 2 * M_PI);
+  pts.push_back(p);
+  for (int s = 0; s < segments; ++s) {
+    heading += rng->Gaussian(0.0, wiggle);
+    p = Clamp(p + geom::UnitVector(heading) * step, size);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+/// Points placed along polylines with lateral jitter.
+std::vector<geom::Point> LineFollowingCenters(size_t count, double size, Rng* rng,
+                                              int num_lines, int segments, double step,
+                                              double wiggle, double jitter) {
+  std::vector<std::vector<geom::Point>> lines;
+  lines.reserve(static_cast<size_t>(num_lines));
+  for (int l = 0; l < num_lines; ++l) {
+    lines.push_back(RandomPolyline(size, rng, segments, step, wiggle));
+  }
+  std::vector<geom::Point> centers;
+  centers.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const auto& line = lines[static_cast<size_t>(rng->UniformInt(0, num_lines - 1))];
+    const size_t seg = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(line.size()) - 2));
+    const double t = rng->Uniform(0, 1);
+    const geom::Point on_line = line[seg] + (line[seg + 1] - line[seg]) * t;
+    centers.push_back(Clamp({rng->Gaussian(on_line.x, jitter),
+                             rng->Gaussian(on_line.y, jitter)},
+                            size));
+  }
+  return centers;
+}
+
+}  // namespace
+
+const char* RealDatasetName(RealDataset d) {
+  switch (d) {
+    case RealDataset::kUtility:
+      return "utility";
+    case RealDataset::kRoads:
+      return "roads";
+    case RealDataset::kRrlines:
+      return "rrlines";
+  }
+  return "unknown";
+}
+
+size_t RealDatasetDefaultCount(RealDataset d) {
+  switch (d) {
+    case RealDataset::kUtility:
+      return 17000;
+    case RealDataset::kRoads:
+      return 30000;
+    case RealDataset::kRrlines:
+      return 36000;
+  }
+  return 0;
+}
+
+std::vector<uncertain::UncertainObject> GenerateRealLike(RealDataset which,
+                                                         DatasetOptions options) {
+  if (options.count == 0) options.count = RealDatasetDefaultCount(which);
+  Rng rng(options.seed ^ (static_cast<uint64_t>(which) + 1));
+  const double size = options.domain_size;
+  std::vector<geom::Point> centers;
+  switch (which) {
+    case RealDataset::kUtility:
+      centers = ClusteredCenters(options.count, size, &rng, /*num_clusters=*/60,
+                                 /*cluster_sigma=*/size / 80.0,
+                                 /*noise_fraction=*/0.05);
+      break;
+    case RealDataset::kRoads:
+      centers = LineFollowingCenters(options.count, size, &rng, /*num_lines=*/80,
+                                     /*segments=*/40, /*step=*/size / 40.0,
+                                     /*wiggle=*/0.5, /*jitter=*/size / 500.0);
+      break;
+    case RealDataset::kRrlines:
+      centers = LineFollowingCenters(options.count, size, &rng, /*num_lines=*/25,
+                                     /*segments=*/20, /*step=*/size / 12.0,
+                                     /*wiggle=*/0.15, /*jitter=*/size / 800.0);
+      break;
+  }
+  return ObjectsFromCenters(centers, options);
+}
+
+}  // namespace datagen
+}  // namespace uvd

@@ -1,0 +1,38 @@
+#include "datagen/workload.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace uvd {
+namespace datagen {
+
+std::vector<geom::Point> UniformQueryPoints(int count, const geom::Box& domain,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geom::Point> points;
+  points.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    points.push_back(
+        {rng.Uniform(domain.lo.x, domain.hi.x), rng.Uniform(domain.lo.y, domain.hi.y)});
+  }
+  return points;
+}
+
+std::vector<geom::Box> SquareQueryRegions(int count, const geom::Box& domain,
+                                          double side, uint64_t seed) {
+  UVD_CHECK_LE(side, std::min(domain.Width(), domain.Height()));
+  Rng rng(seed);
+  std::vector<geom::Box> regions;
+  regions.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double x = rng.Uniform(domain.lo.x, domain.hi.x - side);
+    const double y = rng.Uniform(domain.lo.y, domain.hi.y - side);
+    regions.push_back(geom::Box({x, y}, {x + side, y + side}));
+  }
+  return regions;
+}
+
+}  // namespace datagen
+}  // namespace uvd

@@ -1,0 +1,28 @@
+// Query workloads: the paper evaluates 50 PNN queries with uniformly
+// distributed query points (Sec. VI-A) and UV-partition queries over
+// square regions of size 100-500 (Fig. 7(h)).
+#ifndef UVD_DATAGEN_WORKLOAD_H_
+#define UVD_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/point.h"
+
+namespace uvd {
+namespace datagen {
+
+/// Uniform query points inside the domain.
+std::vector<geom::Point> UniformQueryPoints(int count, const geom::Box& domain,
+                                            uint64_t seed);
+
+/// Square query regions with the given side length, fully inside the
+/// domain.
+std::vector<geom::Box> SquareQueryRegions(int count, const geom::Box& domain,
+                                          double side, uint64_t seed);
+
+}  // namespace datagen
+}  // namespace uvd
+
+#endif  // UVD_DATAGEN_WORKLOAD_H_

@@ -1,0 +1,55 @@
+// Circles: the uncertainty regions of the paper (Cir(c_i, r_i)) and the
+// minimum bounding circles (MBC) stored in index leaf tuples.
+#ifndef UVD_GEOM_CIRCLE_H_
+#define UVD_GEOM_CIRCLE_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/box.h"
+#include "geom/point.h"
+
+namespace uvd {
+namespace geom {
+
+/// Closed disk with the given center and radius (radius may be 0, in which
+/// case the circle is a point and the UV-diagram degenerates to the
+/// classic Voronoi diagram; see paper Section I).
+struct Circle {
+  Point center;
+  double radius = 0.0;
+
+  Circle() = default;
+  Circle(Point c, double r) : center(c), radius(r) {}
+
+  double Area() const { return M_PI * radius * radius; }
+
+  bool Contains(const Point& p) const {
+    return DistanceSquared(center, p) <= radius * radius;
+  }
+
+  /// dist_min(O, p) of paper Eq. 2: 0 if p inside, else distance to boundary.
+  double DistMin(const Point& p) const {
+    return std::max(0.0, Distance(center, p) - radius);
+  }
+
+  /// dist_max(O, p) of paper Eq. 3.
+  double DistMax(const Point& p) const { return Distance(center, p) + radius; }
+
+  /// True iff the two closed disks share at least one point.
+  bool Intersects(const Circle& o) const {
+    const double rs = radius + o.radius;
+    return DistanceSquared(center, o.center) <= rs * rs;
+  }
+
+  /// Tight axis-aligned bounding box.
+  Box Mbr() const {
+    return Box({center.x - radius, center.y - radius},
+               {center.x + radius, center.y + radius});
+  }
+};
+
+}  // namespace geom
+}  // namespace uvd
+
+#endif  // UVD_GEOM_CIRCLE_H_

@@ -1,0 +1,47 @@
+#include "geom/circle_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace uvd {
+namespace geom {
+
+double LensArea(double d, double r1, double r2) {
+  UVD_DCHECK_GE(r1, 0.0);
+  UVD_DCHECK_GE(r2, 0.0);
+  UVD_DCHECK_GE(d, 0.0);
+  if (r1 == 0.0 || r2 == 0.0) return 0.0;
+  if (d >= r1 + r2) return 0.0;  // disjoint
+  const double rmin = std::min(r1, r2);
+  if (d <= std::abs(r1 - r2)) {
+    return M_PI * rmin * rmin;  // smaller disk fully contained
+  }
+  // Two circular segments. Clamp acos arguments against roundoff.
+  auto clamped_acos = [](double v) { return std::acos(std::clamp(v, -1.0, 1.0)); };
+  const double d2 = d * d;
+  const double alpha1 = clamped_acos((d2 + r1 * r1 - r2 * r2) / (2.0 * d * r1));
+  const double alpha2 = clamped_acos((d2 + r2 * r2 - r1 * r1) / (2.0 * d * r2));
+  const double tri = 0.5 * std::sqrt(std::max(
+                               0.0, (-d + r1 + r2) * (d + r1 - r2) * (d - r1 + r2) *
+                                        (d + r1 + r2)));
+  // Clamp: near tangency the two terms cancel and roundoff can go
+  // fractionally negative.
+  return std::max(0.0, r1 * r1 * alpha1 + r2 * r2 * alpha2 - tri);
+}
+
+double CircleIntersectionArea(const Circle& a, const Circle& b) {
+  return LensArea(Distance(a.center, b.center), a.radius, b.radius);
+}
+
+double AnnulusCircleIntersectionArea(const Point& q, double d, const Point& c,
+                                     double r_in, double r_out) {
+  UVD_DCHECK_GE(r_in, 0.0);
+  UVD_DCHECK_LE(r_in, r_out);
+  const double dist = Distance(q, c);
+  return LensArea(dist, d, r_out) - LensArea(dist, d, r_in);
+}
+
+}  // namespace geom
+}  // namespace uvd

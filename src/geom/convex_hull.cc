@@ -1,0 +1,63 @@
+#include "geom/convex_hull.h"
+
+#include <algorithm>
+
+namespace uvd {
+namespace geom {
+
+namespace {
+
+double CrossOrientation(const Point& o, const Point& a, const Point& b) {
+  return (a - o).Cross(b - o);
+}
+
+}  // namespace
+
+std::vector<Point> ConvexHull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const size_t n = points.size();
+  if (n <= 2) return points;
+
+  std::vector<Point> hull(2 * n);
+  size_t k = 0;
+  // Lower hull.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 && CrossOrientation(hull[k - 2], hull[k - 1], points[i]) <= 0) --k;
+    hull[k++] = points[i];
+  }
+  // Upper hull.
+  const size_t lower_size = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {
+    while (k >= lower_size && CrossOrientation(hull[k - 2], hull[k - 1], points[i]) <= 0)
+      --k;
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);  // last point equals the first
+  return hull;
+}
+
+bool ConvexContains(const std::vector<Point>& hull, const Point& p) {
+  const size_t n = hull.size();
+  if (n == 0) return false;
+  if (n == 1) return hull[0].x == p.x && hull[0].y == p.y;
+  if (n == 2) {
+    // Point-on-segment test with a small tolerance.
+    const Vec2 d = hull[1] - hull[0];
+    const double cross = d.Cross(p - hull[0]);
+    if (std::abs(cross) > 1e-9 * (1.0 + d.Norm())) return false;
+    const double t = d.Dot(p - hull[0]) / d.Norm2();
+    return t >= -1e-12 && t <= 1.0 + 1e-12;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = hull[i];
+    const Point& b = hull[(i + 1) % n];
+    if ((b - a).Cross(p - a) < -1e-9) return false;
+  }
+  return true;
+}
+
+}  // namespace geom
+}  // namespace uvd

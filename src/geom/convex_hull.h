@@ -1,0 +1,25 @@
+// Convex hull (Andrew monotone chain). C-pruning (paper Lemma 3) builds the
+// hull of the possible region's boundary vertices.
+#ifndef UVD_GEOM_CONVEX_HULL_H_
+#define UVD_GEOM_CONVEX_HULL_H_
+
+#include <vector>
+
+#include "geom/point.h"
+
+namespace uvd {
+namespace geom {
+
+/// Returns the convex hull of `points` in counter-clockwise order without
+/// repeating the first vertex. Collinear points on hull edges are dropped.
+/// Degenerate inputs (<= 2 distinct points) return the distinct points.
+std::vector<Point> ConvexHull(std::vector<Point> points);
+
+/// True iff p lies inside or on the boundary of the convex polygon `hull`
+/// (counter-clockwise vertex order, as produced by ConvexHull).
+bool ConvexContains(const std::vector<Point>& hull, const Point& p);
+
+}  // namespace geom
+}  // namespace uvd
+
+#endif  // UVD_GEOM_CONVEX_HULL_H_

@@ -1,0 +1,76 @@
+#include "geom/hyperbola.h"
+
+#include <cmath>
+
+namespace uvd {
+namespace geom {
+
+Result<Hyperbola> Hyperbola::FromObjects(const Circle& oi, const Circle& oj) {
+  const double dist = Distance(oi.center, oj.center);
+  const double s = oi.radius + oj.radius;
+  if (dist <= s) {
+    return Status::InvalidArgument(
+        "uncertainty regions overlap; outside region is empty (paper Sec. III-C)");
+  }
+  if (s == 0.0) {
+    return Status::InvalidArgument(
+        "both radii are zero; UV-edge degenerates to the perpendicular bisector");
+  }
+  Hyperbola h;
+  h.a_ = s / 2.0;
+  h.c_ = dist / 2.0;
+  h.b_ = std::sqrt(h.c_ * h.c_ - h.a_ * h.a_);
+  h.focal_center_ = {(oi.center.x + oj.center.x) / 2.0,
+                     (oi.center.y + oj.center.y) / 2.0};
+  h.theta_ = std::atan2(oj.center.y - oi.center.y, oj.center.x - oi.center.x);
+  h.focus_i_ = oi.center;
+  h.focus_j_ = oj.center;
+  return h;
+}
+
+Point Hyperbola::ToFocalFrame(const Point& p) const {
+  const double cos_t = std::cos(theta_);
+  const double sin_t = std::sin(theta_);
+  const double dx = p.x - focal_center_.x;
+  const double dy = p.y - focal_center_.y;
+  // Matches Eq. 5: x_theta along the focal axis, y_theta perpendicular.
+  return {dx * cos_t + dy * sin_t, -dx * sin_t + dy * cos_t};
+}
+
+double Hyperbola::ImplicitValue(const Point& p) const {
+  const Point f = ToFocalFrame(p);
+  return (f.x * f.x) / (a_ * a_) - (f.y * f.y) / (b_ * b_) - 1.0;
+}
+
+bool Hyperbola::InOutsideRegion(const Point& p) const {
+  const Point f = ToFocalFrame(p);
+  // Convex interior of the branch around c_j: positive focal-axis side and
+  // inside the conic.
+  return f.x > 0.0 && ImplicitValue(p) > 0.0;
+}
+
+Point Hyperbola::PointAt(double t) const {
+  const double x_theta = a_ * std::cosh(t);
+  const double y_theta = b_ * std::sinh(t);
+  const double cos_t = std::cos(theta_);
+  const double sin_t = std::sin(theta_);
+  return {focal_center_.x + x_theta * cos_t - y_theta * sin_t,
+          focal_center_.y + x_theta * sin_t + y_theta * cos_t};
+}
+
+std::vector<Point> Hyperbola::Sample(int num_points, double t_max) const {
+  std::vector<Point> pts;
+  if (num_points <= 1) {
+    pts.push_back(PointAt(0.0));
+    return pts;
+  }
+  pts.reserve(static_cast<size_t>(num_points));
+  for (int i = 0; i < num_points; ++i) {
+    const double t = -t_max + 2.0 * t_max * static_cast<double>(i) / (num_points - 1);
+    pts.push_back(PointAt(t));
+  }
+  return pts;
+}
+
+}  // namespace geom
+}  // namespace uvd

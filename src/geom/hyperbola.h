@@ -1,0 +1,74 @@
+// The UV-edge conic of paper Eq. 5: for uncertain objects O_i(c_i, r_i),
+// O_j(c_j, r_j), the locus dist(p, c_i) - dist(p, c_j) = r_i + r_j is one
+// branch of a hyperbola with foci c_i, c_j, rotated by the focal-axis angle.
+// This class carries the explicit rotated-conic coefficients for rendering
+// and for validating the radial-envelope machinery against the paper's
+// formulation; dominance tests themselves use plain distance comparisons.
+#ifndef UVD_GEOM_HYPERBOLA_H_
+#define UVD_GEOM_HYPERBOLA_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geom/circle.h"
+#include "geom/point.h"
+
+namespace uvd {
+namespace geom {
+
+/// Rotated hyperbola in the paper's normal form
+///   x_theta^2 / a^2 - y_theta^2 / b^2 = 1
+/// where (x_theta, y_theta) are coordinates in the frame centered at the
+/// focal midpoint (f_x, f_y) and rotated by theta (Eq. 5).
+class Hyperbola {
+ public:
+  /// Builds the UV-edge E_i(j). Fails with InvalidArgument when the
+  /// uncertainty regions overlap (dist(c_i, c_j) <= r_i + r_j; the paper
+  /// then treats the outside region X_i(j) as empty) and when both radii
+  /// are zero and the edge degenerates to the perpendicular bisector.
+  static Result<Hyperbola> FromObjects(const Circle& oi, const Circle& oj);
+
+  /// Semi-transverse axis a = (r_i + r_j) / 2.
+  double a() const { return a_; }
+  /// Semi-conjugate axis b = sqrt(c^2 - a^2).
+  double b() const { return b_; }
+  /// Linear eccentricity c = dist(c_i, c_j) / 2.
+  double c() const { return c_; }
+  /// Focal midpoint (f_x, f_y).
+  Point focal_center() const { return focal_center_; }
+  /// Rotation angle of the focal axis (anti-clockwise, radians).
+  double theta() const { return theta_; }
+  /// Focus belonging to O_i (the pruned object).
+  Point focus_i() const { return focus_i_; }
+  /// Focus belonging to O_j (the dominating object).
+  Point focus_j() const { return focus_j_; }
+
+  /// Left-hand side of Eq. 5 minus 1; zero on the conic.
+  double ImplicitValue(const Point& p) const;
+
+  /// Coordinates of p in the rotated focal frame (x along c_i -> c_j).
+  Point ToFocalFrame(const Point& p) const;
+
+  /// True iff p lies strictly inside the outside region X_i(j), i.e. the
+  /// convex interior of the branch around c_j where O_j always beats O_i.
+  bool InOutsideRegion(const Point& p) const;
+
+  /// Point on the UV-edge branch for the hyperbolic parameter t
+  /// (x_theta = a*cosh(t), y_theta = b*sinh(t), mapped back to world frame).
+  Point PointAt(double t) const;
+
+  /// Polyline sampling of the edge for t in [-t_max, t_max].
+  std::vector<Point> Sample(int num_points, double t_max) const;
+
+ private:
+  Hyperbola() = default;
+
+  double a_ = 0, b_ = 0, c_ = 0, theta_ = 0;
+  Point focal_center_;
+  Point focus_i_, focus_j_;
+};
+
+}  // namespace geom
+}  // namespace uvd
+
+#endif  // UVD_GEOM_HYPERBOLA_H_

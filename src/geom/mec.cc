@@ -1,0 +1,66 @@
+#include "geom/mec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace uvd {
+namespace geom {
+
+namespace {
+
+// Numeric slack for containment tests during the recursion.
+constexpr double kEps = 1e-9;
+
+bool InCircle(const Circle& c, const Point& p) {
+  return Distance(c.center, p) <= c.radius + kEps;
+}
+
+Circle FromTwo(const Point& a, const Point& b) {
+  const Point center = (a + b) * 0.5;
+  return Circle(center, Distance(a, b) * 0.5);
+}
+
+// Circumcircle of three non-collinear points; falls back to the best
+// two-point circle when (nearly) collinear.
+Circle FromThree(const Point& a, const Point& b, const Point& c) {
+  const double d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+  if (std::abs(d) < 1e-12) {
+    Circle best = FromTwo(a, b);
+    for (const Circle& cand : {FromTwo(a, c), FromTwo(b, c)}) {
+      if (cand.radius > best.radius) best = cand;
+    }
+    return best;
+  }
+  const double a2 = a.Norm2(), b2 = b.Norm2(), c2 = c.Norm2();
+  const Point center{(a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d,
+                     (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d};
+  return Circle(center, Distance(center, a));
+}
+
+}  // namespace
+
+Circle MinimalEnclosingCircle(std::vector<Point> points) {
+  if (points.empty()) return Circle({0, 0}, 0);
+  // Deterministic shuffle: expected O(n) moves of Welzl's algorithm.
+  std::mt19937_64 gen(0x5eed);
+  std::shuffle(points.begin(), points.end(), gen);
+
+  Circle circle(points[0], 0);
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (InCircle(circle, points[i])) continue;
+    circle = Circle(points[i], 0);
+    for (size_t j = 0; j < i; ++j) {
+      if (InCircle(circle, points[j])) continue;
+      circle = FromTwo(points[i], points[j]);
+      for (size_t k = 0; k < j; ++k) {
+        if (InCircle(circle, points[k])) continue;
+        circle = FromThree(points[i], points[j], points[k]);
+      }
+    }
+  }
+  return circle;
+}
+
+}  // namespace geom
+}  // namespace uvd

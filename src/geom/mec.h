@@ -1,0 +1,23 @@
+// Minimal enclosing circle (Welzl). Supports the paper's extension to
+// non-circular uncertainty regions (Sec. III-C): a region is converted to
+// the circle that minimally contains it before UV-cell construction.
+#ifndef UVD_GEOM_MEC_H_
+#define UVD_GEOM_MEC_H_
+
+#include <vector>
+
+#include "geom/circle.h"
+#include "geom/point.h"
+
+namespace uvd {
+namespace geom {
+
+/// Smallest circle enclosing all points. Runs Welzl's algorithm with a
+/// deterministic shuffle (seeded internally) for expected linear time.
+/// Empty input yields a zero circle at the origin.
+Circle MinimalEnclosingCircle(std::vector<Point> points);
+
+}  // namespace geom
+}  // namespace uvd
+
+#endif  // UVD_GEOM_MEC_H_

@@ -1,0 +1,83 @@
+// 2-D point/vector primitives.
+#ifndef UVD_GEOM_POINT_H_
+#define UVD_GEOM_POINT_H_
+
+#include <cmath>
+
+namespace uvd {
+namespace geom {
+
+/// Two-dimensional vector / point with double coordinates.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double px, double py) : x(px), y(py) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double k) const { return {x * k, y * k}; }
+  constexpr Vec2 operator/(double k) const { return {x / k, y / k}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+
+  Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec2& o) const { return x == o.x && y == o.y; }
+
+  /// Dot product.
+  constexpr double Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+
+  /// Z-component of the 3-D cross product (signed parallelogram area).
+  constexpr double Cross(const Vec2& o) const { return x * o.y - y * o.x; }
+
+  constexpr double Norm2() const { return x * x + y * y; }
+  double Norm() const { return std::sqrt(Norm2()); }
+
+  /// Unit vector in this direction; undefined for the zero vector.
+  Vec2 Normalized() const {
+    const double n = Norm();
+    return {x / n, y / n};
+  }
+
+  /// Counter-clockwise perpendicular.
+  constexpr Vec2 Perp() const { return {-y, x}; }
+
+  /// Polar angle in [-pi, pi].
+  double Angle() const { return std::atan2(y, x); }
+};
+
+using Point = Vec2;
+
+constexpr Vec2 operator*(double k, const Vec2& v) { return v * k; }
+
+inline double Distance(const Point& a, const Point& b) { return (a - b).Norm(); }
+inline double DistanceSquared(const Point& a, const Point& b) {
+  return (a - b).Norm2();
+}
+
+/// Unit direction vector for the polar angle theta.
+inline Vec2 UnitVector(double theta) { return {std::cos(theta), std::sin(theta)}; }
+
+/// Normalizes an angle into [0, 2*pi).
+inline double NormalizeAngle(double theta) {
+  const double two_pi = 2.0 * M_PI;
+  double t = std::fmod(theta, two_pi);
+  if (t < 0) t += two_pi;
+  if (t >= two_pi) t = 0.0;
+  return t;
+}
+
+}  // namespace geom
+}  // namespace uvd
+
+#endif  // UVD_GEOM_POINT_H_

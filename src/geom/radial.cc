@@ -1,0 +1,79 @@
+#include "geom/radial.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace uvd {
+namespace geom {
+
+std::optional<std::pair<double, double>> RadialConstraint::FiniteDomain() const {
+  const double wn = w.Norm();
+  if (wn * wn <= s * s || wn == 0.0) return std::nullopt;
+  const double phi = w.Angle();
+  const double alpha = std::acos(std::clamp(s / wn, -1.0, 1.0));
+  return std::make_pair(phi - alpha, phi + alpha);
+}
+
+RadialConstraint RadialConstraint::ForObjects(const Circle& anchor,
+                                              const Circle& other, int owner_id) {
+  RadialConstraint c;
+  c.w = other.center - anchor.center;
+  c.s = anchor.radius + other.radius;
+  c.owner = owner_id;
+  return c;
+}
+
+std::vector<RadialConstraint> RadialConstraint::ForDomainWalls(const Point& center,
+                                                               const Box& domain) {
+  UVD_DCHECK(domain.Contains(center)) << "anchor center must lie in the domain";
+  // A wall is the perpendicular bisector between the center and its mirror
+  // image across the wall: w = 2*d0*n_hat, s = 0. Clamp d0 away from zero so
+  // centers sitting exactly on a wall stay representable.
+  constexpr double kMinWallDist = 1e-9;
+  auto wall = [&](double d0, Vec2 n_hat, int owner) {
+    RadialConstraint c;
+    c.w = n_hat * (2.0 * std::max(d0, kMinWallDist));
+    c.s = 0.0;
+    c.owner = owner;
+    return c;
+  };
+  return {
+      wall(center.x - domain.lo.x, {-1.0, 0.0}, kWallLeft),
+      wall(domain.hi.x - center.x, {1.0, 0.0}, kWallRight),
+      wall(center.y - domain.lo.y, {0.0, -1.0}, kWallBottom),
+      wall(domain.hi.y - center.y, {0.0, 1.0}, kWallTop),
+  };
+}
+
+std::vector<double> CrossingAngles(const RadialConstraint& c1,
+                                   const RadialConstraint& c2) {
+  // rho_1(u) = rho_2(u)  with rho_k = K_k / (u.w_k - s_k) expands to
+  //   u . (K1*w2 - K2*w1) = K1*s2 - K2*s1,
+  // a linear trigonometric equation A*cos + B*sin = C.
+  const double k1 = c1.K();
+  const double k2 = c2.K();
+  const Vec2 coeff = c2.w * k1 - c1.w * k2;
+  const double a = coeff.x;
+  const double b = coeff.y;
+  const double c = k1 * c2.s - k2 * c1.s;
+  const double r = std::hypot(a, b);
+  std::vector<double> out;
+  if (r < 1e-15) {
+    // Identical (or anti-parallel degenerate) curves: no isolated crossings.
+    return out;
+  }
+  const double ratio = c / r;
+  if (ratio > 1.0 || ratio < -1.0) return out;  // curves never meet
+  const double phi0 = std::atan2(b, a);
+  const double delta = std::acos(std::clamp(ratio, -1.0, 1.0));
+  out.push_back(NormalizeAngle(phi0 + delta));
+  if (delta > 0.0 && delta < M_PI) {
+    out.push_back(NormalizeAngle(phi0 - delta));
+  }
+  return out;
+}
+
+}  // namespace geom
+}  // namespace uvd

@@ -1,0 +1,62 @@
+// Shared on-disk codec for leaf tuples <ID, MBC, ptr>. Both the R-tree and
+// the UV-index store exactly this layout in their leaf pages (paper
+// Sec. V-A), so they share one codec.
+#ifndef UVD_RTREE_LEAF_CODEC_H_
+#define UVD_RTREE_LEAF_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/circle.h"
+#include "storage/record.h"
+#include "uncertain/object_store.h"
+
+namespace uvd {
+namespace rtree {
+
+/// Leaf tuple <ID, MBC, ptr> (paper Sec. V-A).
+struct LeafEntry {
+  int32_t id = -1;
+  geom::Circle mbc;
+  uncertain::ObjectPtr ptr = 0;
+};
+
+/// Serialized size of one tuple: id(i32) cx(f64) cy(f64) r(f64) ptr(u64).
+constexpr size_t kLeafEntryBytes = 4 + 8 + 8 + 8 + 8;
+
+/// Serializes a page: u16 count then the tuples.
+inline void EncodeLeafEntries(const LeafEntry* entries, size_t count,
+                              std::vector<uint8_t>* buf) {
+  storage::Encoder enc(buf);
+  enc.PutU16(static_cast<uint16_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    const LeafEntry& e = entries[i];
+    enc.PutI32(e.id);
+    enc.PutDouble(e.mbc.center.x);
+    enc.PutDouble(e.mbc.center.y);
+    enc.PutDouble(e.mbc.radius);
+    enc.PutU64(e.ptr);
+  }
+}
+
+/// Appends the page's tuples to *out.
+inline void DecodeLeafEntries(const std::vector<uint8_t>& buf,
+                              std::vector<LeafEntry>* out) {
+  storage::Decoder dec(buf);
+  const uint16_t n = dec.GetU16();
+  out->reserve(out->size() + n);
+  for (uint16_t i = 0; i < n; ++i) {
+    LeafEntry e;
+    e.id = dec.GetI32();
+    e.mbc.center.x = dec.GetDouble();
+    e.mbc.center.y = dec.GetDouble();
+    e.mbc.radius = dec.GetDouble();
+    e.ptr = dec.GetU64();
+    out->push_back(e);
+  }
+}
+
+}  // namespace rtree
+}  // namespace uvd
+
+#endif  // UVD_RTREE_LEAF_CODEC_H_

@@ -1,0 +1,91 @@
+// Packed R*-tree over uncertain objects ([38] in the paper): leaf pages on
+// simulated disk (4 KB, fanout 100), non-leaf levels in memory — exactly
+// the comparator configuration of the paper's Sec. VI-A. Bulk loading uses
+// Sort-Tile-Recursive packing. Queries: best-first k-NN by dist_min (seed
+// selection), circular range (I-pruning), plus low-level access used by
+// the branch-and-prune PNN baseline (pnn_baseline.h).
+#ifndef UVD_RTREE_RTREE_H_
+#define UVD_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "geom/box.h"
+#include "geom/circle.h"
+#include "geom/point.h"
+#include "rtree/leaf_codec.h"
+#include "storage/page_manager.h"
+#include "uncertain/object_store.h"
+#include "uncertain/uncertain_object.h"
+
+namespace uvd {
+namespace rtree {
+
+/// Construction parameters.
+struct RTreeOptions {
+  int fanout = 100;  ///< Max children per node and entries per leaf page.
+};
+
+/// \brief Packed R-tree with disk-resident leaves.
+class RTree {
+ public:
+  /// In-memory non-leaf node. `children` index nodes() when
+  /// `leaf_children` is false and leaf_pages()/leaf_mbrs() otherwise.
+  struct Node {
+    geom::Box mbr;
+    bool leaf_children = false;
+    std::vector<uint32_t> children;
+  };
+
+  /// Bulk loads the tree (STR packing); `ptrs[i]` is the disk pointer of
+  /// `objects[i]` from ObjectStore::BulkLoad.
+  static Result<RTree> BulkLoad(const std::vector<uncertain::UncertainObject>& objects,
+                                const std::vector<uncertain::ObjectPtr>& ptrs,
+                                storage::PageManager* pm,
+                                const RTreeOptions& options = {},
+                                Stats* stats = nullptr);
+
+  /// The k objects with smallest dist_min(O, q), best-first. Used by seed
+  /// selection (paper Sec. IV-B, k = 300).
+  std::vector<LeafEntry> KNearestByDistMin(const geom::Point& q, int k) const;
+
+  /// Objects whose region centers lie within Cir(center, radius). Used by
+  /// I-pruning (paper Lemma 2: radius 2d - r_i).
+  std::vector<LeafEntry> CentersInRange(const geom::Point& center,
+                                        double radius) const;
+
+  /// Reads one leaf page back into entries; bills one R-tree leaf I/O.
+  Status ReadLeaf(storage::PageId page, std::vector<LeafEntry>* out) const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  uint32_t root() const { return root_; }
+  const std::vector<storage::PageId>& leaf_pages() const { return leaf_pages_; }
+  const std::vector<geom::Box>& leaf_mbrs() const { return leaf_mbrs_; }
+
+  size_t num_objects() const { return num_objects_; }
+  size_t num_leaf_pages() const { return leaf_pages_.size(); }
+  int height() const { return height_; }
+
+  /// Bytes held in main memory (non-leaf levels), for the paper's memory
+  /// comparison against the UV-index.
+  size_t MemoryBytes() const;
+
+ private:
+  RTree() = default;
+
+  storage::PageManager* pm_ = nullptr;
+  Stats* stats_ = nullptr;
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+  std::vector<storage::PageId> leaf_pages_;
+  std::vector<geom::Box> leaf_mbrs_;
+  size_t num_objects_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace rtree
+}  // namespace uvd
+
+#endif  // UVD_RTREE_RTREE_H_

@@ -1,0 +1,66 @@
+// Fault-injecting page manager for failure testing (in the spirit of
+// rocksdb's FaultInjectionTestFS): fail reads/writes on demand and verify
+// that errors propagate through every query and construction path instead
+// of silently corrupting answers.
+#ifndef UVD_STORAGE_FAULT_INJECTION_H_
+#define UVD_STORAGE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "storage/page_manager.h"
+
+namespace uvd {
+namespace storage {
+
+/// PageManager that starts failing I/O after a configurable countdown.
+class FaultInjectionPageManager : public PageManager {
+ public:
+  explicit FaultInjectionPageManager(size_t page_size = kDefaultPageSize,
+                                     Stats* stats = nullptr)
+      : PageManager(page_size, stats) {}
+
+  /// Every read after the next `countdown` successful ones fails.
+  void FailReadsAfter(uint64_t countdown) { reads_until_failure_ = countdown; }
+  /// Every write after the next `countdown` successful ones fails.
+  void FailWritesAfter(uint64_t countdown) { writes_until_failure_ = countdown; }
+  /// Stops injecting faults.
+  void Heal() {
+    reads_until_failure_ = kNever;
+    writes_until_failure_ = kNever;
+  }
+
+  uint64_t injected_read_faults() const { return injected_read_faults_; }
+  uint64_t injected_write_faults() const { return injected_write_faults_; }
+
+  Status Read(PageId id, std::vector<uint8_t>* out) const override {
+    if (reads_until_failure_ == 0) {
+      ++injected_read_faults_;
+      return Status::IOError("injected read fault");
+    }
+    if (reads_until_failure_ != kNever) --reads_until_failure_;
+    return PageManager::Read(id, out);
+  }
+
+  Status Write(PageId id, const std::vector<uint8_t>& data) override {
+    if (writes_until_failure_ == 0) {
+      ++injected_write_faults_;
+      return Status::IOError("injected write fault");
+    }
+    if (writes_until_failure_ != kNever) --writes_until_failure_;
+    return PageManager::Write(id, data);
+  }
+
+ private:
+  static constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
+
+  mutable uint64_t reads_until_failure_ = kNever;
+  mutable uint64_t writes_until_failure_ = kNever;
+  mutable uint64_t injected_read_faults_ = 0;
+  mutable uint64_t injected_write_faults_ = 0;
+};
+
+}  // namespace storage
+}  // namespace uvd
+
+#endif  // UVD_STORAGE_FAULT_INJECTION_H_

@@ -1,0 +1,61 @@
+#include "storage/page_manager.h"
+
+namespace uvd {
+namespace storage {
+
+PageId PageManager::Allocate() {
+  pages_.emplace_back(page_size_, 0);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status PageManager::Read(PageId id, std::vector<uint8_t>* out) const {
+  if (id >= pages_.size()) {
+    return Status::NotFound("page id out of range");
+  }
+  if (stats_ != nullptr) stats_->Add(Ticker::kPageReads);
+  *out = pages_[id];
+  return Status::OK();
+}
+
+Status PageManager::Write(PageId id, const std::vector<uint8_t>& data) {
+  if (id >= pages_.size()) {
+    return Status::NotFound("page id out of range");
+  }
+  if (data.size() > page_size_) {
+    return Status::InvalidArgument("record larger than page size");
+  }
+  if (stats_ != nullptr) stats_->Add(Ticker::kPageWrites);
+  std::vector<uint8_t>& page = pages_[id];
+  std::copy(data.begin(), data.end(), page.begin());
+  std::fill(page.begin() + static_cast<long>(data.size()), page.end(), 0);
+  return Status::OK();
+}
+
+Status BufferPool::Read(PageId id, std::vector<uint8_t>* out) {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    if (stats_ != nullptr) stats_->Add(Ticker::kBufferPoolHits);
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    *out = it->second->data;
+    return Status::OK();
+  }
+  if (stats_ != nullptr) stats_->Add(Ticker::kBufferPoolMisses);
+  UVD_RETURN_NOT_OK(pm_->Read(id, out));
+  lru_.push_front(Entry{id, *out});
+  map_[id] = lru_.begin();
+  if (map_.size() > capacity_) {
+    map_.erase(lru_.back().id);
+    lru_.pop_back();
+  }
+  return Status::OK();
+}
+
+void BufferPool::Invalidate(PageId id) {
+  auto it = map_.find(id);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+}  // namespace storage
+}  // namespace uvd

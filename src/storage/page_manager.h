@@ -1,0 +1,89 @@
+// Simulated disk: fixed-size pages with read/write I/O accounting. The
+// paper's evaluation (Sec. VI) stores index leaf levels and object pdfs on
+// disk and reports page I/O counts (Fig. 6(b)); this module is the unit of
+// that accounting. A small LRU buffer pool is provided for completeness
+// (benchmarks run with it disabled, matching the paper's cold reads).
+#ifndef UVD_STORAGE_PAGE_MANAGER_H_
+#define UVD_STORAGE_PAGE_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace uvd {
+namespace storage {
+
+using PageId = uint32_t;
+constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Default page size used throughout the paper's setup (4 KB pages).
+constexpr size_t kDefaultPageSize = 4096;
+
+/// \brief Page-granular storage with I/O tickers.
+///
+/// Pages live in memory but every Read/Write increments
+/// Ticker::kPageReads / kPageWrites, which benchmarks report as I/O counts.
+class PageManager {
+ public:
+  explicit PageManager(size_t page_size = kDefaultPageSize, Stats* stats = nullptr)
+      : page_size_(page_size), stats_(stats) {}
+  virtual ~PageManager() = default;
+
+  size_t page_size() const { return page_size_; }
+  size_t num_pages() const { return pages_.size(); }
+  uint64_t bytes_on_disk() const { return pages_.size() * page_size_; }
+
+  /// Allocates a zero-filled page and returns its id.
+  PageId Allocate();
+
+  /// Copies the page contents into *out (resized to page_size()).
+  /// Virtual so tests can inject I/O faults (FaultInjectionPageManager).
+  virtual Status Read(PageId id, std::vector<uint8_t>* out) const;
+
+  /// Writes data (at most page_size() bytes; shorter data is zero-padded).
+  virtual Status Write(PageId id, const std::vector<uint8_t>& data);
+
+ private:
+  size_t page_size_;
+  Stats* stats_;
+  std::vector<std::vector<uint8_t>> pages_;
+};
+
+/// \brief LRU page cache in front of a PageManager.
+///
+/// Reads served from the pool increment kBufferPoolHits and perform no disk
+/// I/O; misses increment kBufferPoolMisses and read through.
+class BufferPool {
+ public:
+  BufferPool(PageManager* pm, size_t capacity_pages, Stats* stats = nullptr)
+      : pm_(pm), capacity_(capacity_pages), stats_(stats) {}
+
+  Status Read(PageId id, std::vector<uint8_t>* out);
+
+  /// Drops a page from the pool (call after writing through PageManager).
+  void Invalidate(PageId id);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return map_.size(); }
+
+ private:
+  struct Entry {
+    PageId id;
+    std::vector<uint8_t> data;
+  };
+
+  PageManager* pm_;
+  size_t capacity_;
+  Stats* stats_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<PageId, std::list<Entry>::iterator> map_;
+};
+
+}  // namespace storage
+}  // namespace uvd
+
+#endif  // UVD_STORAGE_PAGE_MANAGER_H_

@@ -1,0 +1,77 @@
+// Fixed-layout little-endian record encoding for simulated disk pages
+// (index leaf tuples, R-tree leaf entries).
+#ifndef UVD_STORAGE_RECORD_H_
+#define UVD_STORAGE_RECORD_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace uvd {
+namespace storage {
+
+/// Appends primitive values to a byte buffer (little-endian).
+class Encoder {
+ public:
+  explicit Encoder(std::vector<uint8_t>* buf) : buf_(buf) {}
+
+  void PutU16(uint16_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI32(int32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+
+  size_t size() const { return buf_->size(); }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    const auto* bytes = static_cast<const uint8_t*>(p);
+    buf_->insert(buf_->end(), bytes, bytes + n);
+  }
+
+  std::vector<uint8_t>* buf_;
+};
+
+/// Reads primitive values back from a byte buffer. Out-of-bounds reads are
+/// programming errors and fail a UVD_CHECK.
+class Decoder {
+ public:
+  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Decoder(const std::vector<uint8_t>& buf)
+      : Decoder(buf.data(), buf.size()) {}
+
+  uint16_t GetU16() { return GetRaw<uint16_t>(); }
+  uint32_t GetU32() { return GetRaw<uint32_t>(); }
+  uint64_t GetU64() { return GetRaw<uint64_t>(); }
+  int32_t GetI32() { return GetRaw<int32_t>(); }
+  double GetDouble() { return GetRaw<double>(); }
+
+  void Skip(size_t n) {
+    UVD_CHECK_LE(pos_ + n, size_) << "decoder overrun";
+    pos_ += n;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  template <typename T>
+  T GetRaw() {
+    UVD_CHECK_LE(pos_ + sizeof(T), size_) << "decoder overrun";
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace storage
+}  // namespace uvd
+
+#endif  // UVD_STORAGE_RECORD_H_

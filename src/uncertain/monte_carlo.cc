@@ -1,0 +1,43 @@
+#include "uncertain/monte_carlo.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace uvd {
+namespace uncertain {
+
+geom::Point SamplePosition(const UncertainObject& obj, Rng* rng) {
+  return obj.center() + obj.pdf().SampleOffset(rng);
+}
+
+std::vector<PnnAnswer> MonteCarloQualification(
+    const std::vector<const UncertainObject*>& objects, const geom::Point& q,
+    int trials, Rng* rng) {
+  std::vector<int64_t> wins(objects.size(), 0);
+  for (int t = 0; t < trials; ++t) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t winner = 0;
+    for (size_t i = 0; i < objects.size(); ++i) {
+      const double d = geom::Distance(SamplePosition(*objects[i], rng), q);
+      if (d < best) {
+        best = d;
+        winner = i;
+      }
+    }
+    ++wins[winner];
+  }
+  std::vector<PnnAnswer> answers;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    if (wins[i] > 0) {
+      answers.push_back(
+          {objects[i]->id(), static_cast<double>(wins[i]) / trials});
+    }
+  }
+  std::sort(answers.begin(), answers.end(), [](const PnnAnswer& a, const PnnAnswer& b) {
+    return a.probability > b.probability || (a.probability == b.probability && a.id < b.id);
+  });
+  return answers;
+}
+
+}  // namespace uncertain
+}  // namespace uvd

@@ -1,0 +1,30 @@
+// Sampling-based PNN evaluation (cf. [25] in the paper), used as an
+// independent oracle to validate the numerical-integration probabilities.
+#ifndef UVD_UNCERTAIN_MONTE_CARLO_H_
+#define UVD_UNCERTAIN_MONTE_CARLO_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "geom/point.h"
+#include "uncertain/qualification.h"
+#include "uncertain/uncertain_object.h"
+
+namespace uvd {
+namespace uncertain {
+
+/// Draws a position for the object from its pdf.
+geom::Point SamplePosition(const UncertainObject& obj, Rng* rng);
+
+/// Estimates qualification probabilities by joint sampling: in each trial
+/// every object takes a pdf-distributed position and the nearest one scores.
+/// Returns answers for objects with at least one win, sorted by descending
+/// probability.
+std::vector<PnnAnswer> MonteCarloQualification(
+    const std::vector<const UncertainObject*>& objects, const geom::Point& q,
+    int trials, Rng* rng);
+
+}  // namespace uncertain
+}  // namespace uvd
+
+#endif  // UVD_UNCERTAIN_MONTE_CARLO_H_

@@ -1,0 +1,100 @@
+#include "uncertain/pdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace uvd {
+namespace uncertain {
+
+RadialHistogramPdf::RadialHistogramPdf(PdfKind kind, double radius,
+                                       std::vector<double> bars)
+    : kind_(kind), radius_(radius), bars_(std::move(bars)) {
+  UVD_CHECK_GE(radius_, 0.0);
+  UVD_CHECK(!bars_.empty());
+}
+
+RadialHistogramPdf RadialHistogramPdf::Gaussian(double radius, int num_bars) {
+  UVD_CHECK_GT(num_bars, 0);
+  std::vector<double> bars(static_cast<size_t>(num_bars), 0.0);
+  if (radius <= 0.0) {
+    bars[0] = 1.0;  // point object: all mass at the center
+    return RadialHistogramPdf(PdfKind::kGaussian, std::max(radius, 0.0),
+                              std::move(bars));
+  }
+  const double sigma = (2.0 * radius) / 6.0;  // diameter / 6
+  auto rayleigh_cdf = [&](double r) {
+    return 1.0 - std::exp(-(r * r) / (2.0 * sigma * sigma));
+  };
+  const double total = rayleigh_cdf(radius);
+  for (int b = 0; b < num_bars; ++b) {
+    const double r_in = radius * b / num_bars;
+    const double r_out = radius * (b + 1) / num_bars;
+    bars[static_cast<size_t>(b)] = (rayleigh_cdf(r_out) - rayleigh_cdf(r_in)) / total;
+  }
+  return RadialHistogramPdf(PdfKind::kGaussian, radius, std::move(bars));
+}
+
+RadialHistogramPdf RadialHistogramPdf::Uniform(double radius, int num_bars) {
+  UVD_CHECK_GT(num_bars, 0);
+  std::vector<double> bars(static_cast<size_t>(num_bars), 0.0);
+  if (radius <= 0.0) {
+    bars[0] = 1.0;
+    return RadialHistogramPdf(PdfKind::kUniform, std::max(radius, 0.0),
+                              std::move(bars));
+  }
+  for (int b = 0; b < num_bars; ++b) {
+    const double r_in = radius * b / num_bars;
+    const double r_out = radius * (b + 1) / num_bars;
+    bars[static_cast<size_t>(b)] = (r_out * r_out - r_in * r_in) / (radius * radius);
+  }
+  return RadialHistogramPdf(PdfKind::kUniform, radius, std::move(bars));
+}
+
+double RadialHistogramPdf::RadialCdf(double r) const {
+  if (radius_ <= 0.0) return r >= 0.0 ? 1.0 : 0.0;
+  if (r <= 0.0) return 0.0;
+  if (r >= radius_) return 1.0;
+  double acc = 0.0;
+  for (int b = 0; b < num_bars(); ++b) {
+    const double r_in = RingInner(b);
+    const double r_out = RingOuter(b);
+    if (r >= r_out) {
+      acc += bars_[static_cast<size_t>(b)];
+      continue;
+    }
+    if (r > r_in) {
+      // Uniform over the annulus: fraction of ring area within radius r.
+      const double frac = (r * r - r_in * r_in) / (r_out * r_out - r_in * r_in);
+      acc += bars_[static_cast<size_t>(b)] * frac;
+    }
+    break;
+  }
+  return acc;
+}
+
+geom::Vec2 RadialHistogramPdf::SampleOffset(Rng* rng) const {
+  if (radius_ <= 0.0) return {0.0, 0.0};
+  // Pick a ring by mass.
+  const double u = rng->Uniform(0.0, 1.0);
+  double acc = 0.0;
+  int ring = num_bars() - 1;
+  for (int b = 0; b < num_bars(); ++b) {
+    acc += bars_[static_cast<size_t>(b)];
+    if (u <= acc) {
+      ring = b;
+      break;
+    }
+  }
+  // Uniform position within the annulus: area-weighted radius.
+  const double r_in = RingInner(ring);
+  const double r_out = RingOuter(ring);
+  const double v = rng->Uniform(0.0, 1.0);
+  const double r = std::sqrt(r_in * r_in + v * (r_out * r_out - r_in * r_in));
+  const double theta = rng->Uniform(0.0, 2.0 * M_PI);
+  return {r * std::cos(theta), r * std::sin(theta)};
+}
+
+}  // namespace uncertain
+}  // namespace uvd

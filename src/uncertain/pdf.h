@@ -1,0 +1,67 @@
+// Uncertainty pdfs. The paper's setup (Sec. VI-A) uses circular uncertainty
+// regions with a Gaussian pdf whose mean is the circle center and whose
+// standard deviation is one sixth of the region's diameter, represented as
+// 20 histogram bars. We model this as a radial histogram: bar b holds the
+// probability mass of the annulus [b*R/B, (b+1)*R/B), uniformly spread over
+// the annulus area. Uniform pdfs are supported the same way.
+#ifndef UVD_UNCERTAIN_PDF_H_
+#define UVD_UNCERTAIN_PDF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "geom/point.h"
+
+namespace uvd {
+namespace uncertain {
+
+/// How the histogram bars were derived (kept for serialization).
+enum class PdfKind : uint16_t {
+  kGaussian = 0,
+  kUniform = 1,
+};
+
+/// Number of histogram bars used throughout the paper's experiments.
+constexpr int kDefaultNumBars = 20;
+
+/// \brief Radial histogram pdf bounded in a circle of radius R.
+class RadialHistogramPdf {
+ public:
+  /// Truncated isotropic Gaussian with sigma = diameter/6 (paper Sec. VI-A).
+  /// Bar masses follow the Rayleigh radial CDF 1 - exp(-r^2 / (2 sigma^2)),
+  /// renormalized to the circle.
+  static RadialHistogramPdf Gaussian(double radius, int num_bars = kDefaultNumBars);
+
+  /// Uniform distribution over the disk.
+  static RadialHistogramPdf Uniform(double radius, int num_bars = kDefaultNumBars);
+
+  /// Builds from explicit bar masses (must sum to ~1); used by storage.
+  RadialHistogramPdf(PdfKind kind, double radius, std::vector<double> bars);
+
+  PdfKind kind() const { return kind_; }
+  double radius() const { return radius_; }
+  int num_bars() const { return static_cast<int>(bars_.size()); }
+  const std::vector<double>& bars() const { return bars_; }
+
+  /// Inner and outer radius of bar b.
+  double RingInner(int b) const { return radius_ * b / num_bars(); }
+  double RingOuter(int b) const { return radius_ * (b + 1) / num_bars(); }
+
+  /// CDF of the radial offset |X - center|, piecewise smooth per ring
+  /// (mass spreads uniformly over each annulus area).
+  double RadialCdf(double r) const;
+
+  /// Samples a position offset from the region center.
+  geom::Vec2 SampleOffset(Rng* rng) const;
+
+ private:
+  PdfKind kind_;
+  double radius_;
+  std::vector<double> bars_;  // masses, sum to 1 (up to roundoff)
+};
+
+}  // namespace uncertain
+}  // namespace uvd
+
+#endif  // UVD_UNCERTAIN_PDF_H_

@@ -1,0 +1,91 @@
+#include "uncertain/qualification.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "uncertain/distance_dist.h"
+
+namespace uvd {
+namespace uncertain {
+
+std::vector<const UncertainObject*> FilterByDMinMax(
+    const std::vector<const UncertainObject*>& candidates, const geom::Point& q) {
+  double d_minmax = std::numeric_limits<double>::infinity();
+  for (const UncertainObject* o : candidates) {
+    d_minmax = std::min(d_minmax, o->DistMax(q));
+  }
+  std::vector<const UncertainObject*> out;
+  out.reserve(candidates.size());
+  for (const UncertainObject* o : candidates) {
+    if (o->DistMin(q) <= d_minmax) out.push_back(o);
+  }
+  return out;
+}
+
+std::vector<PnnAnswer> ComputeQualificationProbabilities(
+    const std::vector<const UncertainObject*>& candidates, const geom::Point& q,
+    const QualificationOptions& options, Stats* stats) {
+  std::vector<PnnAnswer> answers;
+  const std::vector<const UncertainObject*> objs = FilterByDMinMax(candidates, q);
+  if (objs.empty()) return answers;
+  if (stats != nullptr) stats->Add(Ticker::kQualificationIntegrations);
+  if (objs.size() == 1) {
+    answers.push_back({objs[0]->id(), 1.0});
+    return answers;
+  }
+
+  // Integration domain: from the smallest possible NN distance to d_minmax
+  // (beyond which some candidate is certainly closer).
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  for (const UncertainObject* o : objs) {
+    lo = std::min(lo, o->DistMin(q));
+    hi = std::min(hi, o->DistMax(q));
+  }
+  const int m = std::max(2, options.integration_steps);
+  UVD_DCHECK_LE(lo, hi);
+
+  // Distance CDFs on a shared grid.
+  const size_t c = objs.size();
+  std::vector<DistanceDistribution> dists;
+  dists.reserve(c);
+  for (const UncertainObject* o : objs) dists.emplace_back(*o, q);
+
+  std::vector<std::vector<double>> cdf(c, std::vector<double>(m + 1));
+  for (size_t i = 0; i < c; ++i) {
+    for (int k = 0; k <= m; ++k) {
+      const double r = lo + (hi - lo) * static_cast<double>(k) / m;
+      cdf[i][static_cast<size_t>(k)] = dists[i].Cdf(r);
+    }
+  }
+
+  // P_i = sum over grid cells of dF_i * prod_{j != i} (1 - F_j(midpoint)).
+  answers.reserve(c);
+  for (size_t i = 0; i < c; ++i) {
+    double p = 0.0;
+    for (int k = 0; k < m; ++k) {
+      const double df = cdf[i][static_cast<size_t>(k) + 1] - cdf[i][static_cast<size_t>(k)];
+      if (df <= 0.0) continue;
+      double survive = 1.0;
+      for (size_t j = 0; j < c; ++j) {
+        if (j == i) continue;
+        const double fj = 0.5 * (cdf[j][static_cast<size_t>(k)] +
+                                 cdf[j][static_cast<size_t>(k) + 1]);
+        survive *= (1.0 - fj);
+        if (survive == 0.0) break;
+      }
+      p += df * survive;
+    }
+    if (p > 0.0) answers.push_back({objs[i]->id(), p});
+  }
+
+  std::sort(answers.begin(), answers.end(), [](const PnnAnswer& a, const PnnAnswer& b) {
+    return a.probability > b.probability || (a.probability == b.probability && a.id < b.id);
+  });
+  return answers;
+}
+
+}  // namespace uncertain
+}  // namespace uvd

@@ -1,0 +1,128 @@
+#include "uncertain/threshold.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "uncertain/distance_dist.h"
+
+namespace uvd {
+namespace uncertain {
+
+std::vector<ThresholdAnswer> QualificationBounds(
+    const std::vector<const UncertainObject*>& candidates, const geom::Point& q,
+    int verifier_steps) {
+  std::vector<ThresholdAnswer> out;
+  const auto objs = FilterByDMinMax(candidates, q);
+  if (objs.empty()) return out;
+  if (objs.size() == 1) {
+    out.push_back({objs[0]->id(), 1.0, 1.0, false, 1.0});
+    return out;
+  }
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  for (const UncertainObject* o : objs) {
+    lo = std::min(lo, o->DistMin(q));
+    hi = std::min(hi, o->DistMax(q));
+  }
+  const int m = std::max(2, verifier_steps);
+  const size_t c = objs.size();
+
+  std::vector<DistanceDistribution> dists;
+  dists.reserve(c);
+  for (const UncertainObject* o : objs) dists.emplace_back(*o, q);
+  std::vector<std::vector<double>> cdf(c, std::vector<double>(m + 1));
+  for (size_t i = 0; i < c; ++i) {
+    for (int k = 0; k <= m; ++k) {
+      const double r = lo + (hi - lo) * static_cast<double>(k) / m;
+      cdf[i][static_cast<size_t>(k)] = dists[i].Cdf(r);
+    }
+  }
+
+  // P_i = sum_k Integral_{cell k} prod_{j != i} (1 - F_j(r)) dF_i(r).
+  // All F_j are non-decreasing, so over cell k the survival product is
+  // bracketed by its values at the two grid points: evaluating it at the
+  // right (left) end under-(over-)estimates every cell contribution.
+  out.reserve(c);
+  for (size_t i = 0; i < c; ++i) {
+    double lower = 0.0, upper = 0.0;
+    for (int k = 0; k < m; ++k) {
+      const double df =
+          cdf[i][static_cast<size_t>(k) + 1] - cdf[i][static_cast<size_t>(k)];
+      if (df <= 0.0) continue;
+      double s_left = 1.0, s_right = 1.0;
+      for (size_t j = 0; j < c; ++j) {
+        if (j == i) continue;
+        s_left *= (1.0 - cdf[j][static_cast<size_t>(k)]);
+        s_right *= (1.0 - cdf[j][static_cast<size_t>(k) + 1]);
+      }
+      lower += df * s_right;
+      upper += df * s_left;
+    }
+    ThresholdAnswer a;
+    a.id = objs[i]->id();
+    a.lower = std::clamp(lower, 0.0, 1.0);
+    a.upper = std::clamp(upper, 0.0, 1.0);
+    a.probability = 0.5 * (a.lower + a.upper);
+    out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<ThresholdAnswer> ThresholdQualification(
+    const std::vector<const UncertainObject*>& candidates, const geom::Point& q,
+    const ThresholdOptions& options, ThresholdStats* tstats, Stats* stats) {
+  ThresholdStats local;
+  auto bounds = QualificationBounds(candidates, q, options.verifier_steps);
+  local.candidates = bounds.size();
+
+  // Undecided candidates pay one joint full integration.
+  std::vector<ThresholdAnswer> result;
+  bool needs_refine = false;
+  for (const ThresholdAnswer& a : bounds) {
+    if (a.lower >= options.threshold) {
+      ++local.accepted_by_bounds;
+    } else if (a.upper < options.threshold) {
+      ++local.rejected_by_bounds;
+    } else {
+      needs_refine = true;
+    }
+  }
+
+  std::vector<PnnAnswer> exact;
+  if (needs_refine) {
+    exact = ComputeQualificationProbabilities(candidates, q, options.refine, stats);
+  }
+  auto exact_of = [&](int id) -> const PnnAnswer* {
+    for (const PnnAnswer& e : exact) {
+      if (e.id == id) return &e;
+    }
+    return nullptr;
+  };
+
+  for (ThresholdAnswer a : bounds) {
+    if (a.lower >= options.threshold) {
+      result.push_back(a);
+      continue;
+    }
+    if (a.upper < options.threshold) continue;  // certified below threshold
+    ++local.refined;
+    a.refined = true;
+    const PnnAnswer* e = exact_of(a.id);
+    a.probability = e != nullptr ? e->probability : 0.0;
+    if (a.probability >= options.threshold) result.push_back(a);
+  }
+
+  std::sort(result.begin(), result.end(),
+            [](const ThresholdAnswer& x, const ThresholdAnswer& y) {
+              return x.probability > y.probability ||
+                     (x.probability == y.probability && x.id < y.id);
+            });
+  if (tstats != nullptr) *tstats = local;
+  return result;
+}
+
+}  // namespace uncertain
+}  // namespace uvd

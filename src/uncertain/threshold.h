@@ -1,0 +1,59 @@
+// Probabilistic threshold PNN with verifier-style probability bounds
+// (paper Sec. II cites probabilistic verifiers [15] as the way to avoid
+// expensive integration). A coarse grid yields certified lower/upper
+// bounds on each candidate's qualification probability; only candidates
+// whose bounds straddle the threshold pay for full numerical integration.
+#ifndef UVD_UNCERTAIN_THRESHOLD_H_
+#define UVD_UNCERTAIN_THRESHOLD_H_
+
+#include <vector>
+
+#include "common/stats.h"
+#include "geom/point.h"
+#include "uncertain/qualification.h"
+
+namespace uvd {
+namespace uncertain {
+
+/// Options for the threshold query.
+struct ThresholdOptions {
+  double threshold = 0.1;   ///< Report objects with P >= threshold.
+  int verifier_steps = 16;  ///< Coarse grid for the bound computation.
+  QualificationOptions refine;  ///< Used when bounds are inconclusive.
+};
+
+/// One threshold answer with its certified bounds.
+struct ThresholdAnswer {
+  int id = -1;
+  double lower = 0.0;   ///< Certified lower bound on P.
+  double upper = 0.0;   ///< Certified upper bound on P.
+  bool refined = false; ///< True if full integration was needed.
+  double probability = 0.0;  ///< Exact value when refined, else midpoint.
+};
+
+/// Diagnostics: how much integration the verifier avoided.
+struct ThresholdStats {
+  size_t candidates = 0;
+  size_t accepted_by_bounds = 0;
+  size_t rejected_by_bounds = 0;
+  size_t refined = 0;
+};
+
+/// Certified probability bounds for every candidate (no pruning applied
+/// beyond the d_minmax filter). For each object, lower <= P <= upper.
+std::vector<ThresholdAnswer> QualificationBounds(
+    const std::vector<const UncertainObject*>& candidates, const geom::Point& q,
+    int verifier_steps = 16);
+
+/// Threshold query: objects whose qualification probability is at least
+/// options.threshold, decided by bounds where possible and by full
+/// integration otherwise. Sorted by descending probability estimate.
+std::vector<ThresholdAnswer> ThresholdQualification(
+    const std::vector<const UncertainObject*>& candidates, const geom::Point& q,
+    const ThresholdOptions& options = {}, ThresholdStats* tstats = nullptr,
+    Stats* stats = nullptr);
+
+}  // namespace uncertain
+}  // namespace uvd
+
+#endif  // UVD_UNCERTAIN_THRESHOLD_H_

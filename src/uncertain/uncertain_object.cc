@@ -1,0 +1,16 @@
+#include "uncertain/uncertain_object.h"
+
+namespace uvd {
+namespace uncertain {
+
+UncertainObject UncertainObject::FromPolygonRegion(
+    int id, const std::vector<geom::Point>& polygon, PdfKind kind, int num_bars) {
+  const geom::Circle mbc = geom::MinimalEnclosingCircle(polygon);
+  RadialHistogramPdf pdf = (kind == PdfKind::kGaussian)
+                               ? RadialHistogramPdf::Gaussian(mbc.radius, num_bars)
+                               : RadialHistogramPdf::Uniform(mbc.radius, num_bars);
+  return UncertainObject(id, mbc, std::move(pdf));
+}
+
+}  // namespace uncertain
+}  // namespace uvd

@@ -1,0 +1,63 @@
+// The attribute-uncertainty object model: a closed circular uncertainty
+// region plus a pdf bounded inside it (paper Sec. I / III). Non-circular
+// regions are supported by conversion to the minimal bounding circle
+// (Sec. III-C "Non-circular uncertainty regions").
+#ifndef UVD_UNCERTAIN_UNCERTAIN_OBJECT_H_
+#define UVD_UNCERTAIN_UNCERTAIN_OBJECT_H_
+
+#include <vector>
+
+#include "geom/circle.h"
+#include "geom/mec.h"
+#include "geom/point.h"
+#include "uncertain/pdf.h"
+
+namespace uvd {
+namespace uncertain {
+
+/// One uncertain object O_i = (c_i, r_i, pdf).
+class UncertainObject {
+ public:
+  UncertainObject(int id, geom::Circle region, RadialHistogramPdf pdf)
+      : id_(id), region_(region), pdf_(std::move(pdf)) {}
+
+  /// Convenience constructor with the paper's default Gaussian pdf.
+  static UncertainObject WithGaussianPdf(int id, geom::Circle region,
+                                         int num_bars = kDefaultNumBars) {
+    return UncertainObject(id, region,
+                           RadialHistogramPdf::Gaussian(region.radius, num_bars));
+  }
+
+  /// Converts a non-circular (polygonal) uncertainty region into the circle
+  /// that minimally contains it, as prescribed by Sec. III-C. The resulting
+  /// UV-cell is a superset of the exact one, so query answers remain a
+  /// superset (no false negatives).
+  static UncertainObject FromPolygonRegion(int id,
+                                           const std::vector<geom::Point>& polygon,
+                                           PdfKind kind = PdfKind::kGaussian,
+                                           int num_bars = kDefaultNumBars);
+
+  int id() const { return id_; }
+  const geom::Circle& region() const { return region_; }
+  const geom::Point& center() const { return region_.center; }
+  double radius() const { return region_.radius; }
+  const RadialHistogramPdf& pdf() const { return pdf_; }
+
+  /// Minimum bounding circle stored in index leaf tuples (identical to the
+  /// region for circular objects).
+  const geom::Circle& Mbc() const { return region_; }
+
+  /// dist_min(O_i, q) and dist_max(O_i, q) of paper Eq. 2-3.
+  double DistMin(const geom::Point& q) const { return region_.DistMin(q); }
+  double DistMax(const geom::Point& q) const { return region_.DistMax(q); }
+
+ private:
+  int id_;
+  geom::Circle region_;
+  RadialHistogramPdf pdf_;
+};
+
+}  // namespace uncertain
+}  // namespace uvd
+
+#endif  // UVD_UNCERTAIN_UNCERTAIN_OBJECT_H_

@@ -1,0 +1,121 @@
+// Tests for the Basic / ICR / IC construction methods: all three must
+// produce indexes that answer identically; stats decompositions populated.
+#include "core/builder.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "common/random.h"
+#include "core/pnn.h"
+#include "datagen/generators.h"
+
+namespace uvd {
+namespace core {
+namespace {
+
+struct Built {
+  Stats stats;
+  std::unique_ptr<storage::PageManager> pm;
+  std::unique_ptr<uncertain::ObjectStore> store;
+  std::vector<uncertain::UncertainObject> objects;
+  std::vector<uncertain::ObjectPtr> ptrs;
+  std::optional<rtree::RTree> tree;
+  std::optional<UVIndex> index;
+  BuildStats build_stats;
+};
+
+Built BuildWith(BuildMethod method, size_t n, uint64_t seed) {
+  Built b;
+  b.pm = std::make_unique<storage::PageManager>(4096, &b.stats);
+  b.store = std::make_unique<uncertain::ObjectStore>(b.pm.get());
+  datagen::DatasetOptions opts;
+  opts.count = n;
+  opts.seed = seed;
+  b.objects = datagen::GenerateUniform(opts);
+  const geom::Box domain = datagen::DomainFor(opts);
+  UVD_CHECK_OK(b.store->BulkLoad(b.objects, &b.ptrs));
+  b.tree.emplace(
+      rtree::RTree::BulkLoad(b.objects, b.ptrs, b.pm.get(), {100}, &b.stats)
+          .ValueOrDie());
+  b.index.emplace(domain, b.pm.get(), UVIndexOptions{}, &b.stats);
+  UVD_CHECK_OK(BuildUvIndex(b.objects, b.ptrs, *b.tree, domain, method, {}, &*b.index,
+                            &b.build_stats, &b.stats));
+  return b;
+}
+
+TEST(BuilderTest, MethodNames) {
+  EXPECT_STREQ(BuildMethodName(BuildMethod::kBasic), "Basic");
+  EXPECT_STREQ(BuildMethodName(BuildMethod::kICR), "ICR");
+  EXPECT_STREQ(BuildMethodName(BuildMethod::kIC), "IC");
+}
+
+TEST(BuilderTest, AllMethodsAnswerIdentically) {
+  const size_t n = 300;
+  const uint64_t seed = 7;
+  Built basic = BuildWith(BuildMethod::kBasic, n, seed);
+  Built icr = BuildWith(BuildMethod::kICR, n, seed);
+  Built ic = BuildWith(BuildMethod::kIC, n, seed);
+  Rng rng(3);
+  for (int t = 0; t < 40; ++t) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    const auto a_basic = RetrievePnnAnswerIds(*basic.index, q).ValueOrDie();
+    const auto a_icr = RetrievePnnAnswerIds(*icr.index, q).ValueOrDie();
+    const auto a_ic = RetrievePnnAnswerIds(*ic.index, q).ValueOrDie();
+    EXPECT_EQ(a_basic, a_icr) << "t=" << t;
+    EXPECT_EQ(a_basic, a_ic) << "t=" << t;
+  }
+}
+
+TEST(BuilderTest, IcFasterThanIcrFasterThanBasicOnLargerSets) {
+  const size_t n = 1200;
+  const uint64_t seed = 11;
+  Built basic = BuildWith(BuildMethod::kBasic, n, seed);
+  Built icr = BuildWith(BuildMethod::kICR, n, seed);
+  Built ic = BuildWith(BuildMethod::kIC, n, seed);
+  // Trends, not absolutes: Basic pays O(n) envelope work per object; ICR
+  // pays pruning + refinement; IC pays pruning only.
+  EXPECT_LT(ic.build_stats.total_seconds, icr.build_stats.total_seconds);
+  EXPECT_LT(icr.build_stats.total_seconds, basic.build_stats.total_seconds * 2.0)
+      << "ICR should not be drastically slower than Basic at this size";
+  EXPECT_LT(ic.build_stats.total_seconds, basic.build_stats.total_seconds);
+}
+
+TEST(BuilderTest, BreakdownsPopulated) {
+  Built ic = BuildWith(BuildMethod::kIC, 400, 13);
+  EXPECT_GT(ic.build_stats.pruning_seconds, 0.0);
+  EXPECT_GT(ic.build_stats.indexing_seconds, 0.0);
+  EXPECT_EQ(ic.build_stats.avg_r_objects, 0.0);  // IC never refines
+  EXPECT_GT(ic.build_stats.avg_cr_objects, 0.0);
+  EXPECT_GT(ic.build_stats.i_pruning_ratio, 0.0);
+  EXPECT_GE(ic.build_stats.c_pruning_ratio, ic.build_stats.i_pruning_ratio);
+
+  Built icr = BuildWith(BuildMethod::kICR, 400, 13);
+  EXPECT_GT(icr.build_stats.robject_seconds, 0.0);
+  EXPECT_GT(icr.build_stats.avg_r_objects, 0.0);
+  EXPECT_LE(icr.build_stats.avg_r_objects, icr.build_stats.avg_cr_objects);
+
+  Built basic = BuildWith(BuildMethod::kBasic, 400, 13);
+  EXPECT_GT(basic.build_stats.robject_seconds, 0.0);
+  EXPECT_EQ(basic.build_stats.avg_cr_objects, 0.0);  // Basic never prunes
+}
+
+TEST(BuilderTest, RejectsMismatchedInput) {
+  Built b = BuildWith(BuildMethod::kIC, 10, 17);
+  UVIndex fresh(geom::Box({0, 0}, {10000, 10000}), b.pm.get(), {}, &b.stats);
+  std::vector<uncertain::ObjectPtr> short_ptrs(b.ptrs.begin(), b.ptrs.end() - 1);
+  EXPECT_FALSE(BuildUvIndex(b.objects, short_ptrs, *b.tree, b.index->domain(),
+                            BuildMethod::kIC, {}, &fresh, nullptr, &b.stats)
+                   .ok());
+}
+
+TEST(BuilderTest, IcrIndexesFewerConstraintsThanIc) {
+  // ICR refines C_i down to F_i, so the average indexed set is smaller.
+  Built icr = BuildWith(BuildMethod::kICR, 600, 19);
+  Built ic = BuildWith(BuildMethod::kIC, 600, 19);
+  EXPECT_LT(icr.build_stats.avg_r_objects, ic.build_stats.avg_cr_objects);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace uvd

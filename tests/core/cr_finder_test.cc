@@ -1,0 +1,163 @@
+// Tests for Algorithm 2: cr-object safety (C_i is always a superset of the
+// exact r-objects F_i), seed selection, and pruning effectiveness.
+#include "core/cr_finder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "common/random.h"
+#include "core/uv_cell.h"
+#include "datagen/generators.h"
+
+namespace uvd {
+namespace core {
+namespace {
+
+struct Fixture {
+  Stats stats;
+  storage::PageManager pm{4096, &stats};
+  uncertain::ObjectStore store{&pm};
+  std::vector<uncertain::UncertainObject> objects;
+  std::vector<uncertain::ObjectPtr> ptrs;
+  std::optional<rtree::RTree> tree;
+  geom::Box domain;
+
+  void Build(size_t n, uint64_t seed, double diameter = 30,
+             double domain_size = 10000) {
+    datagen::DatasetOptions opts;
+    opts.count = n;
+    opts.seed = seed;
+    opts.diameter = diameter;
+    opts.domain_size = domain_size;
+    objects = datagen::GenerateUniform(opts);
+    domain = datagen::DomainFor(opts);
+    UVD_CHECK_OK(store.BulkLoad(objects, &ptrs));
+    tree.emplace(rtree::RTree::BulkLoad(objects, ptrs, &pm, {100}, &stats).ValueOrDie());
+  }
+};
+
+TEST(CrFinderTest, SeedsBoundedBySectors) {
+  Fixture f;
+  f.Build(500, 3);
+  const CrObjectFinder finder(f.objects, *f.tree, f.domain, {}, &f.stats);
+  for (size_t i = 0; i < 20; ++i) {
+    std::vector<int> seeds;
+    finder.BuildSeedRegion(i, &seeds);
+    EXPECT_LE(seeds.size(), 8u);
+    EXPECT_GE(seeds.size(), 1u);  // dense uniform data: sectors non-empty
+    // No seed is the anchor itself.
+    EXPECT_TRUE(std::find(seeds.begin(), seeds.end(), f.objects[i].id()) ==
+                seeds.end());
+  }
+}
+
+TEST(CrFinderTest, CrObjectsSupersetOfExactRObjects) {
+  // The safety contract of the whole Section IV machinery.
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Fixture f;
+    f.Build(400, seed);
+    const CrObjectFinder finder(f.objects, *f.tree, f.domain, {}, &f.stats);
+    for (size_t i = 0; i < f.objects.size(); i += 37) {
+      const CrResult cr = finder.Find(i);
+      const UVCell exact = BuildExactUvCell(f.objects, i, f.domain);
+      for (int r : exact.RObjects()) {
+        EXPECT_TRUE(std::binary_search(cr.cr_objects.begin(), cr.cr_objects.end(), r))
+            << "seed=" << seed << " object=" << i << " lost r-object " << r;
+      }
+    }
+  }
+}
+
+TEST(CrFinderTest, CellFromCrObjectsEqualsExactCell) {
+  // Because C_i >= F_i, refining with just C_i reproduces the exact cell.
+  Fixture f;
+  f.Build(300, 17);
+  const CrObjectFinder finder(f.objects, *f.tree, f.domain, {}, &f.stats);
+  Rng rng(5);
+  for (size_t i = 0; i < f.objects.size(); i += 59) {
+    const CrResult cr = finder.Find(i);
+    const UVCell exact = BuildExactUvCell(f.objects, i, f.domain);
+    const UVCell from_cr =
+        BuildUvCellFromCandidates(f.objects, i, cr.cr_objects, f.domain);
+    EXPECT_NEAR(exact.Area(), from_cr.Area(), 1e-6 * f.domain.Area());
+    EXPECT_EQ(exact.RObjects(), from_cr.RObjects());
+  }
+}
+
+TEST(CrFinderTest, PruningIsEffectiveOnLargeSets) {
+  Fixture f;
+  f.Build(5000, 23);
+  const CrObjectFinder finder(f.objects, *f.tree, f.domain, {}, &f.stats);
+  double i_ratio = 0, c_ratio = 0;
+  const int samples = 50;
+  for (int s = 0; s < samples; ++s) {
+    const size_t i = static_cast<size_t>(s) * 97 % f.objects.size();
+    const CrResult cr = finder.Find(i);
+    i_ratio += 1.0 - static_cast<double>(cr.after_i_pruning) / cr.considered;
+    c_ratio += 1.0 - static_cast<double>(cr.cr_objects.size()) / cr.considered;
+  }
+  i_ratio /= samples;
+  c_ratio /= samples;
+  // Paper Fig. 7(b): ~90% both, C-pruning strictly stronger.
+  EXPECT_GT(i_ratio, 0.8);
+  EXPECT_GT(c_ratio, i_ratio);
+  EXPECT_GT(c_ratio, 0.85);
+}
+
+TEST(CrFinderTest, CPruningSubsetOfIPruning) {
+  Fixture f;
+  f.Build(1000, 29);
+  const CrObjectFinder finder(f.objects, *f.tree, f.domain, {}, &f.stats);
+  for (size_t i = 0; i < 20; ++i) {
+    const CrResult cr = finder.Find(i);
+    EXPECT_LE(cr.cr_objects.size(), cr.after_i_pruning);
+    EXPECT_LE(cr.after_i_pruning, cr.considered);
+  }
+}
+
+TEST(CrFinderTest, SingleObjectDataset) {
+  Fixture f;
+  f.Build(1, 31);
+  const CrObjectFinder finder(f.objects, *f.tree, f.domain, {}, &f.stats);
+  const CrResult cr = finder.Find(0);
+  EXPECT_TRUE(cr.seeds.empty());
+  EXPECT_TRUE(cr.cr_objects.empty());
+  EXPECT_EQ(cr.considered, 0u);
+}
+
+TEST(CrFinderTest, SeedRegionShrinksWithSeeds) {
+  Fixture f;
+  f.Build(2000, 41);
+  const CrObjectFinder finder(f.objects, *f.tree, f.domain, {}, &f.stats);
+  const UVCell seeded = finder.BuildSeedRegion(0);
+  EXPECT_LT(seeded.Area(), f.domain.Area() * 0.5)
+      << "eight seeds should bound the region well below the domain";
+  // Lemma 2's d from the seed region bounds the exact cell's reach.
+  const UVCell exact = BuildExactUvCell(f.objects, 0, f.domain);
+  EXPECT_LE(exact.MaxDistanceFromCenter(),
+            seeded.MaxDistanceFromCenter() + 1e-9);
+}
+
+TEST(CrFinderTest, FewerSectorsGiveLargerRegions) {
+  Fixture f;
+  f.Build(2000, 47);
+  CrFinderOptions four;
+  four.num_sectors = 4;
+  CrFinderOptions eight;
+  eight.num_sectors = 8;
+  const CrObjectFinder f4(f.objects, *f.tree, f.domain, four, &f.stats);
+  const CrObjectFinder f8(f.objects, *f.tree, f.domain, eight, &f.stats);
+  double area4 = 0, area8 = 0;
+  for (size_t i = 0; i < 10; ++i) {
+    area4 += f4.BuildSeedRegion(i).Area();
+    area8 += f8.BuildSeedRegion(i).Area();
+  }
+  // More sectors constrain more directions; allow slack for randomness.
+  EXPECT_LE(area8, area4 * 1.5);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace uvd

@@ -1,0 +1,127 @@
+// Tests for the pattern-analysis queries of Sec. V-C.
+#include "core/pattern_queries.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/uv_cell.h"
+#include "core/uv_diagram.h"
+#include "datagen/generators.h"
+
+namespace uvd {
+namespace core {
+namespace {
+
+UVDiagram BuildDiagram(size_t n, uint64_t seed) {
+  datagen::DatasetOptions opts;
+  opts.count = n;
+  opts.seed = seed;
+  auto objects = datagen::GenerateUniform(opts);
+  return UVDiagram::Build(std::move(objects), datagen::DomainFor(opts)).ValueOrDie();
+}
+
+TEST(PatternQueriesTest, PartitionsIntersectRange) {
+  const UVDiagram d = BuildDiagram(2000, 3);
+  const geom::Box range({4000, 4000}, {4500, 4500});
+  const auto partitions = d.QueryUvPartitions(range);
+  ASSERT_FALSE(partitions.empty());
+  for (const auto& p : partitions) {
+    EXPECT_TRUE(p.region.Intersects(range));
+    EXPECT_GE(p.density, 0.0);
+    if (p.region.Area() > 0) {
+      EXPECT_NEAR(p.density, p.object_count / p.region.Area(), 1e-12);
+    }
+  }
+}
+
+TEST(PatternQueriesTest, PartitionsTileWithoutOverlap) {
+  const UVDiagram d = BuildDiagram(2000, 5);
+  const geom::Box range({1000, 1000}, {2000, 2000});
+  const auto partitions = d.QueryUvPartitions(range);
+  // Quad-tree leaves are interior-disjoint; their clipped areas must sum to
+  // at most slightly more than the range area (boundary leaves overhang).
+  double clipped = 0;
+  for (const auto& p : partitions) {
+    const geom::Box inter({std::max(p.region.lo.x, range.lo.x),
+                           std::max(p.region.lo.y, range.lo.y)},
+                          {std::min(p.region.hi.x, range.hi.x),
+                           std::min(p.region.hi.y, range.hi.y)});
+    if (!inter.IsEmpty()) clipped += inter.Area();
+  }
+  EXPECT_NEAR(clipped, range.Area(), 1e-6 * range.Area());
+}
+
+TEST(PatternQueriesTest, LargerRangeMorePartitions) {
+  const UVDiagram d = BuildDiagram(3000, 7);
+  size_t prev = 0;
+  for (double side : {100.0, 200.0, 300.0, 400.0, 500.0}) {
+    const geom::Box range({5000 - side / 2, 5000 - side / 2},
+                          {5000 + side / 2, 5000 + side / 2});
+    const size_t count = d.QueryUvPartitions(range).size();
+    EXPECT_GE(count, prev) << "side=" << side;
+    prev = count;
+  }
+}
+
+TEST(PatternQueriesTest, CellSummaryCoversExactCell) {
+  // The union of associated leaves must cover the exact UV-cell (no false
+  // exclusion), so the approximate area is an upper bound.
+  datagen::DatasetOptions opts;
+  opts.count = 500;
+  opts.seed = 9;
+  auto objects = datagen::GenerateUniform(opts);
+  const geom::Box domain = datagen::DomainFor(opts);
+  const UVDiagram d = UVDiagram::Build(objects, domain).ValueOrDie();
+  for (int id : {0, 100, 499}) {
+    const auto summary = d.QueryUvCellSummary(id);
+    ASSERT_TRUE(summary.ok());
+    const UVCell exact = BuildExactUvCell(objects, static_cast<size_t>(id), domain);
+    EXPECT_GE(summary.value().area, exact.Area() * (1 - 1e-9)) << "id=" << id;
+    EXPECT_GE(summary.value().num_leaves, 1u);
+    // Extent covers the exact cell's bounding box.
+    const geom::Box bb = exact.BoundingBox();
+    EXPECT_LE(summary.value().extent.lo.x, bb.lo.x + 1e-6);
+    EXPECT_GE(summary.value().extent.hi.x, bb.hi.x - 1e-6);
+  }
+}
+
+TEST(PatternQueriesTest, UnknownObjectNotFound) {
+  const UVDiagram d = BuildDiagram(100, 11);
+  const auto summary = d.QueryUvCellSummary(123456);
+  EXPECT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PatternQueriesTest, OnDiskScanMatchesOfflineLists) {
+  const UVDiagram d = BuildDiagram(400, 13);
+  for (int id : {0, 200}) {
+    const auto offline = RetrieveUvCellSummary(d.index(), id, true);
+    const auto on_disk = RetrieveUvCellSummary(d.index(), id, false);
+    ASSERT_TRUE(offline.ok());
+    ASSERT_TRUE(on_disk.ok());
+    EXPECT_EQ(offline.value().num_leaves, on_disk.value().num_leaves);
+    EXPECT_DOUBLE_EQ(offline.value().area, on_disk.value().area);
+  }
+}
+
+TEST(PatternQueriesTest, DenseAreaHasHigherDensity) {
+  // Clustered data: partitions near the cluster carry more answer objects
+  // per unit area than remote ones.
+  datagen::DatasetOptions opts;
+  opts.count = 3000;
+  opts.seed = 17;
+  auto objects = datagen::GenerateGaussianCloud(opts, /*sigma=*/800);
+  const geom::Box domain = datagen::DomainFor(opts);
+  const UVDiagram d = UVDiagram::Build(std::move(objects), domain).ValueOrDie();
+  auto density_at = [&](geom::Point c) {
+    const geom::Box range({c.x - 200, c.y - 200}, {c.x + 200, c.y + 200});
+    double total = 0;
+    for (const auto& p : d.QueryUvPartitions(range)) total += p.density;
+    return total;
+  };
+  EXPECT_GT(density_at({5000, 5000}), density_at({500, 500}));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace uvd

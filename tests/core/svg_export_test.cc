@@ -1,0 +1,82 @@
+// Tests for the SVG rendering of UV-diagrams.
+#include "core/svg_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "datagen/generators.h"
+
+namespace uvd {
+namespace core {
+namespace {
+
+TEST(SvgExportTest, RendersWellFormedDocument) {
+  datagen::DatasetOptions opts;
+  opts.count = 30;
+  opts.seed = 4;
+  auto objects = datagen::GenerateUniform(opts);
+  const geom::Box domain = datagen::DomainFor(opts);
+  auto diagram = UVDiagram::Build(objects, domain).ValueOrDie();
+  std::vector<UVCell> cells;
+  for (size_t i = 0; i < 3; ++i) {
+    cells.push_back(BuildExactUvCell(objects, i, domain));
+  }
+  const std::string svg = RenderSvg(diagram, cells);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One polygon per cell, one circle per object plus cell centers.
+  size_t polygons = 0, pos = 0;
+  while ((pos = svg.find("<polygon", pos)) != std::string::npos) {
+    ++polygons;
+    ++pos;
+  }
+  EXPECT_EQ(polygons, 3u);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);  // grid leaves present
+}
+
+TEST(SvgExportTest, OptionsControlLayers) {
+  datagen::DatasetOptions opts;
+  opts.count = 10;
+  auto objects = datagen::GenerateUniform(opts);
+  auto diagram =
+      UVDiagram::Build(objects, datagen::DomainFor(opts)).ValueOrDie();
+  SvgOptions options;
+  options.draw_grid = false;
+  options.draw_objects = false;
+  const std::string svg = RenderSvg(diagram, {}, options);
+  EXPECT_EQ(svg.find("stroke=\"#dddddd\""), std::string::npos);
+  EXPECT_EQ(svg.find("<circle"), std::string::npos);
+}
+
+TEST(SvgExportTest, StandaloneCells) {
+  datagen::DatasetOptions opts;
+  opts.count = 5;
+  auto objects = datagen::GenerateUniform(opts);
+  const geom::Box domain = datagen::DomainFor(opts);
+  std::vector<UVCell> cells;
+  cells.push_back(BuildExactUvCell(objects, 0, domain));
+  const std::string svg = RenderCellsSvg(domain, cells);
+  EXPECT_NE(svg.find("<polygon"), std::string::npos);
+}
+
+TEST(SvgExportTest, WriteFileRoundTrip) {
+  const std::string path = "/tmp/uvd_svg_test.svg";
+  ASSERT_TRUE(WriteSvgFile(path, "<svg></svg>\n").ok());
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[32] = {0};
+  ASSERT_GT(std::fread(buf, 1, sizeof(buf) - 1, f), 0u);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf), "<svg></svg>\n");
+  std::remove(path.c_str());
+}
+
+TEST(SvgExportTest, WriteFileBadPath) {
+  EXPECT_EQ(WriteSvgFile("/nonexistent_dir/x.svg", "x").code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace uvd

@@ -1,0 +1,188 @@
+// Tests for exact UV-cells (Algorithm 1): the defining membership property
+// against brute force, r-object exactness, and the paper's degenerate and
+// illustrative cases.
+#include "core/uv_cell.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "datagen/generators.h"
+
+namespace uvd {
+namespace core {
+namespace {
+
+using uncertain::UncertainObject;
+
+constexpr double kSize = 1000.0;
+geom::Box Domain() { return geom::Box({0, 0}, {kSize, kSize}); }
+
+std::vector<UncertainObject> RandomObjects(int n, uint64_t seed, double radius = 15) {
+  datagen::DatasetOptions opts;
+  opts.count = static_cast<size_t>(n);
+  opts.domain_size = kSize;
+  opts.diameter = 2 * radius;
+  opts.seed = seed;
+  return datagen::GenerateUniform(opts);
+}
+
+/// Definition 1 via brute force: O_i can be q's NN iff
+/// dist_min(O_i, q) <= dist_max(O_j, q) for every j.
+bool BruteInCell(const std::vector<UncertainObject>& objs, size_t i,
+                 const geom::Point& q) {
+  for (size_t j = 0; j < objs.size(); ++j) {
+    if (j == i) continue;
+    if (objs[i].DistMin(q) > objs[j].DistMax(q)) return false;
+  }
+  return true;
+}
+
+TEST(UvCellTest, SingleObjectCellIsWholeDomain) {
+  const auto objs = RandomObjects(1, 7);
+  const UVCell cell = BuildExactUvCell(objs, 0, Domain());
+  EXPECT_NEAR(cell.Area(), Domain().Area(), 1e-6 * Domain().Area());
+  EXPECT_TRUE(cell.RObjects().empty());
+  EXPECT_TRUE(cell.Contains({0, 0}));
+  EXPECT_TRUE(cell.Contains({kSize, kSize}));
+}
+
+TEST(UvCellTest, MembershipMatchesBruteForce) {
+  Rng rng(99);
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    const auto objs = RandomObjects(40, seed);
+    for (size_t i : {size_t{0}, size_t{13}, size_t{39}}) {
+      const UVCell cell = BuildExactUvCell(objs, i, Domain());
+      for (int t = 0; t < 800; ++t) {
+        const geom::Point q{rng.Uniform(0, kSize), rng.Uniform(0, kSize)};
+        // Skip near-boundary points to avoid tie flakiness.
+        const geom::Vec2 d = q - objs[i].center();
+        const double rho = cell.envelope().RhoAt(d.Angle());
+        if (std::isfinite(rho) && std::abs(d.Norm() - rho) < 1e-6) continue;
+        EXPECT_EQ(cell.Contains(q), BruteInCell(objs, i, q))
+            << "seed=" << seed << " i=" << i << " q=(" << q.x << "," << q.y << ")";
+      }
+    }
+  }
+}
+
+TEST(UvCellTest, CellContainsOwnUncertaintyRegion) {
+  // Any point inside O_i's region has dist_min = 0, so O_i can always be
+  // its NN: the region is part of the cell.
+  const auto objs = RandomObjects(60, 5);
+  Rng rng(6);
+  for (size_t i = 0; i < 10; ++i) {
+    const UVCell cell = BuildExactUvCell(objs, i, Domain());
+    for (int t = 0; t < 100; ++t) {
+      const double ang = rng.Uniform(0, 2 * M_PI);
+      const double rad = objs[i].radius() * std::sqrt(rng.Uniform(0, 1));
+      const geom::Point p = objs[i].center() + geom::UnitVector(ang) * rad;
+      if (!Domain().Contains(p)) continue;
+      EXPECT_TRUE(cell.Contains(p)) << "i=" << i;
+    }
+  }
+}
+
+TEST(UvCellTest, RObjectsAreExactlyTheBindingObjects) {
+  // Rebuilding the cell from its r-objects alone gives the same region;
+  // every reported r-object actually owns boundary.
+  const auto objs = RandomObjects(50, 77);
+  for (size_t i : {size_t{3}, size_t{25}}) {
+    const UVCell cell = BuildExactUvCell(objs, i, Domain());
+    const std::vector<int> r_objects = cell.RObjects();
+    const UVCell rebuilt = BuildUvCellFromCandidates(objs, i, r_objects, Domain());
+    EXPECT_NEAR(cell.Area(), rebuilt.Area(), 1e-6 * Domain().Area());
+    EXPECT_EQ(rebuilt.RObjects(), r_objects);
+    // Dropping any single r-object must strictly grow the region.
+    for (int drop : r_objects) {
+      std::vector<int> reduced;
+      for (int id : r_objects) {
+        if (id != drop) reduced.push_back(id);
+      }
+      const UVCell weaker = BuildUvCellFromCandidates(objs, i, reduced, Domain());
+      EXPECT_GT(weaker.Area(), cell.Area() - 1e-9) << "drop=" << drop;
+    }
+  }
+}
+
+TEST(UvCellTest, ThreeObjectFigureTwoScenario) {
+  // Fig. 2 of the paper: three separated objects; every point of the
+  // domain lies in at least one UV-cell, and near each object only its own
+  // cell applies.
+  std::vector<UncertainObject> objs;
+  objs.push_back(UncertainObject::WithGaussianPdf(0, {{250, 300}, 40}));
+  objs.push_back(UncertainObject::WithGaussianPdf(1, {{700, 350}, 40}));
+  objs.push_back(UncertainObject::WithGaussianPdf(2, {{450, 750}, 40}));
+  std::vector<UVCell> cells;
+  for (size_t i = 0; i < 3; ++i) cells.push_back(BuildExactUvCell(objs, i, Domain()));
+
+  Rng rng(123);
+  for (int t = 0; t < 3000; ++t) {
+    const geom::Point q{rng.Uniform(0, kSize), rng.Uniform(0, kSize)};
+    int covered = 0;
+    for (const UVCell& c : cells) covered += c.Contains(q) ? 1 : 0;
+    EXPECT_GE(covered, 1) << "every point has at least one possible NN";
+  }
+  // Near each center, only that object's cell contains the point.
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(cells[j].Contains(objs[i].center()), i == j);
+    }
+  }
+  // Each pair constrains each cell: r-objects are the other two objects.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(cells[i].RObjects().size(), 2u);
+  }
+}
+
+TEST(UvCellTest, ZeroRadiusMatchesClassicVoronoi) {
+  // The UV-diagram of points is the Voronoi diagram (paper Sec. I).
+  const auto objs = RandomObjects(30, 2024, /*radius=*/0);
+  Rng rng(55);
+  for (size_t i : {size_t{0}, size_t{15}}) {
+    const UVCell cell = BuildExactUvCell(objs, i, Domain());
+    for (int t = 0; t < 1000; ++t) {
+      const geom::Point q{rng.Uniform(0, kSize), rng.Uniform(0, kSize)};
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& o : objs) best = std::min(best, geom::Distance(o.center(), q));
+      const double mine = geom::Distance(objs[i].center(), q);
+      if (std::abs(mine - best) < 1e-6) continue;  // tie boundary
+      EXPECT_EQ(cell.Contains(q), mine <= best);
+    }
+  }
+}
+
+TEST(UvCellTest, OverlappingObjectsDoNotConstrain) {
+  std::vector<UncertainObject> objs;
+  objs.push_back(UncertainObject::WithGaussianPdf(0, {{500, 500}, 50}));
+  objs.push_back(UncertainObject::WithGaussianPdf(1, {{540, 500}, 50}));  // overlaps
+  const UVCell cell = BuildExactUvCell(objs, 0, Domain());
+  // The overlapping neighbor imposes no outside region: cell = domain.
+  EXPECT_NEAR(cell.Area(), Domain().Area(), 1e-6 * Domain().Area());
+  EXPECT_TRUE(cell.RObjects().empty());
+}
+
+TEST(UvCellTest, SubtractReportsChange) {
+  std::vector<UncertainObject> objs;
+  objs.push_back(UncertainObject::WithGaussianPdf(0, {{200, 500}, 20}));
+  objs.push_back(UncertainObject::WithGaussianPdf(1, {{500, 500}, 20}));
+  objs.push_back(UncertainObject::WithGaussianPdf(2, {{900, 500}, 20}));
+  UVCell cell(objs[0].region(), 0, Domain());
+  EXPECT_TRUE(cell.SubtractOutsideRegion(objs[1].region(), 1));
+  // Object 2 is occluded by object 1 from object 0's viewpoint.
+  EXPECT_FALSE(cell.SubtractOutsideRegion(objs[2].region(), 2));
+}
+
+TEST(UvCellTest, MaxDistanceBoundsVertices) {
+  const auto objs = RandomObjects(25, 31);
+  const UVCell cell = BuildExactUvCell(objs, 0, Domain());
+  const double d = cell.MaxDistanceFromCenter();
+  for (const geom::Point& v : cell.Vertices()) {
+    EXPECT_LE(geom::Distance(v, objs[0].center()), d + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace uvd

@@ -1,0 +1,109 @@
+// Facade tests: build validation, option plumbing, end-to-end behaviour.
+#include "core/uv_diagram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/generators.h"
+#include "datagen/workload.h"
+
+namespace uvd {
+namespace core {
+namespace {
+
+TEST(UvDiagramTest, RejectsEmptyDataset) {
+  auto d = UVDiagram::Build({}, geom::Box({0, 0}, {10, 10}));
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(UvDiagramTest, RejectsOutOfOrderIds) {
+  std::vector<uncertain::UncertainObject> objs;
+  objs.push_back(uncertain::UncertainObject::WithGaussianPdf(1, {{5, 5}, 1}));
+  auto d = UVDiagram::Build(std::move(objs), geom::Box({0, 0}, {10, 10}));
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(UvDiagramTest, RejectsCentersOutsideDomain) {
+  std::vector<uncertain::UncertainObject> objs;
+  objs.push_back(uncertain::UncertainObject::WithGaussianPdf(0, {{50, 5}, 1}));
+  auto d = UVDiagram::Build(std::move(objs), geom::Box({0, 0}, {10, 10}));
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(UvDiagramTest, BuildPopulatesEverything) {
+  datagen::DatasetOptions opts;
+  opts.count = 500;
+  opts.seed = 3;
+  auto objects = datagen::GenerateUniform(opts);
+  const auto domain = datagen::DomainFor(opts);
+  auto d = UVDiagram::Build(std::move(objects), domain).ValueOrDie();
+  EXPECT_EQ(d.objects().size(), 500u);
+  EXPECT_GT(d.index().num_leaves(), 0u);
+  EXPECT_GT(d.rtree().num_leaf_pages(), 0u);
+  EXPECT_GT(d.store().num_pages(), 0u);
+  EXPECT_GT(d.build_stats().total_seconds, 0.0);
+  EXPECT_EQ(d.options().method, BuildMethod::kIC);
+}
+
+TEST(UvDiagramTest, ExternalStatsAreUsed) {
+  Stats stats;
+  datagen::DatasetOptions opts;
+  opts.count = 200;
+  auto objects = datagen::GenerateUniform(opts);
+  auto d = UVDiagram::Build(std::move(objects), datagen::DomainFor(opts), {}, &stats)
+               .ValueOrDie();
+  EXPECT_GT(stats.Get(Ticker::kEnvelopeInsertions), 0u);
+  stats.Reset();
+  ASSERT_TRUE(d.QueryPnn({5000, 5000}).ok());
+  EXPECT_GT(stats.Get(Ticker::kUvIndexLeafReads), 0u);
+}
+
+TEST(UvDiagramTest, WorksWithAllBuildMethods) {
+  datagen::DatasetOptions opts;
+  opts.count = 150;
+  opts.seed = 5;
+  const auto domain = datagen::DomainFor(opts);
+  const auto queries = datagen::UniformQueryPoints(10, domain, 99);
+  std::vector<std::vector<int>> per_method;
+  for (BuildMethod m : {BuildMethod::kBasic, BuildMethod::kICR, BuildMethod::kIC}) {
+    UVDiagram::Options options;
+    options.method = m;
+    auto d = UVDiagram::Build(datagen::GenerateUniform(opts), domain, options)
+                 .ValueOrDie();
+    std::vector<int> all_ids;
+    for (const auto& q : queries) {
+      const auto ids = d.AnswerObjectIds(q).ValueOrDie();
+      all_ids.insert(all_ids.end(), ids.begin(), ids.end());
+    }
+    per_method.push_back(std::move(all_ids));
+  }
+  EXPECT_EQ(per_method[0], per_method[1]);
+  EXPECT_EQ(per_method[0], per_method[2]);
+}
+
+TEST(UvDiagramTest, MoveSemantics) {
+  datagen::DatasetOptions opts;
+  opts.count = 100;
+  auto objects = datagen::GenerateUniform(opts);
+  auto d = UVDiagram::Build(std::move(objects), datagen::DomainFor(opts)).ValueOrDie();
+  UVDiagram moved = std::move(d);
+  const auto answers = moved.QueryPnn({5000, 5000}).ValueOrDie();
+  EXPECT_FALSE(answers.empty());
+}
+
+TEST(UvDiagramTest, UniformPdfDatasets) {
+  datagen::DatasetOptions opts;
+  opts.count = 200;
+  opts.pdf = uncertain::PdfKind::kUniform;
+  auto objects = datagen::GenerateUniform(opts);
+  auto d = UVDiagram::Build(std::move(objects), datagen::DomainFor(opts)).ValueOrDie();
+  const auto answers = d.QueryPnn({5000, 5000}).ValueOrDie();
+  ASSERT_FALSE(answers.empty());
+  double total = 0;
+  for (const auto& a : answers) total += a.probability;
+  EXPECT_NEAR(total, 1.0, 5e-3);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace uvd

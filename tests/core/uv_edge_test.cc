@@ -1,0 +1,79 @@
+// Direct tests for UVEdge: outside-region semantics and the 4-point test
+// of Algorithm 5.
+#include "core/uv_edge.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace uvd {
+namespace core {
+namespace {
+
+TEST(UvEdgeTest, OutsideRegionEmptyForOverlap) {
+  const UVEdge overlapping({{0, 0}, 5}, {{8, 0}, 5}, 1);
+  EXPECT_TRUE(overlapping.OutsideRegionEmpty());
+  const UVEdge separated({{0, 0}, 5}, {{20, 0}, 5}, 1);
+  EXPECT_FALSE(separated.OutsideRegionEmpty());
+  // Tangent circles: boundary case counts as empty (b would be 0).
+  const UVEdge tangent({{0, 0}, 5}, {{10, 0}, 5}, 1);
+  EXPECT_TRUE(tangent.OutsideRegionEmpty());
+}
+
+TEST(UvEdgeTest, InOutsideRegionIsDistanceDominance) {
+  const geom::Circle oi({0, 0}, 2), oj({20, 0}, 3);
+  const UVEdge edge(oi, oj, 7);
+  EXPECT_EQ(edge.other_id(), 7);
+  Rng rng(3);
+  for (int t = 0; t < 3000; ++t) {
+    const geom::Point p{rng.Uniform(-30, 50), rng.Uniform(-40, 40)};
+    EXPECT_EQ(edge.InOutsideRegion(p), oi.DistMin(p) > oj.DistMax(p));
+  }
+}
+
+TEST(UvEdgeTest, FourPointTestExactForBoxes) {
+  // The outside region is convex, so "all four corners in X" must imply
+  // "every box point in X". Verify with interior sampling.
+  const geom::Circle oi({0, 0}, 2), oj({25, 5}, 3);
+  const UVEdge edge(oi, oj, 1);
+  Rng rng(5);
+  int positives = 0;
+  for (int t = 0; t < 2000; ++t) {
+    const geom::Point lo{rng.Uniform(-10, 60), rng.Uniform(-40, 40)};
+    const geom::Box box(lo, lo + geom::Vec2{rng.Uniform(1, 15), rng.Uniform(1, 15)});
+    if (!edge.RegionInOutside(box)) continue;
+    ++positives;
+    for (int s = 0; s < 10; ++s) {
+      const geom::Point p{rng.Uniform(box.lo.x, box.hi.x),
+                          rng.Uniform(box.lo.y, box.hi.y)};
+      EXPECT_TRUE(edge.InOutsideRegion(p));
+    }
+  }
+  EXPECT_GT(positives, 0);
+}
+
+TEST(UvEdgeTest, StatsTickers) {
+  Stats stats;
+  const UVEdge edge({{0, 0}, 2}, {{20, 0}, 3}, 1);
+  edge.InOutsideRegion({30, 0}, &stats);
+  EXPECT_EQ(stats.Get(Ticker::kHyperbolaTests), 1u);
+  stats.Reset();
+  edge.RegionInOutside(geom::Box({28, -1}, {32, 1}), &stats);
+  EXPECT_EQ(stats.Get(Ticker::kFourPointTests), 1u);
+  EXPECT_GE(stats.Get(Ticker::kHyperbolaTests), 1u);
+}
+
+TEST(UvEdgeTest, ConversionsAgree) {
+  const geom::Circle oi({3, 1}, 1.5), oj({18, -6}, 2.5);
+  const UVEdge edge(oi, oj, 2);
+  const auto constraint = edge.AsRadialConstraint();
+  EXPECT_EQ(constraint.owner, 2);
+  EXPECT_DOUBLE_EQ(constraint.s, 4.0);
+  auto hyperbola = edge.AsHyperbola();
+  ASSERT_TRUE(hyperbola.ok());
+  EXPECT_DOUBLE_EQ(hyperbola.value().a(), 2.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace uvd

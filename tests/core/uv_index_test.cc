@@ -1,0 +1,232 @@
+// Tests for the UV-index (Algorithms 3-5): the no-false-exclusion
+// guarantee of Lemma 4, split behaviour under T_theta and M, page
+// accounting and point location.
+#include "core/uv_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "common/random.h"
+#include "core/builder.h"
+#include "core/pnn.h"
+#include "datagen/generators.h"
+
+namespace uvd {
+namespace core {
+namespace {
+
+struct Fixture {
+  Stats stats;
+  storage::PageManager pm{4096, &stats};
+  uncertain::ObjectStore store{&pm};
+  std::vector<uncertain::UncertainObject> objects;
+  std::vector<uncertain::ObjectPtr> ptrs;
+  std::optional<rtree::RTree> tree;
+  std::optional<UVIndex> index;
+  geom::Box domain;
+
+  void Build(size_t n, uint64_t seed, UVIndexOptions idx_opts = {},
+             BuildMethod method = BuildMethod::kIC, double diameter = 40,
+             double domain_size = 10000) {
+    datagen::DatasetOptions opts;
+    opts.count = n;
+    opts.seed = seed;
+    opts.diameter = diameter;
+    opts.domain_size = domain_size;
+    objects = datagen::GenerateUniform(opts);
+    domain = datagen::DomainFor(opts);
+    UVD_CHECK_OK(store.BulkLoad(objects, &ptrs));
+    tree.emplace(rtree::RTree::BulkLoad(objects, ptrs, &pm, {100}, &stats).ValueOrDie());
+    index.emplace(domain, &pm, idx_opts, &stats);
+    UVD_CHECK_OK(BuildUvIndex(objects, ptrs, *tree, domain, method, {}, &*index,
+                              nullptr, &stats));
+  }
+
+  std::vector<int> BruteAnswers(const geom::Point& q) const {
+    double d_minmax = std::numeric_limits<double>::infinity();
+    for (const auto& o : objects) d_minmax = std::min(d_minmax, o.DistMax(q));
+    std::vector<int> ids;
+    for (const auto& o : objects) {
+      if (o.DistMin(q) <= d_minmax) ids.push_back(o.id());
+    }
+    return ids;
+  }
+};
+
+TEST(UvIndexTest, AnswersMatchBruteForceExactly) {
+  // End-to-end Lemma 4 check: retrieved tuples may be a superset of the
+  // answer set, but after the d_minmax verification they must equal it.
+  Fixture f;
+  f.Build(1500, 13);
+  Rng rng(7);
+  for (int t = 0; t < 60; ++t) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    const std::vector<int> got =
+        RetrievePnnAnswerIds(*f.index, q, &f.stats).ValueOrDie();
+    EXPECT_EQ(got, f.BruteAnswers(q)) << "t=" << t;
+  }
+}
+
+TEST(UvIndexTest, RetrievedTuplesAreSuperset) {
+  Fixture f;
+  f.Build(800, 29);
+  Rng rng(11);
+  for (int t = 0; t < 40; ++t) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    auto tuples = f.index->RetrieveCandidates(q);
+    ASSERT_TRUE(tuples.ok());
+    std::vector<int> got;
+    for (const auto& e : tuples.value()) got.push_back(e.id);
+    std::sort(got.begin(), got.end());
+    for (int id : f.BruteAnswers(q)) {
+      EXPECT_TRUE(std::binary_search(got.begin(), got.end(), id))
+          << "false exclusion of answer object " << id;
+    }
+  }
+}
+
+TEST(UvIndexTest, SplitsHappenOnRealisticData) {
+  Fixture f;
+  f.Build(3000, 31);
+  EXPECT_GT(f.index->num_nonleaf(), 1);
+  EXPECT_GT(f.index->num_leaves(), 4u);
+  EXPECT_GT(f.index->height(), 1);
+}
+
+TEST(UvIndexTest, ZeroThresholdNeverSplits) {
+  // T_theta = 0: theta < 0 is impossible, the grid degrades into one long
+  // page list (the paper's sensitivity observation for small T_theta).
+  UVIndexOptions opts;
+  opts.split_threshold = 0.0;
+  Fixture f;
+  f.Build(1200, 37, opts);
+  EXPECT_EQ(f.index->num_leaves(), 1u);
+  EXPECT_GE(f.index->total_leaf_pages(), 1200u / 100u);
+  // Queries still correct, just slower.
+  Rng rng(3);
+  for (int t = 0; t < 10; ++t) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    EXPECT_EQ(RetrievePnnAnswerIds(*f.index, q).ValueOrDie(), f.BruteAnswers(q));
+  }
+}
+
+TEST(UvIndexTest, NonleafBudgetRespected) {
+  UVIndexOptions opts;
+  opts.max_nonleaf = 6;  // tiny M: at most 6 non-leaf allocations
+  Fixture f;
+  f.Build(2000, 41, opts);
+  EXPECT_LE(f.index->num_nonleaf(), 6);
+  Rng rng(9);
+  for (int t = 0; t < 10; ++t) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    EXPECT_EQ(RetrievePnnAnswerIds(*f.index, q).ValueOrDie(), f.BruteAnswers(q));
+  }
+}
+
+TEST(UvIndexTest, LeafReadsAreCounted) {
+  Fixture f;
+  f.Build(1000, 43);
+  f.stats.Reset();
+  auto tuples = f.index->RetrieveCandidates({5000, 5000});
+  ASSERT_TRUE(tuples.ok());
+  EXPECT_GE(f.stats.Get(Ticker::kUvIndexLeafReads), 1u);
+  EXPECT_EQ(f.stats.Get(Ticker::kUvIndexLeafReads), f.stats.Get(Ticker::kPageReads));
+}
+
+TEST(UvIndexTest, LocateLeafConsistentWithRegions) {
+  Fixture f;
+  f.Build(2000, 47);
+  Rng rng(13);
+  for (int t = 0; t < 200; ++t) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    const uint32_t leaf = f.index->LocateLeaf(q);
+    EXPECT_TRUE(f.index->nodes()[leaf].region.Contains(q));
+  }
+  // Domain corners and the exact center resolve to a leaf.
+  for (const geom::Point& p : f.domain.Corners()) {
+    const uint32_t leaf = f.index->LocateLeaf(p);
+    EXPECT_TRUE(f.index->nodes()[leaf].region.Contains(p));
+  }
+  EXPECT_TRUE(
+      f.index->nodes()[f.index->LocateLeaf(f.domain.Center())].region.Contains(
+          f.domain.Center()));
+}
+
+TEST(UvIndexTest, QueriesRequireFinalize) {
+  Stats stats;
+  storage::PageManager pm(4096, &stats);
+  UVIndex index(geom::Box({0, 0}, {100, 100}), &pm, {}, &stats);
+  auto result = index.RetrieveCandidates({50, 50});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(UvIndexTest, InsertAfterFinalizeRejected) {
+  Stats stats;
+  storage::PageManager pm(4096, &stats);
+  UVIndex index(geom::Box({0, 0}, {100, 100}), &pm, {}, &stats);
+  ASSERT_TRUE(index.InsertObject({{50, 50}, 5}, 0, 0, {}).ok());
+  ASSERT_TRUE(index.Finalize().ok());
+  EXPECT_FALSE(index.InsertObject({{60, 60}, 5}, 1, 0, {}).ok());
+}
+
+TEST(UvIndexTest, QueryOutsideDomainRejected) {
+  Fixture f;
+  f.Build(100, 53);
+  EXPECT_FALSE(f.index->RetrieveCandidates({-1, 50}).ok());
+  EXPECT_FALSE(f.index->RetrieveCandidates({20000, 50}).ok());
+}
+
+TEST(UvIndexTest, QuadrantRegionsTileParents) {
+  Fixture f;
+  f.Build(2500, 59);
+  for (const UVIndex::Node& node : f.index->nodes()) {
+    if (node.is_leaf) continue;
+    double child_area = 0;
+    for (uint32_t c : node.children) {
+      const auto& child = f.index->nodes()[c];
+      EXPECT_TRUE(node.region.ContainsBox(child.region));
+      child_area += child.region.Area();
+    }
+    EXPECT_NEAR(child_area, node.region.Area(), 1e-6 * node.region.Area());
+  }
+}
+
+TEST(UvIndexTest, PaperMemoryModel) {
+  Fixture f;
+  f.Build(2000, 61);
+  EXPECT_EQ(f.index->PaperMemoryBytes(),
+            16u * static_cast<size_t>(f.index->num_nonleaf()));
+}
+
+TEST(UvIndexTest, DuplicateCentersHandled) {
+  // Identical objects stacked at one point plus a few others.
+  datagen::DatasetOptions opts;
+  opts.count = 0;
+  Stats stats;
+  storage::PageManager pm(4096, &stats);
+  uncertain::ObjectStore store(&pm);
+  std::vector<uncertain::UncertainObject> objs;
+  for (int i = 0; i < 5; ++i) {
+    objs.push_back(uncertain::UncertainObject::WithGaussianPdf(i, {{5000, 5000}, 20}));
+  }
+  objs.push_back(uncertain::UncertainObject::WithGaussianPdf(5, {{2000, 2000}, 20}));
+  std::vector<uncertain::ObjectPtr> ptrs;
+  UVD_CHECK_OK(store.BulkLoad(objs, &ptrs));
+  auto tree =
+      rtree::RTree::BulkLoad(objs, ptrs, &pm, {100}, &stats).ValueOrDie();
+  const geom::Box domain({0, 0}, {10000, 10000});
+  UVIndex index(domain, &pm, {}, &stats);
+  ASSERT_TRUE(BuildUvIndex(objs, ptrs, tree, domain, BuildMethod::kIC, {}, &index,
+                           nullptr, &stats)
+                  .ok());
+  // All five stacked objects answer at their shared center.
+  const auto ids = RetrievePnnAnswerIds(index, {5000, 5000}).ValueOrDie();
+  EXPECT_EQ(ids, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace uvd

@@ -1,0 +1,158 @@
+// Tests for the dataset and workload generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/generators.h"
+#include "datagen/real_like.h"
+#include "datagen/workload.h"
+
+namespace uvd {
+namespace datagen {
+namespace {
+
+TEST(GeneratorsTest, UniformBasicProperties) {
+  DatasetOptions opts;
+  opts.count = 2000;
+  opts.seed = 1;
+  const auto objs = GenerateUniform(opts);
+  ASSERT_EQ(objs.size(), 2000u);
+  const geom::Box domain = DomainFor(opts);
+  for (size_t i = 0; i < objs.size(); ++i) {
+    EXPECT_EQ(objs[i].id(), static_cast<int>(i));
+    EXPECT_TRUE(domain.Contains(objs[i].center()));
+    EXPECT_DOUBLE_EQ(objs[i].radius(), 20.0);  // diameter 40
+    EXPECT_EQ(objs[i].pdf().num_bars(), 20);
+  }
+}
+
+TEST(GeneratorsTest, DeterministicAcrossCalls) {
+  DatasetOptions opts;
+  opts.count = 100;
+  opts.seed = 7;
+  const auto a = GenerateUniform(opts);
+  const auto b = GenerateUniform(opts);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].center(), b[i].center());
+  }
+}
+
+TEST(GeneratorsTest, SeedChangesData) {
+  DatasetOptions a, b;
+  a.count = b.count = 50;
+  a.seed = 1;
+  b.seed = 2;
+  const auto objs_a = GenerateUniform(a);
+  const auto objs_b = GenerateUniform(b);
+  bool any_diff = false;
+  for (size_t i = 0; i < objs_a.size(); ++i) {
+    any_diff |= !(objs_a[i].center() == objs_b[i].center());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorsTest, UniformCoversTheDomain) {
+  DatasetOptions opts;
+  opts.count = 10000;
+  const auto objs = GenerateUniform(opts);
+  // Mean should be near the domain center; quadrant counts balanced.
+  double mx = 0, my = 0;
+  int q1 = 0;
+  for (const auto& o : objs) {
+    mx += o.center().x;
+    my += o.center().y;
+    if (o.center().x < 5000 && o.center().y < 5000) ++q1;
+  }
+  mx /= objs.size();
+  my /= objs.size();
+  EXPECT_NEAR(mx, 5000, 100);
+  EXPECT_NEAR(my, 5000, 100);
+  EXPECT_NEAR(q1 / static_cast<double>(objs.size()), 0.25, 0.02);
+}
+
+TEST(GeneratorsTest, GaussianCloudIsSkewed) {
+  DatasetOptions opts;
+  opts.count = 5000;
+  const auto tight = GenerateGaussianCloud(opts, 500);
+  const auto loose = GenerateGaussianCloud(opts, 3000);
+  auto spread = [](const std::vector<uncertain::UncertainObject>& objs) {
+    double acc = 0;
+    for (const auto& o : objs) {
+      acc += geom::DistanceSquared(o.center(), {5000, 5000});
+    }
+    return std::sqrt(acc / objs.size());
+  };
+  EXPECT_LT(spread(tight), spread(loose));
+  EXPECT_LT(spread(tight), 800.0);
+}
+
+TEST(RealLikeTest, PaperCardinalities) {
+  EXPECT_EQ(RealDatasetDefaultCount(RealDataset::kUtility), 17000u);
+  EXPECT_EQ(RealDatasetDefaultCount(RealDataset::kRoads), 30000u);
+  EXPECT_EQ(RealDatasetDefaultCount(RealDataset::kRrlines), 36000u);
+  EXPECT_STREQ(RealDatasetName(RealDataset::kUtility), "utility");
+  EXPECT_STREQ(RealDatasetName(RealDataset::kRoads), "roads");
+  EXPECT_STREQ(RealDatasetName(RealDataset::kRrlines), "rrlines");
+}
+
+TEST(RealLikeTest, GeneratesRequestedCount) {
+  DatasetOptions opts;
+  opts.count = 1234;
+  for (RealDataset which :
+       {RealDataset::kUtility, RealDataset::kRoads, RealDataset::kRrlines}) {
+    const auto objs = GenerateRealLike(which, opts);
+    ASSERT_EQ(objs.size(), 1234u) << RealDatasetName(which);
+    const geom::Box domain = DomainFor(opts);
+    for (const auto& o : objs) {
+      EXPECT_TRUE(domain.Contains(o.center()));
+    }
+  }
+}
+
+TEST(RealLikeTest, DataIsNonUniform) {
+  // Real-like data must be substantially more clumped than uniform: compare
+  // occupancy of a coarse grid.
+  DatasetOptions opts;
+  opts.count = 8000;
+  auto occupancy = [&](const std::vector<uncertain::UncertainObject>& objs) {
+    const int g = 20;
+    std::vector<int> cells(g * g, 0);
+    for (const auto& o : objs) {
+      const int cx = std::min(g - 1, static_cast<int>(o.center().x / 10000 * g));
+      const int cy = std::min(g - 1, static_cast<int>(o.center().y / 10000 * g));
+      cells[static_cast<size_t>(cy * g + cx)] = 1;
+    }
+    int occ = 0;
+    for (int c : cells) occ += c;
+    return occ;
+  };
+  const int uniform_occ = occupancy(GenerateUniform(opts));
+  const int utility_occ = occupancy(GenerateRealLike(RealDataset::kUtility, opts));
+  const int rrlines_occ = occupancy(GenerateRealLike(RealDataset::kRrlines, opts));
+  EXPECT_LT(utility_occ, uniform_occ);
+  EXPECT_LT(rrlines_occ, uniform_occ);
+}
+
+TEST(WorkloadTest, QueryPointsInsideDomain) {
+  const geom::Box domain({0, 0}, {10000, 10000});
+  const auto pts = UniformQueryPoints(50, domain, 3);
+  ASSERT_EQ(pts.size(), 50u);
+  for (const auto& p : pts) EXPECT_TRUE(domain.Contains(p));
+}
+
+TEST(WorkloadTest, QueryRegionsInsideDomain) {
+  const geom::Box domain({0, 0}, {10000, 10000});
+  for (double side : {100.0, 300.0, 500.0}) {
+    const auto regions = SquareQueryRegions(20, domain, side, 5);
+    ASSERT_EQ(regions.size(), 20u);
+    for (const auto& r : regions) {
+      EXPECT_TRUE(domain.ContainsBox(r));
+      EXPECT_NEAR(r.Width(), side, 1e-9);
+      EXPECT_NEAR(r.Height(), side, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace uvd

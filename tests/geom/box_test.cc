@@ -1,0 +1,114 @@
+// Tests for axis-aligned boxes: containment, quadrants, MINDIST/MAXDIST.
+#include "geom/box.h"
+
+#include <gtest/gtest.h>
+
+namespace uvd {
+namespace geom {
+namespace {
+
+TEST(BoxTest, BasicGeometry) {
+  const Box b({0, 0}, {4, 2});
+  EXPECT_DOUBLE_EQ(b.Width(), 4.0);
+  EXPECT_DOUBLE_EQ(b.Height(), 2.0);
+  EXPECT_DOUBLE_EQ(b.Area(), 8.0);
+  EXPECT_EQ(b.Center(), (Point{2, 1}));
+  EXPECT_FALSE(b.IsEmpty());
+}
+
+TEST(BoxTest, EmptyBox) {
+  const Box e = Box::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  Box b = e;
+  b.ExpandToInclude(Point{1, 2});
+  EXPECT_FALSE(b.IsEmpty());
+  EXPECT_EQ(b.lo, (Point{1, 2}));
+  EXPECT_EQ(b.hi, (Point{1, 2}));
+}
+
+TEST(BoxTest, ContainsIsClosed) {
+  const Box b({0, 0}, {1, 1});
+  EXPECT_TRUE(b.Contains({0, 0}));
+  EXPECT_TRUE(b.Contains({1, 1}));
+  EXPECT_TRUE(b.Contains({0.5, 0.5}));
+  EXPECT_FALSE(b.Contains({1.0001, 0.5}));
+  EXPECT_FALSE(b.Contains({0.5, -0.0001}));
+}
+
+TEST(BoxTest, ContainsBoxAndIntersects) {
+  const Box b({0, 0}, {10, 10});
+  EXPECT_TRUE(b.ContainsBox(Box({1, 1}, {2, 2})));
+  EXPECT_FALSE(b.ContainsBox(Box({9, 9}, {11, 11})));
+  EXPECT_TRUE(b.Intersects(Box({9, 9}, {11, 11})));
+  EXPECT_TRUE(b.Intersects(Box({10, 10}, {12, 12})));  // touching counts
+  EXPECT_FALSE(b.Intersects(Box({10.5, 0}, {12, 1})));
+}
+
+TEST(BoxTest, CornersOrder) {
+  const Box b({0, 0}, {2, 1});
+  const auto c = b.Corners();
+  EXPECT_EQ(c[0], (Point{0, 0}));
+  EXPECT_EQ(c[1], (Point{2, 0}));
+  EXPECT_EQ(c[2], (Point{2, 1}));
+  EXPECT_EQ(c[3], (Point{0, 1}));
+}
+
+TEST(BoxTest, QuadrantsPartitionTheBox) {
+  const Box b({0, 0}, {8, 8});
+  double area = 0;
+  for (int k = 0; k < 4; ++k) {
+    const Box q = b.Quadrant(k);
+    area += q.Area();
+    EXPECT_TRUE(b.ContainsBox(q));
+    EXPECT_DOUBLE_EQ(q.Area(), b.Area() / 4);
+  }
+  EXPECT_DOUBLE_EQ(area, b.Area());
+  // SW quadrant holds lo, NE holds hi.
+  EXPECT_TRUE(b.Quadrant(0).Contains({0, 0}));
+  EXPECT_TRUE(b.Quadrant(1).Contains({8, 0}));
+  EXPECT_TRUE(b.Quadrant(2).Contains({0, 8}));
+  EXPECT_TRUE(b.Quadrant(3).Contains({8, 8}));
+}
+
+TEST(BoxTest, MinDist) {
+  const Box b({0, 0}, {2, 2});
+  EXPECT_DOUBLE_EQ(b.MinDist({1, 1}), 0.0);    // inside
+  EXPECT_DOUBLE_EQ(b.MinDist({2, 2}), 0.0);    // on corner
+  EXPECT_DOUBLE_EQ(b.MinDist({4, 1}), 2.0);    // right of box
+  EXPECT_DOUBLE_EQ(b.MinDist({5, 6}), 5.0);    // diagonal (3-4-5)
+  EXPECT_DOUBLE_EQ(b.MinDist({-3, 1}), 3.0);   // left
+  EXPECT_DOUBLE_EQ(b.MinDist({1, -1}), 1.0);   // below
+}
+
+TEST(BoxTest, MaxDist) {
+  const Box b({0, 0}, {2, 2});
+  EXPECT_DOUBLE_EQ(b.MaxDist({0, 0}), std::sqrt(8.0));  // to opposite corner
+  EXPECT_DOUBLE_EQ(b.MaxDist({1, 1}), std::sqrt(2.0));  // center to any corner
+  EXPECT_DOUBLE_EQ(b.MaxDist({4, 1}), std::sqrt(17.0));
+}
+
+TEST(BoxTest, MinDistLeMaxDist) {
+  const Box b({-3, 2}, {5, 9});
+  for (double x = -10; x <= 10; x += 1.7) {
+    for (double y = -10; y <= 10; y += 1.3) {
+      EXPECT_LE(b.MinDist({x, y}), b.MaxDist({x, y}));
+    }
+  }
+}
+
+TEST(BoxTest, FromCenterHalf) {
+  const Box b = Box::FromCenterHalf({5, 5}, 2);
+  EXPECT_EQ(b.lo, (Point{3, 3}));
+  EXPECT_EQ(b.hi, (Point{7, 7}));
+}
+
+TEST(BoxTest, ExpandToIncludeBox) {
+  Box b({0, 0}, {1, 1});
+  b.ExpandToInclude(Box({-1, 2}, {0.5, 3}));
+  EXPECT_EQ(b.lo, (Point{-1, 0}));
+  EXPECT_EQ(b.hi, (Point{1, 3}));
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace uvd

@@ -1,0 +1,79 @@
+// Tests for circles and the paper's dist_min / dist_max (Eq. 2-3).
+#include "geom/circle.h"
+
+#include <gtest/gtest.h>
+
+namespace uvd {
+namespace geom {
+namespace {
+
+TEST(CircleTest, ContainsIsClosed) {
+  const Circle c({0, 0}, 2);
+  EXPECT_TRUE(c.Contains({0, 0}));
+  EXPECT_TRUE(c.Contains({2, 0}));
+  EXPECT_TRUE(c.Contains({1.2, 1.2}));
+  EXPECT_FALSE(c.Contains({2.001, 0}));
+}
+
+TEST(CircleTest, DistMinMatchesEq2) {
+  const Circle c({0, 0}, 2);
+  EXPECT_DOUBLE_EQ(c.DistMin({5, 0}), 3.0);   // outside: dist - r
+  EXPECT_DOUBLE_EQ(c.DistMin({1, 0}), 0.0);   // inside: 0
+  EXPECT_DOUBLE_EQ(c.DistMin({2, 0}), 0.0);   // boundary: 0
+}
+
+TEST(CircleTest, DistMaxMatchesEq3) {
+  const Circle c({0, 0}, 2);
+  EXPECT_DOUBLE_EQ(c.DistMax({5, 0}), 7.0);
+  EXPECT_DOUBLE_EQ(c.DistMax({0, 0}), 2.0);  // center: radius
+  EXPECT_DOUBLE_EQ(c.DistMax({1, 0}), 3.0);
+}
+
+TEST(CircleTest, DistMinLeDistMax) {
+  const Circle c({3, -2}, 1.5);
+  for (double x = -6; x <= 6; x += 0.9) {
+    for (double y = -6; y <= 6; y += 0.7) {
+      EXPECT_LE(c.DistMin({x, y}), c.DistMax({x, y}));
+    }
+  }
+}
+
+TEST(CircleTest, ZeroRadiusIsAPoint) {
+  const Circle c({1, 1}, 0);
+  EXPECT_DOUBLE_EQ(c.DistMin({4, 5}), 5.0);
+  EXPECT_DOUBLE_EQ(c.DistMax({4, 5}), 5.0);
+  EXPECT_TRUE(c.Contains({1, 1}));
+  EXPECT_FALSE(c.Contains({1, 1.0001}));
+}
+
+TEST(CircleTest, Intersects) {
+  const Circle a({0, 0}, 1), b({3, 0}, 1), c({1.5, 0}, 1), d({10, 0}, 1);
+  EXPECT_FALSE(a.Intersects(b));  // gap of 1 between boundaries
+  EXPECT_FALSE(a.Intersects(d));
+  EXPECT_TRUE(a.Intersects(c));   // overlapping disks
+  EXPECT_EQ(a.Intersects(b), b.Intersects(a));
+  EXPECT_EQ(a.Intersects(c), c.Intersects(a));
+}
+
+TEST(CircleTest, TangentCirclesIntersect) {
+  const Circle a({0, 0}, 1), b({2, 0}, 1);
+  EXPECT_TRUE(a.Intersects(b));
+  const Circle c({2.0001, 0}, 1);
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(CircleTest, MbrIsTight) {
+  const Circle c({5, 7}, 3);
+  const Box m = c.Mbr();
+  EXPECT_EQ(m.lo, (Point{2, 4}));
+  EXPECT_EQ(m.hi, (Point{8, 10}));
+}
+
+TEST(CircleTest, Area) {
+  const Circle c({0, 0}, 2);
+  EXPECT_NEAR(c.Area(), 4 * M_PI, 1e-12);
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace uvd

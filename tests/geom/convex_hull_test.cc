@@ -1,0 +1,95 @@
+// Tests for the monotone-chain convex hull used by C-pruning (Lemma 3).
+#include "geom/convex_hull.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace uvd {
+namespace geom {
+namespace {
+
+TEST(ConvexHullTest, Square) {
+  std::vector<Point> pts = {{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}};
+  const auto hull = ConvexHull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+}
+
+TEST(ConvexHullTest, CollinearPointsDropped) {
+  std::vector<Point> pts = {{0, 0}, {1, 0}, {2, 0}, {2, 2}, {0, 2}, {1, 2}};
+  const auto hull = ConvexHull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+}
+
+TEST(ConvexHullTest, DegenerateInputs) {
+  EXPECT_TRUE(ConvexHull({}).empty());
+  EXPECT_EQ(ConvexHull({{1, 1}}).size(), 1u);
+  EXPECT_EQ(ConvexHull({{1, 1}, {2, 2}}).size(), 2u);
+  EXPECT_EQ(ConvexHull({{1, 1}, {1, 1}, {1, 1}}).size(), 1u);  // duplicates
+}
+
+TEST(ConvexHullTest, OutputIsCounterClockwise) {
+  std::vector<Point> pts = {{0, 0}, {4, 0}, {4, 3}, {0, 3}, {2, 1}, {1, 2}};
+  const auto hull = ConvexHull(pts);
+  ASSERT_GE(hull.size(), 3u);
+  double area2 = 0;
+  for (size_t i = 0; i < hull.size(); ++i) {
+    area2 += hull[i].Cross(hull[(i + 1) % hull.size()]);
+  }
+  EXPECT_GT(area2, 0.0);  // positive signed area = CCW
+  EXPECT_DOUBLE_EQ(area2, 2.0 * 12.0);
+}
+
+TEST(ConvexHullTest, AllInputPointsInsideHull) {
+  Rng rng(17);
+  std::vector<Point> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({rng.Uniform(-5, 5), rng.Uniform(-5, 5)});
+  }
+  const auto hull = ConvexHull(pts);
+  for (const Point& p : pts) {
+    EXPECT_TRUE(ConvexContains(hull, p));
+  }
+}
+
+TEST(ConvexHullTest, HullVerticesAreInputPoints) {
+  Rng rng(23);
+  std::vector<Point> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  const auto hull = ConvexHull(pts);
+  for (const Point& v : hull) {
+    EXPECT_TRUE(std::any_of(pts.begin(), pts.end(),
+                            [&](const Point& p) { return p == v; }));
+  }
+}
+
+TEST(ConvexContainsTest, InsideOutsideBoundary) {
+  const std::vector<Point> hull = {{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  EXPECT_TRUE(ConvexContains(hull, {1, 1}));
+  EXPECT_TRUE(ConvexContains(hull, {0, 0}));
+  EXPECT_TRUE(ConvexContains(hull, {1, 0}));  // on edge
+  EXPECT_FALSE(ConvexContains(hull, {3, 1}));
+  EXPECT_FALSE(ConvexContains(hull, {-0.1, 1}));
+}
+
+TEST(ConvexContainsTest, SegmentHull) {
+  const std::vector<Point> hull = {{0, 0}, {2, 0}};
+  EXPECT_TRUE(ConvexContains(hull, {1, 0}));
+  EXPECT_TRUE(ConvexContains(hull, {2, 0}));
+  EXPECT_FALSE(ConvexContains(hull, {3, 0}));
+  EXPECT_FALSE(ConvexContains(hull, {1, 0.5}));
+}
+
+TEST(ConvexContainsTest, PointHull) {
+  const std::vector<Point> hull = {{1, 1}};
+  EXPECT_TRUE(ConvexContains(hull, {1, 1}));
+  EXPECT_FALSE(ConvexContains(hull, {1, 1.1}));
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace uvd

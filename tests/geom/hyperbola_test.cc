@@ -1,0 +1,130 @@
+// Tests for the paper's Eq. 5 hyperbola: focal property, rotation, and
+// consistency between the conic form and plain distance dominance tests.
+#include "geom/hyperbola.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace uvd {
+namespace geom {
+namespace {
+
+Circle Oi() { return Circle({0, 0}, 1.0); }
+Circle Oj() { return Circle({10, 0}, 2.0); }
+
+TEST(HyperbolaTest, CoefficientsMatchEq5) {
+  auto h = Hyperbola::FromObjects(Oi(), Oj());
+  ASSERT_TRUE(h.ok());
+  EXPECT_DOUBLE_EQ(h.value().a(), 1.5);             // (r_i + r_j) / 2
+  EXPECT_DOUBLE_EQ(h.value().c(), 5.0);             // dist / 2
+  EXPECT_DOUBLE_EQ(h.value().b(), std::sqrt(25.0 - 2.25));
+  EXPECT_EQ(h.value().focal_center(), (Point{5, 0}));
+  EXPECT_DOUBLE_EQ(h.value().theta(), 0.0);
+}
+
+TEST(HyperbolaTest, OverlappingObjectsRejected) {
+  auto h = Hyperbola::FromObjects(Circle({0, 0}, 2), Circle({3, 0}, 2));
+  EXPECT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HyperbolaTest, TangentObjectsRejected) {
+  auto h = Hyperbola::FromObjects(Circle({0, 0}, 2), Circle({4, 0}, 2));
+  EXPECT_FALSE(h.ok());
+}
+
+TEST(HyperbolaTest, PointObjectsDegenerateToLine) {
+  auto h = Hyperbola::FromObjects(Circle({0, 0}, 0), Circle({4, 0}, 0));
+  EXPECT_FALSE(h.ok());  // perpendicular bisector is not a hyperbola
+}
+
+TEST(HyperbolaTest, BranchPointsSatisfyFocalProperty) {
+  auto h = Hyperbola::FromObjects(Oi(), Oj()).ValueOrDie();
+  // Every point on the UV-edge satisfies dist(p,c_i) - dist(p,c_j) = r_i+r_j.
+  for (double t = -2.0; t <= 2.0; t += 0.25) {
+    const Point p = h.PointAt(t);
+    const double lhs = Distance(p, Oi().center) - Distance(p, Oj().center);
+    EXPECT_NEAR(lhs, Oi().radius + Oj().radius, 1e-9) << "t=" << t;
+    EXPECT_NEAR(h.ImplicitValue(p), 0.0, 1e-9);
+  }
+}
+
+TEST(HyperbolaTest, RotatedFocalProperty) {
+  const Circle oi({3, 4}, 0.5);
+  const Circle oj({-2, 9}, 1.0);
+  auto h = Hyperbola::FromObjects(oi, oj).ValueOrDie();
+  for (double t = -1.5; t <= 1.5; t += 0.3) {
+    const Point p = h.PointAt(t);
+    EXPECT_NEAR(Distance(p, oi.center) - Distance(p, oj.center),
+                oi.radius + oj.radius, 1e-9);
+  }
+  // Rotation angle points from c_i to c_j.
+  EXPECT_NEAR(h.theta(), std::atan2(5.0, -5.0), 1e-12);
+}
+
+TEST(HyperbolaTest, OutsideRegionMatchesDistanceDominance) {
+  const Circle oi({2, -1}, 0.8);
+  const Circle oj({9, 5}, 1.2);
+  auto h = Hyperbola::FromObjects(oi, oj).ValueOrDie();
+  Rng rng(99);
+  int outside_count = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Point p{rng.Uniform(-20, 30), rng.Uniform(-25, 25)};
+    // X_i(j): O_j always closer, i.e. dist_max(O_j,p) < dist_min(O_i,p).
+    const bool dominated = oj.DistMax(p) < oi.DistMin(p);
+    EXPECT_EQ(h.InOutsideRegion(p), dominated)
+        << "p=(" << p.x << "," << p.y << ")";
+    outside_count += dominated ? 1 : 0;
+  }
+  EXPECT_GT(outside_count, 0);          // the region is non-trivial
+  EXPECT_LT(outside_count, 5000);       // and not everything
+}
+
+TEST(HyperbolaTest, OutsideRegionIsConvex) {
+  // Paper Sec. III-B: the outside region of a UV-edge is convex. Check with
+  // random segment midpoints.
+  const Circle oi({0, 0}, 1), oj({8, 2}, 1.5);
+  auto h = Hyperbola::FromObjects(oi, oj).ValueOrDie();
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const Point p{rng.Uniform(-10, 25), rng.Uniform(-15, 20)};
+    const Point q{rng.Uniform(-10, 25), rng.Uniform(-15, 20)};
+    if (h.InOutsideRegion(p) && h.InOutsideRegion(q)) {
+      const Point mid = (p + q) * 0.5;
+      EXPECT_TRUE(h.InOutsideRegion(mid) || oj.DistMax(mid) <= oi.DistMin(mid));
+    }
+  }
+}
+
+TEST(HyperbolaTest, FociAccessors) {
+  auto h = Hyperbola::FromObjects(Oi(), Oj()).ValueOrDie();
+  EXPECT_EQ(h.focus_i(), Oi().center);
+  EXPECT_EQ(h.focus_j(), Oj().center);
+}
+
+TEST(HyperbolaTest, SampleProducesRequestedPoints) {
+  auto h = Hyperbola::FromObjects(Oi(), Oj()).ValueOrDie();
+  const auto pts = h.Sample(21, 2.0);
+  EXPECT_EQ(pts.size(), 21u);
+  // Symmetric parameter range: first and last mirror across the focal axis.
+  EXPECT_NEAR(pts.front().y, -pts.back().y, 1e-9);
+  EXPECT_NEAR(pts.front().x, pts.back().x, 1e-9);
+}
+
+TEST(HyperbolaTest, EdgeSeparatesQueryExamples) {
+  // Fig. 3 of the paper: q0 beyond the edge (closer to O_j) is pruned for
+  // O_i; q1 before the edge keeps O_i as possible NN.
+  const Circle oi({0, 0}, 1), oj({10, 0}, 1);
+  auto h = Hyperbola::FromObjects(oi, oj).ValueOrDie();
+  const Point q0{9, 0};   // very close to O_j
+  const Point q1{2, 0};   // close to O_i
+  EXPECT_TRUE(h.InOutsideRegion(q0));
+  EXPECT_FALSE(h.InOutsideRegion(q1));
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace uvd

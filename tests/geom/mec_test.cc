@@ -1,0 +1,70 @@
+// Tests for the minimal enclosing circle (non-circular region conversion,
+// paper Sec. III-C).
+#include "geom/mec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace uvd {
+namespace geom {
+namespace {
+
+TEST(MecTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(MinimalEnclosingCircle({}).radius, 0.0);
+  const Circle one = MinimalEnclosingCircle({{3, 4}});
+  EXPECT_EQ(one.center, (Point{3, 4}));
+  EXPECT_DOUBLE_EQ(one.radius, 0.0);
+}
+
+TEST(MecTest, TwoPoints) {
+  const Circle c = MinimalEnclosingCircle({{0, 0}, {4, 0}});
+  EXPECT_NEAR(c.center.x, 2.0, 1e-9);
+  EXPECT_NEAR(c.center.y, 0.0, 1e-9);
+  EXPECT_NEAR(c.radius, 2.0, 1e-9);
+}
+
+TEST(MecTest, EquilateralTriangle) {
+  const double h = std::sqrt(3.0);
+  const Circle c = MinimalEnclosingCircle({{0, 0}, {2, 0}, {1, h}});
+  EXPECT_NEAR(c.center.x, 1.0, 1e-9);
+  EXPECT_NEAR(c.center.y, h / 3.0, 1e-9);
+  EXPECT_NEAR(c.radius, 2.0 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(MecTest, CollinearPoints) {
+  const Circle c = MinimalEnclosingCircle({{0, 0}, {1, 0}, {2, 0}, {5, 0}});
+  EXPECT_NEAR(c.center.x, 2.5, 1e-9);
+  EXPECT_NEAR(c.radius, 2.5, 1e-9);
+}
+
+TEST(MecTest, EnclosesAllPointsRandom) {
+  Rng rng(42);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Point> pts;
+    const int n = 3 + static_cast<int>(rng.UniformInt(0, 200));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({rng.Uniform(-100, 100), rng.Uniform(-100, 100)});
+    }
+    const Circle c = MinimalEnclosingCircle(pts);
+    for (const Point& p : pts) {
+      EXPECT_LE(Distance(c.center, p), c.radius + 1e-7) << "trial " << trial;
+    }
+  }
+}
+
+TEST(MecTest, IsMinimalOnSquare) {
+  const Circle c = MinimalEnclosingCircle({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  EXPECT_NEAR(c.radius, std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(c.center.x, 1.0, 1e-9);
+  EXPECT_NEAR(c.center.y, 1.0, 1e-9);
+}
+
+TEST(MecTest, RobustToDuplicates) {
+  const Circle c = MinimalEnclosingCircle({{1, 1}, {1, 1}, {3, 1}, {3, 1}});
+  EXPECT_NEAR(c.radius, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace uvd

@@ -1,0 +1,86 @@
+// Tests for Vec2 / Point arithmetic and angle helpers.
+#include "geom/point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace uvd {
+namespace geom {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1, 2}, b{3, -4};
+  EXPECT_EQ(a + b, (Vec2{4, -2}));
+  EXPECT_EQ(a - b, (Vec2{-2, 6}));
+  EXPECT_EQ(a * 2.0, (Vec2{2, 4}));
+  EXPECT_EQ(2.0 * a, (Vec2{2, 4}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1}));
+  EXPECT_EQ(-a, (Vec2{-1, -2}));
+}
+
+TEST(Vec2Test, CompoundAssignment) {
+  Vec2 v{1, 1};
+  v += {2, 3};
+  EXPECT_EQ(v, (Vec2{3, 4}));
+  v -= {1, 1};
+  EXPECT_EQ(v, (Vec2{2, 3}));
+}
+
+TEST(Vec2Test, DotAndCross) {
+  const Vec2 a{1, 2}, b{3, 4};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 11.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), -2.0);
+  EXPECT_DOUBLE_EQ(a.Cross(a), 0.0);
+}
+
+TEST(Vec2Test, NormAndNormalized) {
+  const Vec2 v{3, 4};
+  EXPECT_DOUBLE_EQ(v.Norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  const Vec2 u = v.Normalized();
+  EXPECT_NEAR(u.Norm(), 1.0, 1e-15);
+  EXPECT_NEAR(u.x, 0.6, 1e-15);
+}
+
+TEST(Vec2Test, PerpIsCcwRotation) {
+  const Vec2 v{1, 0};
+  EXPECT_EQ(v.Perp(), (Vec2{0, 1}));
+  EXPECT_DOUBLE_EQ(v.Dot(v.Perp()), 0.0);
+  EXPECT_GT(v.Cross(v.Perp()), 0.0);  // counter-clockwise
+}
+
+TEST(Vec2Test, AngleMatchesAtan2) {
+  EXPECT_DOUBLE_EQ((Vec2{1, 0}).Angle(), 0.0);
+  EXPECT_DOUBLE_EQ((Vec2{0, 1}).Angle(), M_PI / 2);
+  EXPECT_DOUBLE_EQ((Vec2{-1, 0}).Angle(), M_PI);
+}
+
+TEST(PointTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared({1, 1}, {2, 2}), 2.0);
+}
+
+TEST(PointTest, UnitVector) {
+  const Vec2 u = UnitVector(M_PI / 3);
+  EXPECT_NEAR(u.x, 0.5, 1e-15);
+  EXPECT_NEAR(u.y, std::sqrt(3.0) / 2.0, 1e-15);
+  EXPECT_NEAR(u.Norm(), 1.0, 1e-15);
+}
+
+TEST(PointTest, NormalizeAngle) {
+  EXPECT_DOUBLE_EQ(NormalizeAngle(0.0), 0.0);
+  EXPECT_NEAR(NormalizeAngle(-M_PI / 2), 3 * M_PI / 2, 1e-12);
+  EXPECT_NEAR(NormalizeAngle(5 * M_PI), M_PI, 1e-12);
+  EXPECT_DOUBLE_EQ(NormalizeAngle(2 * M_PI), 0.0);
+  // Always lands in [0, 2*pi).
+  for (double t = -20.0; t < 20.0; t += 0.37) {
+    const double n = NormalizeAngle(t);
+    EXPECT_GE(n, 0.0);
+    EXPECT_LT(n, 2 * M_PI);
+  }
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace uvd

@@ -1,0 +1,171 @@
+// Tests for the radial-constraint formulation: agreement with distance
+// dominance, finite domains, wall constraints, and crossing angles.
+#include "geom/radial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "geom/hyperbola.h"
+
+namespace uvd {
+namespace geom {
+namespace {
+
+TEST(RadialConstraintTest, VacuousWhenOverlapping) {
+  const Circle oi({0, 0}, 2), oj({3, 0}, 2);
+  const auto c = RadialConstraint::ForObjects(oi, oj, 1);
+  EXPECT_TRUE(c.IsVacuous());
+  EXPECT_FALSE(c.FiniteDomain().has_value());
+}
+
+TEST(RadialConstraintTest, RhoMatchesUvEdgeCrossing) {
+  // rho(u) must land exactly on the UV-edge: the point p = c_i + rho*u
+  // satisfies dist(p, c_i) - dist(p, c_j) = r_i + r_j.
+  const Circle oi({1, 2}, 0.7), oj({9, -3}, 1.1);
+  const auto c = RadialConstraint::ForObjects(oi, oj, 1);
+  for (double theta = 0; theta < 2 * M_PI; theta += 0.05) {
+    const double rho = c.RhoAtAngle(theta);
+    if (!std::isfinite(rho)) continue;
+    EXPECT_GE(rho, 0.0);
+    const Point p = oi.center + UnitVector(theta) * rho;
+    EXPECT_NEAR(Distance(p, oi.center) - Distance(p, oj.center),
+                oi.radius + oj.radius, 1e-8)
+        << "theta=" << theta;
+  }
+}
+
+TEST(RadialConstraintTest, DominanceMonotoneAlongRay) {
+  // Inside rho: O_i still possible. Beyond rho: O_j strictly dominates.
+  const Circle oi({0, 0}, 1), oj({10, 0}, 2);
+  const auto c = RadialConstraint::ForObjects(oi, oj, 1);
+  for (double theta = 0; theta < 2 * M_PI; theta += 0.1) {
+    const double rho = c.RhoAtAngle(theta);
+    const Vec2 u = UnitVector(theta);
+    if (std::isfinite(rho)) {
+      const Point before = oi.center + u * (rho * 0.95);
+      const Point after = oi.center + u * (rho * 1.05);
+      EXPECT_LE(oi.DistMin(before), oj.DistMax(before) + 1e-9);
+      EXPECT_GT(oi.DistMin(after), oj.DistMax(after) - 1e-9);
+    } else {
+      // Ray never leaves the cell side: even far out O_i stays possible.
+      const Point far = oi.center + u * 1e6;
+      EXPECT_LE(oi.DistMin(far), oj.DistMax(far) + 1e-3);
+    }
+  }
+}
+
+TEST(RadialConstraintTest, FiniteDomainWidthBelowPi) {
+  const Circle oi({0, 0}, 1), oj({6, 3}, 0.5);
+  const auto c = RadialConstraint::ForObjects(oi, oj, 1);
+  const auto dom = c.FiniteDomain();
+  ASSERT_TRUE(dom.has_value());
+  const double width = dom->second - dom->first;
+  EXPECT_GT(width, 0.0);
+  EXPECT_LE(width, M_PI + 1e-12);
+  // Axis direction phi (toward O_j) is inside the domain and has minimal rho
+  // = (|w| + s) / 2, the midpoint between the two boundaries.
+  const double phi = (oj.center - oi.center).Angle();
+  const double w = Distance(oi.center, oj.center);
+  const double s = oi.radius + oj.radius;
+  EXPECT_NEAR(c.RhoAtAngle(phi), (w + s) / 2.0, 1e-9);
+}
+
+TEST(RadialConstraintTest, RhoInfiniteOutsideDomain) {
+  const Circle oi({0, 0}, 1), oj({6, 0}, 1);
+  const auto c = RadialConstraint::ForObjects(oi, oj, 1);
+  const auto dom = c.FiniteDomain();
+  ASSERT_TRUE(dom.has_value());
+  const double outside = dom->second + 0.01;
+  EXPECT_FALSE(std::isfinite(c.RhoAtAngle(outside)));
+  const double inside = 0.5 * (dom->first + dom->second);
+  EXPECT_TRUE(std::isfinite(c.RhoAtAngle(inside)));
+}
+
+TEST(RadialConstraintTest, ZeroRadiusGivesBisector) {
+  // Classic Voronoi special case: rho along the center axis is half the
+  // center distance.
+  const Circle oi({0, 0}, 0), oj({4, 0}, 0);
+  const auto c = RadialConstraint::ForObjects(oi, oj, 1);
+  EXPECT_NEAR(c.RhoAtAngle(0.0), 2.0, 1e-12);
+  // At 60 degrees the bisector x=2 is at distance 2/cos(60) = 4.
+  EXPECT_NEAR(c.RhoAtAngle(M_PI / 3), 4.0, 1e-9);
+  EXPECT_FALSE(std::isfinite(c.RhoAtAngle(M_PI)));  // away from O_j
+}
+
+TEST(RadialConstraintTest, WallConstraints) {
+  const Box domain({0, 0}, {10, 10});
+  const Point center{3, 4};
+  const auto walls = RadialConstraint::ForDomainWalls(center, domain);
+  ASSERT_EQ(walls.size(), 4u);
+  // Left wall at distance 3: rho straight left = 3.
+  EXPECT_NEAR(walls[0].RhoAtAngle(M_PI), 3.0, 1e-9);
+  // Right wall at distance 7.
+  EXPECT_NEAR(walls[1].RhoAtAngle(0.0), 7.0, 1e-9);
+  // Bottom wall at distance 4.
+  EXPECT_NEAR(walls[2].RhoAtAngle(-M_PI / 2), 4.0, 1e-9);
+  // Top wall at distance 6.
+  EXPECT_NEAR(walls[3].RhoAtAngle(M_PI / 2), 6.0, 1e-9);
+  // Oblique ray to the right wall: 7 / cos(theta).
+  EXPECT_NEAR(walls[1].RhoAtAngle(0.4), 7.0 / std::cos(0.4), 1e-9);
+  // Owners are the wall ids.
+  EXPECT_EQ(walls[0].owner, kWallLeft);
+  EXPECT_EQ(walls[3].owner, kWallTop);
+}
+
+TEST(CrossingAnglesTest, CrossingsSatisfyEquality) {
+  const Circle anchor({0, 0}, 1);
+  const auto c1 = RadialConstraint::ForObjects(anchor, Circle({8, 1}, 1), 1);
+  const auto c2 = RadialConstraint::ForObjects(anchor, Circle({5, 6}, 2), 2);
+  const auto angles = CrossingAngles(c1, c2);
+  for (double a : angles) {
+    const double r1 = c1.RhoAtAngle(a);
+    const double r2 = c2.RhoAtAngle(a);
+    if (std::isfinite(r1) && std::isfinite(r2)) {
+      EXPECT_NEAR(r1, r2, 1e-6 * std::max(1.0, std::abs(r1)));
+    }
+  }
+}
+
+TEST(CrossingAnglesTest, IdenticalConstraintsNoIsolatedCrossings) {
+  const Circle anchor({0, 0}, 1);
+  const auto c1 = RadialConstraint::ForObjects(anchor, Circle({8, 1}, 1), 1);
+  const auto c2 = RadialConstraint::ForObjects(anchor, Circle({8, 1}, 1), 2);
+  EXPECT_TRUE(CrossingAngles(c1, c2).empty());
+}
+
+TEST(CrossingAnglesTest, AtMostTwo) {
+  Rng rng(5);
+  const Circle anchor({0, 0}, 1);
+  for (int i = 0; i < 200; ++i) {
+    const auto c1 = RadialConstraint::ForObjects(
+        anchor, Circle({rng.Uniform(-20, 20), rng.Uniform(-20, 20)}, rng.Uniform(0, 2)),
+        1);
+    const auto c2 = RadialConstraint::ForObjects(
+        anchor, Circle({rng.Uniform(-20, 20), rng.Uniform(-20, 20)}, rng.Uniform(0, 2)),
+        2);
+    if (c1.IsVacuous() || c2.IsVacuous()) continue;
+    EXPECT_LE(CrossingAngles(c1, c2).size(), 2u);
+  }
+}
+
+TEST(RadialConstraintTest, AgreesWithHyperbolaOutsideRegion) {
+  // The radial form and the Eq. 5 conic describe the same outside region.
+  const Circle oi({2, 3}, 0.6), oj({11, -2}, 1.4);
+  const auto c = RadialConstraint::ForObjects(oi, oj, 1);
+  auto h = Hyperbola::FromObjects(oi, oj).ValueOrDie();
+  Rng rng(31);
+  for (int i = 0; i < 5000; ++i) {
+    const Point p{rng.Uniform(-15, 30), rng.Uniform(-20, 20)};
+    const Vec2 d = p - oi.center;
+    const double r = d.Norm();
+    const double rho = c.Rho(d.Normalized());
+    const bool radial_outside = r > rho;  // strictly beyond the edge
+    EXPECT_EQ(radial_outside, h.InOutsideRegion(p)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace uvd

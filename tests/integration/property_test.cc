@@ -1,0 +1,264 @@
+// Parameterized property sweeps over the whole pipeline: for every
+// (dataset kind, |O|, diameter, construction method, T_theta) combination
+// the index must answer PNN queries exactly like brute force, and the
+// paper's structural invariants must hold.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+
+#include "common/random.h"
+#include "core/uv_cell.h"
+#include "core/uv_diagram.h"
+#include "datagen/generators.h"
+#include "datagen/real_like.h"
+#include "datagen/workload.h"
+
+namespace uvd {
+namespace core {
+namespace {
+
+enum class DataKind { kUniform, kGaussian, kUtility, kRoads, kRrlines };
+
+const char* DataKindName(DataKind k) {
+  switch (k) {
+    case DataKind::kUniform:
+      return "uniform";
+    case DataKind::kGaussian:
+      return "gaussian";
+    case DataKind::kUtility:
+      return "utility";
+    case DataKind::kRoads:
+      return "roads";
+    case DataKind::kRrlines:
+      return "rrlines";
+  }
+  return "?";
+}
+
+std::vector<uncertain::UncertainObject> MakeData(DataKind kind,
+                                                 datagen::DatasetOptions opts) {
+  switch (kind) {
+    case DataKind::kUniform:
+      return datagen::GenerateUniform(opts);
+    case DataKind::kGaussian:
+      return datagen::GenerateGaussianCloud(opts, /*sigma=*/opts.domain_size / 6);
+    case DataKind::kUtility:
+      return datagen::GenerateRealLike(datagen::RealDataset::kUtility, opts);
+    case DataKind::kRoads:
+      return datagen::GenerateRealLike(datagen::RealDataset::kRoads, opts);
+    case DataKind::kRrlines:
+      return datagen::GenerateRealLike(datagen::RealDataset::kRrlines, opts);
+  }
+  return {};
+}
+
+std::vector<int> BruteAnswers(const std::vector<uncertain::UncertainObject>& objs,
+                              const geom::Point& q) {
+  double d_minmax = std::numeric_limits<double>::infinity();
+  for (const auto& o : objs) d_minmax = std::min(d_minmax, o.DistMax(q));
+  std::vector<int> ids;
+  for (const auto& o : objs) {
+    if (o.DistMin(q) <= d_minmax) ids.push_back(o.id());
+  }
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 1: dataset kind x diameter, IC method (the default configuration).
+// ---------------------------------------------------------------------------
+using DataParam = std::tuple<DataKind, double>;
+
+class DatasetPnnProperty : public ::testing::TestWithParam<DataParam> {};
+
+TEST_P(DatasetPnnProperty, IndexAnswersEqualBruteForce) {
+  const auto [kind, diameter] = GetParam();
+  datagen::DatasetOptions opts;
+  opts.count = 600;
+  opts.diameter = diameter;
+  opts.seed = 1234;
+  auto objects = MakeData(kind, opts);
+  const geom::Box domain = datagen::DomainFor(opts);
+  auto diagram = UVDiagram::Build(objects, domain).ValueOrDie();
+  for (const auto& q : datagen::UniformQueryPoints(25, domain, 99)) {
+    EXPECT_EQ(diagram.AnswerObjectIds(q).ValueOrDie(), BruteAnswers(objects, q));
+  }
+}
+
+TEST_P(DatasetPnnProperty, EveryObjectAppearsInSomeLeaf) {
+  const auto [kind, diameter] = GetParam();
+  datagen::DatasetOptions opts;
+  opts.count = 400;
+  opts.diameter = diameter;
+  opts.seed = 77;
+  auto objects = MakeData(kind, opts);
+  auto diagram = UVDiagram::Build(objects, datagen::DomainFor(opts)).ValueOrDie();
+  // Every object's cell contains its own uncertainty region, so every
+  // object must be associated with at least one leaf.
+  for (const auto& o : objects) {
+    const auto summary = diagram.QueryUvCellSummary(o.id());
+    EXPECT_TRUE(summary.ok()) << "object " << o.id();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetPnnProperty,
+    ::testing::Combine(::testing::Values(DataKind::kUniform, DataKind::kGaussian,
+                                         DataKind::kUtility, DataKind::kRoads,
+                                         DataKind::kRrlines),
+                       ::testing::Values(20.0, 40.0, 100.0)),
+    [](const ::testing::TestParamInfo<DataParam>& info) {
+      return std::string(DataKindName(std::get<0>(info.param))) + "_d" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 2: construction method x split threshold.
+// ---------------------------------------------------------------------------
+using ConfigParam = std::tuple<BuildMethod, double>;
+
+class ConfigPnnProperty : public ::testing::TestWithParam<ConfigParam> {};
+
+TEST_P(ConfigPnnProperty, IndexAnswersEqualBruteForce) {
+  const auto [method, t_theta] = GetParam();
+  datagen::DatasetOptions opts;
+  opts.count = 350;
+  opts.seed = 555;
+  auto objects = datagen::GenerateUniform(opts);
+  const geom::Box domain = datagen::DomainFor(opts);
+  UVDiagram::Options options;
+  options.method = method;
+  options.index.split_threshold = t_theta;
+  auto diagram = UVDiagram::Build(objects, domain, options).ValueOrDie();
+  for (const auto& q : datagen::UniformQueryPoints(25, domain, 31)) {
+    EXPECT_EQ(diagram.AnswerObjectIds(q).ValueOrDie(), BruteAnswers(objects, q));
+  }
+}
+
+TEST_P(ConfigPnnProperty, NonleafBudgetHolds) {
+  const auto [method, t_theta] = GetParam();
+  datagen::DatasetOptions opts;
+  opts.count = 350;
+  opts.seed = 556;
+  UVDiagram::Options options;
+  options.method = method;
+  options.index.split_threshold = t_theta;
+  options.index.max_nonleaf = 20;
+  auto diagram = UVDiagram::Build(datagen::GenerateUniform(opts),
+                                  datagen::DomainFor(opts), options)
+                     .ValueOrDie();
+  EXPECT_LE(diagram.index().num_nonleaf(), 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndThresholds, ConfigPnnProperty,
+    ::testing::Combine(::testing::Values(BuildMethod::kBasic, BuildMethod::kICR,
+                                         BuildMethod::kIC),
+                       ::testing::Values(0.0, 0.5, 1.0)),
+    [](const ::testing::TestParamInfo<ConfigParam>& info) {
+      return std::string(BuildMethodName(std::get<0>(info.param))) + "_T" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 3: UV-cell properties across radii (including the Voronoi limit).
+// ---------------------------------------------------------------------------
+class CellRadiusProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(CellRadiusProperty, CellsCoverTheDomain) {
+  // Definition 1 consequence: every point of D lies in at least one
+  // UV-cell; where cells overlap, brute force confirms multiple answers.
+  const double radius = GetParam();
+  Rng rng(42);
+  std::vector<uncertain::UncertainObject> objects;
+  for (int i = 0; i < 25; ++i) {
+    objects.push_back(uncertain::UncertainObject::WithGaussianPdf(
+        i, {{rng.Uniform(0, 1000), rng.Uniform(0, 1000)}, radius}));
+  }
+  const geom::Box domain({0, 0}, {1000, 1000});
+  std::vector<UVCell> cells;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    cells.push_back(BuildExactUvCell(objects, i, domain));
+  }
+  for (int t = 0; t < 1500; ++t) {
+    const geom::Point q{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    int covering = 0;
+    for (const auto& c : cells) covering += c.Contains(q) ? 1 : 0;
+    EXPECT_GE(covering, 1);
+    EXPECT_EQ(static_cast<size_t>(covering), BruteAnswers(objects, q).size());
+  }
+}
+
+TEST_P(CellRadiusProperty, CellAreasSumToAtLeastDomain) {
+  // Cells cover D (with overlaps), so their areas sum to >= |D|.
+  const double radius = GetParam();
+  Rng rng(7);
+  std::vector<uncertain::UncertainObject> objects;
+  for (int i = 0; i < 20; ++i) {
+    objects.push_back(uncertain::UncertainObject::WithGaussianPdf(
+        i, {{rng.Uniform(0, 1000), rng.Uniform(0, 1000)}, radius}));
+  }
+  const geom::Box domain({0, 0}, {1000, 1000});
+  double total = 0;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    total += BuildExactUvCell(objects, i, domain).Area();
+  }
+  EXPECT_GE(total, domain.Area() * (1 - 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, CellRadiusProperty,
+                         ::testing::Values(0.0, 5.0, 25.0, 60.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "r" + std::to_string(
+                                            static_cast<int>(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Sweep 4: qualification probabilities across pdf kinds and densities.
+// ---------------------------------------------------------------------------
+using PdfParam = std::tuple<uncertain::PdfKind, int>;
+
+class QualificationProperty : public ::testing::TestWithParam<PdfParam> {};
+
+TEST_P(QualificationProperty, ProbabilitiesConserveMass) {
+  const auto [kind, cluster_size] = GetParam();
+  Rng rng(2718);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<uncertain::UncertainObject> objs;
+    for (int i = 0; i < cluster_size; ++i) {
+      const geom::Circle region(
+          {rng.Uniform(-50, 50), rng.Uniform(-50, 50)}, rng.Uniform(5, 30));
+      objs.push_back(uncertain::UncertainObject(
+          i, region,
+          kind == uncertain::PdfKind::kGaussian
+              ? uncertain::RadialHistogramPdf::Gaussian(region.radius)
+              : uncertain::RadialHistogramPdf::Uniform(region.radius)));
+    }
+    std::vector<const uncertain::UncertainObject*> refs;
+    for (const auto& o : objs) refs.push_back(&o);
+    const auto answers = uncertain::ComputeQualificationProbabilities(refs, {0, 0});
+    double total = 0;
+    for (const auto& a : answers) {
+      EXPECT_GT(a.probability, 0.0);
+      total += a.probability;
+    }
+    EXPECT_NEAR(total, 1.0, 5e-3) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PdfKindsAndSizes, QualificationProperty,
+    ::testing::Combine(::testing::Values(uncertain::PdfKind::kGaussian,
+                                         uncertain::PdfKind::kUniform),
+                       ::testing::Values(2, 5, 12)),
+    [](const ::testing::TestParamInfo<PdfParam>& info) {
+      return std::string(std::get<0>(info.param) == uncertain::PdfKind::kGaussian
+                             ? "gaussian"
+                             : "uniform") +
+             "_c" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace core
+}  // namespace uvd

@@ -1,0 +1,154 @@
+// Tests for the simulated disk: page manager I/O accounting, buffer pool
+// LRU behaviour, record encode/decode round-trips.
+#include <gtest/gtest.h>
+
+#include "storage/page_manager.h"
+#include "storage/record.h"
+
+namespace uvd {
+namespace storage {
+namespace {
+
+TEST(PageManagerTest, AllocateAndRoundTrip) {
+  Stats stats;
+  PageManager pm(4096, &stats);
+  const PageId a = pm.Allocate();
+  const PageId b = pm.Allocate();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(pm.num_pages(), 2u);
+  EXPECT_EQ(pm.bytes_on_disk(), 2u * 4096u);
+
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(pm.Write(a, data).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(pm.Read(a, &out).ok());
+  ASSERT_EQ(out.size(), 4096u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[4], 5);
+  EXPECT_EQ(out[5], 0);  // zero-padded
+}
+
+TEST(PageManagerTest, IoCounting) {
+  Stats stats;
+  PageManager pm(512, &stats);
+  const PageId p = pm.Allocate();
+  std::vector<uint8_t> buf(10, 7);
+  ASSERT_TRUE(pm.Write(p, buf).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(pm.Read(p, &out).ok());
+  ASSERT_TRUE(pm.Read(p, &out).ok());
+  EXPECT_EQ(stats.Get(Ticker::kPageWrites), 1u);
+  EXPECT_EQ(stats.Get(Ticker::kPageReads), 2u);
+}
+
+TEST(PageManagerTest, ErrorsOnBadPage) {
+  PageManager pm(256);
+  std::vector<uint8_t> out;
+  EXPECT_EQ(pm.Read(42, &out).code(), StatusCode::kNotFound);
+  EXPECT_EQ(pm.Write(42, out).code(), StatusCode::kNotFound);
+}
+
+TEST(PageManagerTest, RejectsOversizeWrite) {
+  PageManager pm(16);
+  const PageId p = pm.Allocate();
+  std::vector<uint8_t> big(17, 1);
+  EXPECT_EQ(pm.Write(p, big).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PageManagerTest, OverwriteClearsOldData) {
+  PageManager pm(64);
+  const PageId p = pm.Allocate();
+  ASSERT_TRUE(pm.Write(p, std::vector<uint8_t>(64, 0xAB)).ok());
+  ASSERT_TRUE(pm.Write(p, std::vector<uint8_t>{1}).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(pm.Read(p, &out).ok());
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 0);
+  EXPECT_EQ(out[63], 0);
+}
+
+TEST(BufferPoolTest, HitsAndMisses) {
+  Stats stats;
+  PageManager pm(128, &stats);
+  const PageId a = pm.Allocate();
+  const PageId b = pm.Allocate();
+  ASSERT_TRUE(pm.Write(a, {1}).ok());
+  ASSERT_TRUE(pm.Write(b, {2}).ok());
+  stats.Reset();
+
+  BufferPool pool(&pm, 2, &stats);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(pool.Read(a, &out).ok());  // miss
+  ASSERT_TRUE(pool.Read(a, &out).ok());  // hit
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(stats.Get(Ticker::kBufferPoolMisses), 1u);
+  EXPECT_EQ(stats.Get(Ticker::kBufferPoolHits), 1u);
+  EXPECT_EQ(stats.Get(Ticker::kPageReads), 1u);  // only the miss hit disk
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  Stats stats;
+  PageManager pm(64, &stats);
+  const PageId a = pm.Allocate();
+  const PageId b = pm.Allocate();
+  const PageId c = pm.Allocate();
+  BufferPool pool(&pm, 2, &stats);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(pool.Read(a, &out).ok());
+  ASSERT_TRUE(pool.Read(b, &out).ok());
+  ASSERT_TRUE(pool.Read(a, &out).ok());  // a becomes most recent
+  ASSERT_TRUE(pool.Read(c, &out).ok());  // evicts b
+  EXPECT_EQ(pool.size(), 2u);
+  stats.Reset();
+  ASSERT_TRUE(pool.Read(a, &out).ok());  // still cached
+  EXPECT_EQ(stats.Get(Ticker::kBufferPoolHits), 1u);
+  ASSERT_TRUE(pool.Read(b, &out).ok());  // was evicted -> miss
+  EXPECT_EQ(stats.Get(Ticker::kBufferPoolMisses), 1u);
+}
+
+TEST(BufferPoolTest, InvalidateForcesReread) {
+  Stats stats;
+  PageManager pm(64, &stats);
+  const PageId a = pm.Allocate();
+  BufferPool pool(&pm, 4, &stats);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(pool.Read(a, &out).ok());
+  ASSERT_TRUE(pm.Write(a, {9}).ok());
+  pool.Invalidate(a);
+  ASSERT_TRUE(pool.Read(a, &out).ok());
+  EXPECT_EQ(out[0], 9);
+}
+
+TEST(RecordTest, RoundTripPrimitives) {
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  enc.PutU16(0xBEEF);
+  enc.PutU32(0xDEADBEEFu);
+  enc.PutU64(0x0123456789ABCDEFull);
+  enc.PutI32(-42);
+  enc.PutDouble(3.14159);
+
+  Decoder dec(buf);
+  EXPECT_EQ(dec.GetU16(), 0xBEEF);
+  EXPECT_EQ(dec.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(dec.GetI32(), -42);
+  EXPECT_DOUBLE_EQ(dec.GetDouble(), 3.14159);
+  EXPECT_EQ(dec.remaining(), 0u);
+}
+
+TEST(RecordTest, SkipAndPosition) {
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  enc.PutU32(1);
+  enc.PutU32(2);
+  Decoder dec(buf);
+  dec.Skip(4);
+  EXPECT_EQ(dec.position(), 4u);
+  EXPECT_EQ(dec.GetU32(), 2u);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace uvd

@@ -1,0 +1,97 @@
+// Tests for the distance CDF used by the probability integration.
+#include "uncertain/distance_dist.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "uncertain/monte_carlo.h"
+
+namespace uvd {
+namespace uncertain {
+namespace {
+
+UncertainObject MakeObj(int id, geom::Point c, double r,
+                        PdfKind kind = PdfKind::kGaussian) {
+  if (kind == PdfKind::kGaussian) {
+    return UncertainObject(id, geom::Circle(c, r), RadialHistogramPdf::Gaussian(r));
+  }
+  return UncertainObject(id, geom::Circle(c, r), RadialHistogramPdf::Uniform(r));
+}
+
+TEST(DistanceDistTest, SupportBounds) {
+  const auto obj = MakeObj(0, {10, 0}, 3);
+  DistanceDistribution dist(obj, {0, 0});
+  EXPECT_DOUBLE_EQ(dist.lower(), 7.0);
+  EXPECT_DOUBLE_EQ(dist.upper(), 13.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(6.9), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(13.0), 1.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(20.0), 1.0);
+}
+
+TEST(DistanceDistTest, MonotoneNondecreasing) {
+  const auto obj = MakeObj(0, {5, 5}, 4);
+  for (const geom::Point q : {geom::Point{0, 0}, geom::Point{5, 5}, geom::Point{6, 4}}) {
+    DistanceDistribution dist(obj, q);
+    double prev = 0.0;
+    for (double d = 0.0; d <= dist.upper() + 1.0; d += 0.05) {
+      const double c = dist.Cdf(d);
+      EXPECT_GE(c, prev - 1e-12) << "q=(" << q.x << "," << q.y << ") d=" << d;
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c, 1.0);
+      prev = c;
+    }
+  }
+}
+
+TEST(DistanceDistTest, QueryInsideRegion) {
+  // Query at the region center: distance distribution equals the radial CDF.
+  const auto obj = MakeObj(0, {0, 0}, 10, PdfKind::kUniform);
+  DistanceDistribution dist(obj, {0, 0});
+  EXPECT_DOUBLE_EQ(dist.lower(), 0.0);
+  for (double d = 1.0; d < 10.0; d += 1.0) {
+    EXPECT_NEAR(dist.Cdf(d), (d * d) / 100.0, 1e-9) << d;
+  }
+}
+
+TEST(DistanceDistTest, PointObjectIsStep) {
+  const auto obj = MakeObj(0, {3, 4}, 0);
+  DistanceDistribution dist(obj, {0, 0});
+  EXPECT_DOUBLE_EQ(dist.lower(), 5.0);
+  EXPECT_DOUBLE_EQ(dist.upper(), 5.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(4.999), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(5.0), 1.0);
+}
+
+TEST(DistanceDistTest, MatchesMonteCarloGaussian) {
+  Rng rng(99);
+  const auto obj = MakeObj(0, {20, 0}, 8);
+  const geom::Point q{0, 0};
+  DistanceDistribution dist(obj, q);
+  const int n = 200000;
+  for (double d : {14.0, 18.0, 20.0, 22.0, 26.0}) {
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+      if (geom::Distance(SamplePosition(obj, &rng), q) <= d) ++hits;
+    }
+    EXPECT_NEAR(dist.Cdf(d), static_cast<double>(hits) / n, 0.01) << "d=" << d;
+  }
+}
+
+TEST(DistanceDistTest, MatchesMonteCarloQueryInsideUniform) {
+  Rng rng(123);
+  const auto obj = MakeObj(0, {0, 0}, 6, PdfKind::kUniform);
+  const geom::Point q{2, 1};  // inside the region
+  DistanceDistribution dist(obj, q);
+  const int n = 200000;
+  for (double d : {1.0, 2.5, 4.0, 6.0, 8.0}) {
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+      if (geom::Distance(SamplePosition(obj, &rng), q) <= d) ++hits;
+    }
+    EXPECT_NEAR(dist.Cdf(d), static_cast<double>(hits) / n, 0.01) << "d=" << d;
+  }
+}
+
+}  // namespace
+}  // namespace uncertain
+}  // namespace uvd

@@ -1,0 +1,141 @@
+// Tests for the disk-resident object store.
+#include "uncertain/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace uvd {
+namespace uncertain {
+namespace {
+
+std::vector<UncertainObject> MakeObjects(int n, uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<UncertainObject> objs;
+  for (int i = 0; i < n; ++i) {
+    objs.push_back(UncertainObject::WithGaussianPdf(
+        i, geom::Circle({rng.Uniform(0, 1000), rng.Uniform(0, 1000)},
+                        rng.Uniform(1, 30))));
+  }
+  return objs;
+}
+
+TEST(ObjectStoreTest, RoundTrip) {
+  storage::PageManager pm;
+  ObjectStore store(&pm);
+  const auto objs = MakeObjects(100);
+  std::vector<ObjectPtr> ptrs;
+  ASSERT_TRUE(store.BulkLoad(objs, &ptrs).ok());
+  ASSERT_EQ(ptrs.size(), 100u);
+
+  for (int i : {0, 1, 42, 99}) {
+    auto fetched = store.Fetch(ptrs[static_cast<size_t>(i)]);
+    ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+    const UncertainObject& o = fetched.value();
+    EXPECT_EQ(o.id(), objs[static_cast<size_t>(i)].id());
+    EXPECT_DOUBLE_EQ(o.center().x, objs[static_cast<size_t>(i)].center().x);
+    EXPECT_DOUBLE_EQ(o.radius(), objs[static_cast<size_t>(i)].radius());
+    EXPECT_EQ(o.pdf().num_bars(), objs[static_cast<size_t>(i)].pdf().num_bars());
+    for (int b = 0; b < o.pdf().num_bars(); ++b) {
+      EXPECT_DOUBLE_EQ(o.pdf().bars()[static_cast<size_t>(b)],
+                       objs[static_cast<size_t>(i)].pdf().bars()[static_cast<size_t>(b)]);
+    }
+  }
+}
+
+TEST(ObjectStoreTest, PacksMultipleRecordsPerPage) {
+  storage::PageManager pm(4096);
+  ObjectStore store(&pm);
+  const auto objs = MakeObjects(100);
+  std::vector<ObjectPtr> ptrs;
+  ASSERT_TRUE(store.BulkLoad(objs, &ptrs).ok());
+  // Record = 192 bytes -> 21 per 4 KB page -> 5 pages for 100 objects.
+  EXPECT_EQ(store.num_pages(), 5u);
+}
+
+TEST(ObjectStoreTest, FetchCostsOnePageRead) {
+  Stats stats;
+  storage::PageManager pm(4096, &stats);
+  ObjectStore store(&pm);
+  const auto objs = MakeObjects(50);
+  std::vector<ObjectPtr> ptrs;
+  ASSERT_TRUE(store.BulkLoad(objs, &ptrs).ok());
+  stats.Reset();
+  ASSERT_TRUE(store.Fetch(ptrs[30]).ok());
+  EXPECT_EQ(stats.Get(Ticker::kPageReads), 1u);
+}
+
+TEST(ObjectStoreTest, EmptyLoad) {
+  storage::PageManager pm;
+  ObjectStore store(&pm);
+  std::vector<ObjectPtr> ptrs;
+  ASSERT_TRUE(store.BulkLoad({}, &ptrs).ok());
+  EXPECT_TRUE(ptrs.empty());
+  EXPECT_EQ(store.Fetch(0).status().code(), StatusCode::kInternal);
+}
+
+TEST(ObjectStoreTest, BadSlotRejected) {
+  storage::PageManager pm;
+  ObjectStore store(&pm);
+  const auto objs = MakeObjects(5);
+  std::vector<ObjectPtr> ptrs;
+  ASSERT_TRUE(store.BulkLoad(objs, &ptrs).ok());
+  const ObjectPtr bad = ObjectStore::MakePtr(0, 9999);
+  EXPECT_FALSE(store.Fetch(bad).ok());
+}
+
+TEST(ObjectStoreTest, AppendAfterBulkLoad) {
+  storage::PageManager pm;
+  ObjectStore store(&pm);
+  const auto objs = MakeObjects(25);
+  std::vector<ObjectPtr> ptrs;
+  ASSERT_TRUE(store.BulkLoad(objs, &ptrs).ok());
+  const size_t pages_before = store.num_pages();
+  // 25 records on pages of 21: the tail page has room for 17 more.
+  const auto extra = MakeObjects(5, 99);
+  for (const auto& o : extra) {
+    auto ptr = store.Append(o);
+    ASSERT_TRUE(ptr.ok());
+    auto fetched = store.Fetch(ptr.value());
+    ASSERT_TRUE(fetched.ok());
+    EXPECT_EQ(fetched.value().id(), o.id());
+    EXPECT_DOUBLE_EQ(fetched.value().center().x, o.center().x);
+  }
+  EXPECT_EQ(store.num_pages(), pages_before);  // reused tail space
+  // Earlier records still intact.
+  auto first = store.Fetch(ptrs[0]);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().id(), 0);
+}
+
+TEST(ObjectStoreTest, AppendIntoEmptyStore) {
+  storage::PageManager pm;
+  ObjectStore store(&pm);
+  const auto objs = MakeObjects(1);
+  auto ptr = store.Append(objs[0]);
+  ASSERT_TRUE(ptr.ok());
+  auto fetched = store.Fetch(ptr.value());
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value().id(), 0);
+}
+
+TEST(ObjectStoreTest, AppendGrowsPages) {
+  storage::PageManager pm(4096);
+  ObjectStore store(&pm);
+  std::vector<ObjectPtr> ptrs;
+  ASSERT_TRUE(store.BulkLoad(MakeObjects(21), &ptrs).ok());  // exactly 1 page
+  EXPECT_EQ(store.num_pages(), 1u);
+  auto ptr = store.Append(MakeObjects(1, 5)[0]);
+  ASSERT_TRUE(ptr.ok());
+  EXPECT_EQ(store.num_pages(), 2u);
+}
+
+TEST(ObjectStoreTest, PtrPacking) {
+  const ObjectPtr p = ObjectStore::MakePtr(7, 13);
+  EXPECT_EQ(ObjectStore::PtrPage(p), 7u);
+  EXPECT_EQ(ObjectStore::PtrSlot(p), 13u);
+}
+
+}  // namespace
+}  // namespace uncertain
+}  // namespace uvd

@@ -1,0 +1,120 @@
+// Tests for the radial histogram pdfs (paper Sec. VI-A: 20 bars, Gaussian
+// with sigma = diameter/6).
+#include "uncertain/pdf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace uvd {
+namespace uncertain {
+namespace {
+
+TEST(PdfTest, GaussianBarsSumToOne) {
+  const auto pdf = RadialHistogramPdf::Gaussian(20.0);
+  EXPECT_EQ(pdf.num_bars(), kDefaultNumBars);
+  const double sum = std::accumulate(pdf.bars().begin(), pdf.bars().end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(PdfTest, UniformBarsSumToOne) {
+  const auto pdf = RadialHistogramPdf::Uniform(20.0);
+  const double sum = std::accumulate(pdf.bars().begin(), pdf.bars().end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(PdfTest, GaussianMassConcentratedNearCenter) {
+  const auto pdf = RadialHistogramPdf::Gaussian(30.0);
+  // sigma = 10. The first 6 of 20 rings cover r <= 9 = 0.9 sigma; the
+  // truncated Rayleigh CDF there is (1 - e^{-0.405}) / (1 - e^{-4.5}).
+  double inner = 0.0;
+  for (int b = 0; b < 6; ++b) inner += pdf.bars()[b];
+  const double expected =
+      (1.0 - std::exp(-0.405)) / (1.0 - std::exp(-4.5));
+  EXPECT_NEAR(inner, expected, 1e-9);
+  // Far more concentrated than a uniform pdf, whose inner share would be
+  // (9/30)^2 = 0.09.
+  EXPECT_GT(inner, 0.3);
+}
+
+TEST(PdfTest, UniformMassProportionalToRingArea) {
+  const auto pdf = RadialHistogramPdf::Uniform(10.0, 10);
+  // Ring b has area proportional to (b+1)^2 - b^2 = 2b + 1.
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_NEAR(pdf.bars()[b], (2.0 * b + 1.0) / 100.0, 1e-12);
+  }
+}
+
+TEST(PdfTest, RingBounds) {
+  const auto pdf = RadialHistogramPdf::Uniform(20.0, 20);
+  EXPECT_DOUBLE_EQ(pdf.RingInner(0), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.RingOuter(0), 1.0);
+  EXPECT_DOUBLE_EQ(pdf.RingInner(19), 19.0);
+  EXPECT_DOUBLE_EQ(pdf.RingOuter(19), 20.0);
+}
+
+TEST(PdfTest, RadialCdfMonotoneAndBounded) {
+  for (const auto& pdf : {RadialHistogramPdf::Gaussian(15.0),
+                          RadialHistogramPdf::Uniform(15.0)}) {
+    EXPECT_DOUBLE_EQ(pdf.RadialCdf(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(pdf.RadialCdf(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(pdf.RadialCdf(15.0), 1.0);
+    EXPECT_DOUBLE_EQ(pdf.RadialCdf(100.0), 1.0);
+    double prev = 0.0;
+    for (double r = 0.0; r <= 15.0; r += 0.1) {
+      const double c = pdf.RadialCdf(r);
+      EXPECT_GE(c, prev - 1e-12);
+      prev = c;
+    }
+  }
+}
+
+TEST(PdfTest, UniformRadialCdfClosedForm) {
+  const auto pdf = RadialHistogramPdf::Uniform(10.0, 20);
+  // Uniform over the disk: P(|X| <= r) = (r/R)^2 exactly (the histogram is
+  // lossless for uniform).
+  for (double r = 0.5; r < 10.0; r += 0.5) {
+    EXPECT_NEAR(pdf.RadialCdf(r), (r * r) / 100.0, 1e-12) << r;
+  }
+}
+
+TEST(PdfTest, ZeroRadiusIsPointMass) {
+  const auto pdf = RadialHistogramPdf::Gaussian(0.0);
+  EXPECT_DOUBLE_EQ(pdf.RadialCdf(0.0), 1.0);
+  Rng rng(1);
+  const auto off = pdf.SampleOffset(&rng);
+  EXPECT_EQ(off.x, 0.0);
+  EXPECT_EQ(off.y, 0.0);
+}
+
+TEST(PdfTest, SampleOffsetsWithinRadius) {
+  Rng rng(2);
+  const auto pdf = RadialHistogramPdf::Gaussian(25.0);
+  for (int i = 0; i < 5000; ++i) {
+    const auto off = pdf.SampleOffset(&rng);
+    EXPECT_LE(off.Norm(), 25.0 + 1e-9);
+  }
+}
+
+TEST(PdfTest, SampleMatchesRadialCdf) {
+  Rng rng(3);
+  const auto pdf = RadialHistogramPdf::Gaussian(10.0);
+  const int n = 200000;
+  int within5 = 0;
+  for (int i = 0; i < n; ++i) {
+    if (pdf.SampleOffset(&rng).Norm() <= 5.0) ++within5;
+  }
+  EXPECT_NEAR(static_cast<double>(within5) / n, pdf.RadialCdf(5.0), 0.01);
+}
+
+TEST(PdfTest, ExplicitBarsConstructor) {
+  RadialHistogramPdf pdf(PdfKind::kUniform, 4.0, {0.25, 0.25, 0.25, 0.25});
+  EXPECT_EQ(pdf.num_bars(), 4);
+  EXPECT_DOUBLE_EQ(pdf.RingOuter(3), 4.0);
+  EXPECT_EQ(pdf.kind(), PdfKind::kUniform);
+}
+
+}  // namespace
+}  // namespace uncertain
+}  // namespace uvd
