@@ -41,8 +41,9 @@ const char* TickerName(Ticker t) {
 std::string Stats::ToString() const {
   std::ostringstream out;
   for (uint32_t i = 0; i < static_cast<uint32_t>(Ticker::kNumTickers); ++i) {
-    if (counters_[i] == 0) continue;
-    out << TickerName(static_cast<Ticker>(i)) << " = " << counters_[i] << "\n";
+    const uint64_t value = Get(static_cast<Ticker>(i));
+    if (value == 0) continue;
+    out << TickerName(static_cast<Ticker>(i)) << " = " << value << "\n";
   }
   return out.str();
 }

@@ -5,6 +5,7 @@
 #define UVD_COMMON_STATS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -31,24 +32,55 @@ enum class Ticker : uint32_t {
 /// Returns the display name for a ticker.
 const char* TickerName(Ticker t);
 
-/// \brief Counter bundle. Not thread-safe by design: the paper's system and
-/// this reproduction are single-threaded per operation, matching a
-/// Core2-Duo-era evaluation; benches own one Stats each.
+/// \brief Counter bundle. Tickers are relaxed atomics, so one Stats may be
+/// shared by concurrent readers (e.g. the R-tree billing leaf I/O from
+/// several build workers). Totals are exact; cross-ticker snapshots taken
+/// while work is in flight are not. Hot loops should still prefer a
+/// per-worker shard merged at the end (MergeFrom) over hammering a shared
+/// instance — the parallel build pipeline does exactly that.
 class Stats {
  public:
-  void Add(Ticker t, uint64_t delta = 1) {
-    counters_[static_cast<uint32_t>(t)] += delta;
+  Stats() = default;
+  Stats(const Stats& other) { CopyFrom(other); }
+  Stats& operator=(const Stats& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
   }
 
-  uint64_t Get(Ticker t) const { return counters_[static_cast<uint32_t>(t)]; }
+  void Add(Ticker t, uint64_t delta = 1) {
+    counters_[static_cast<uint32_t>(t)].fetch_add(delta, std::memory_order_relaxed);
+  }
 
-  void Reset() { counters_.fill(0); }
+  uint64_t Get(Ticker t) const {
+    return counters_[static_cast<uint32_t>(t)].load(std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+  }
+
+  /// Adds every counter of `other` into this instance. Used to fold
+  /// per-worker shards into the caller's Stats after a parallel phase.
+  void MergeFrom(const Stats& other) {
+    for (uint32_t i = 0; i < counters_.size(); ++i) {
+      counters_[i].fetch_add(other.counters_[i].load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+    }
+  }
 
   /// Multi-line human-readable dump of all non-zero counters.
   std::string ToString() const;
 
  private:
-  std::array<uint64_t, static_cast<uint32_t>(Ticker::kNumTickers)> counters_{};
+  void CopyFrom(const Stats& other) {
+    for (uint32_t i = 0; i < counters_.size(); ++i) {
+      counters_[i].store(other.counters_[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    }
+  }
+
+  std::array<std::atomic<uint64_t>, static_cast<uint32_t>(Ticker::kNumTickers)>
+      counters_{};
 };
 
 }  // namespace uvd

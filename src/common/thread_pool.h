@@ -1,0 +1,107 @@
+// Fixed-size worker pool shared by the parallel build pipeline and (by
+// design) every later concurrency feature: batched query execution,
+// sharded serving, background rebuilds. Deliberately minimal — Submit +
+// Wait over a FIFO task queue — so callers own their scheduling policy
+// (the build pipeline, for instance, submits one long-running loop per
+// worker and sequences results itself to stay deterministic).
+#ifndef UVD_COMMON_THREAD_POOL_H_
+#define UVD_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace uvd {
+
+/// \brief FIFO task pool with a fixed number of worker threads.
+///
+/// Tasks must not throw (the library is exception-free); a task that needs
+/// to report failure should capture a Status slot. Destruction waits for
+/// every submitted task to finish.
+class ThreadPool {
+ public:
+  /// std::thread::hardware_concurrency with a sane fallback.
+  static int DefaultThreads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
+  /// Spawns max(1, num_threads) workers; num_threads <= 0 means
+  /// DefaultThreads().
+  explicit ThreadPool(int num_threads = 0) {
+    if (num_threads <= 0) num_threads = DefaultThreads();
+    threads_.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_task_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after destruction has begun.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      UVD_CHECK(!shutdown_) << "Submit on a shut-down ThreadPool";
+      queue_.push(std::move(task));
+      ++pending_;
+    }
+    cv_task_.notify_one();
+  }
+
+  /// Blocks until every task submitted so far has finished. The pool is
+  /// reusable afterwards.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_task_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // shutdown and drained
+        task = std::move(queue_.front());
+        queue_.pop();
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) cv_idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::queue<std::function<void()>> queue_;
+  size_t pending_ = 0;   // submitted but not yet finished
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace uvd
+
+#endif  // UVD_COMMON_THREAD_POOL_H_

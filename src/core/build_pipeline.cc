@@ -1,0 +1,278 @@
+#include "core/build_pipeline.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/uv_cell.h"
+
+namespace uvd {
+namespace core {
+
+const char* BuildMethodName(BuildMethod m) {
+  switch (m) {
+    case BuildMethod::kBasic:
+      return "Basic";
+    case BuildMethod::kICR:
+      return "ICR";
+    case BuildMethod::kIC:
+      return "IC";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<geom::Circle> RegionsOf(const std::vector<uncertain::UncertainObject>& objects,
+                                    const std::vector<int>& ids) {
+  std::vector<geom::Circle> regions;
+  regions.reserve(ids.size());
+  for (int id : ids) {
+    regions.push_back(objects[static_cast<size_t>(id)].region());
+  }
+  return regions;
+}
+
+/// Stage-1 output for one object: the ids to index plus the per-object
+/// BuildStats deltas. The consumer accumulates the deltas in id order, so
+/// the floating-point sums match the serial build bit for bit.
+struct StageResult {
+  std::vector<int> index_ids;      // ids whose outside regions describe U_i
+  double seed_seconds = 0.0;
+  double prune_seconds = 0.0;
+  double robject_seconds = 0.0;
+  double i_prune_frac = 0.0;
+  double c_prune_frac = 0.0;
+  double cr_count = 0.0;
+  double r_count = 0.0;
+};
+
+/// Stage 1 for objects[i]: pruning and/or exact-cell refinement. Pure
+/// w.r.t. shared state — reads the dataset and the R-tree, bills only
+/// `stats` (the calling worker's shard) — so any number of workers may run
+/// it concurrently.
+StageResult RunObjectStage(const std::vector<uncertain::UncertainObject>& objects,
+                           const CrObjectFinder& finder, size_t i,
+                           const geom::Box& domain, BuildMethod method,
+                           double denom, Stats* stats) {
+  StageResult r;
+  switch (method) {
+    case BuildMethod::kBasic: {
+      ScopedTimer t(&r.robject_seconds);
+      const UVCell cell = BuildExactUvCell(objects, i, domain, stats);
+      r.index_ids = cell.RObjects();
+      r.r_count = static_cast<double>(r.index_ids.size());
+      break;
+    }
+    case BuildMethod::kICR: {
+      const CrResult cr = finder.Find(i);
+      r.seed_seconds = cr.seed_seconds;
+      r.prune_seconds = cr.prune_seconds;
+      r.i_prune_frac = 1.0 - static_cast<double>(cr.after_i_pruning) / denom;
+      r.c_prune_frac = 1.0 - static_cast<double>(cr.cr_objects.size()) / denom;
+      r.cr_count = static_cast<double>(cr.cr_objects.size());
+      {
+        // Refinement: exact r-objects from the candidates.
+        ScopedTimer t(&r.robject_seconds);
+        const UVCell cell =
+            BuildUvCellFromCandidates(objects, i, cr.cr_objects, domain, stats);
+        r.index_ids = cell.RObjects();
+      }
+      r.r_count = static_cast<double>(r.index_ids.size());
+      break;
+    }
+    case BuildMethod::kIC: {
+      const CrResult cr = finder.Find(i);
+      r.seed_seconds = cr.seed_seconds;
+      r.prune_seconds = cr.prune_seconds;
+      r.i_prune_frac = 1.0 - static_cast<double>(cr.after_i_pruning) / denom;
+      r.c_prune_frac = 1.0 - static_cast<double>(cr.cr_objects.size()) / denom;
+      r.cr_count = static_cast<double>(cr.cr_objects.size());
+      r.index_ids = cr.cr_objects;
+      break;
+    }
+  }
+  return r;
+}
+
+void Accumulate(const StageResult& r, BuildStats* s) {
+  s->seed_seconds += r.seed_seconds;
+  s->pruning_seconds += r.prune_seconds;
+  s->robject_seconds += r.robject_seconds;
+  s->i_pruning_ratio += r.i_prune_frac;
+  s->c_pruning_ratio += r.c_prune_frac;
+  s->avg_cr_objects += r.cr_count;
+  s->avg_r_objects += r.r_count;
+}
+
+/// Stage 2: ordered insertion of one stage-1 result.
+Status InsertResult(const std::vector<uncertain::UncertainObject>& objects,
+                    const std::vector<uncertain::ObjectPtr>& ptrs, size_t i,
+                    const StageResult& r, UVIndex* index, BuildStats* local) {
+  ScopedTimer t(&local->indexing_seconds);
+  return index->InsertObject(objects[i].region(), objects[i].id(), ptrs[i],
+                             RegionsOf(objects, r.index_ids));
+}
+
+/// The legacy serial loop: compute and insert one object at a time on the
+/// calling thread.
+Status RunSerial(const std::vector<uncertain::UncertainObject>& objects,
+                 const std::vector<uncertain::ObjectPtr>& ptrs,
+                 const rtree::RTree& tree, const geom::Box& domain,
+                 const BuildPipelineOptions& options, UVIndex* index,
+                 BuildStats* local, Stats* stats) {
+  const CrObjectFinder finder(objects, tree, domain, options.cr, stats);
+  const size_t n = objects.size();
+  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    const StageResult r =
+        RunObjectStage(objects, finder, i, domain, options.method, denom, stats);
+    Accumulate(r, local);
+    UVD_RETURN_NOT_OK(InsertResult(objects, ptrs, i, r, index, local));
+  }
+  return Status::OK();
+}
+
+/// Fan-out path: stage-1 workers feed the in-order consumer through a
+/// bounded ring buffer.
+Status RunParallel(const std::vector<uncertain::UncertainObject>& objects,
+                   const std::vector<uncertain::ObjectPtr>& ptrs,
+                   const rtree::RTree& tree, const geom::Box& domain,
+                   const BuildPipelineOptions& options, int workers,
+                   UVIndex* index, BuildStats* local, Stats* stats) {
+  const size_t n = objects.size();
+  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  const size_t window =
+      options.queue_window >= workers ? static_cast<size_t>(options.queue_window)
+                                      : static_cast<size_t>(2 * workers + 2);
+
+  struct Slot {
+    StageResult result;
+    bool ready = false;
+  };
+  std::vector<Slot> ring(window);
+  std::mutex mu;
+  std::condition_variable cv_space;  // consumer advanced or abort
+  std::condition_variable cv_ready;  // a slot became ready
+  size_t consumed = 0;               // guarded by mu
+  bool abort = false;                // guarded by mu
+  std::atomic<size_t> next{0};
+
+  // One Stats shard per worker keeps the hottest tickers (envelope
+  // insertions, hyperbola tests) contention-free; shards are merged below.
+  // R-tree / page tickers billed through the tree's own Stats pointer are
+  // relaxed atomics, so sharing them across workers is exact too.
+  std::vector<Stats> shards(static_cast<size_t>(workers));
+
+  ThreadPool pool(workers);
+  for (int w = 0; w < workers; ++w) {
+    pool.Submit([&, w] {
+      Stats* shard = stats != nullptr ? &shards[static_cast<size_t>(w)] : nullptr;
+      const CrObjectFinder finder(objects, tree, domain, options.cr, shard);
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        {
+          // Bound how far stage 1 runs ahead of the consumer. The worker
+          // holding the smallest unfilled index is always admitted
+          // (window >= workers), so the claim-then-wait order cannot
+          // deadlock.
+          std::unique_lock<std::mutex> lock(mu);
+          cv_space.wait(lock, [&] { return abort || i < consumed + window; });
+          if (abort) return;
+        }
+        StageResult r =
+            RunObjectStage(objects, finder, i, domain, options.method, denom, shard);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          Slot& slot = ring[i % window];
+          UVD_DCHECK(!slot.ready);
+          slot.result = std::move(r);
+          slot.ready = true;
+        }
+        cv_ready.notify_all();
+      }
+    });
+  }
+
+  // In-order consumer: object i is inserted only after 0..i-1, so the
+  // index evolves exactly as in the serial build.
+  Status status;
+  for (size_t i = 0; i < n; ++i) {
+    StageResult r;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv_ready.wait(lock, [&] { return ring[i % window].ready; });
+      Slot& slot = ring[i % window];
+      r = std::move(slot.result);
+      slot.ready = false;
+      consumed = i + 1;
+    }
+    cv_space.notify_all();
+    Accumulate(r, local);
+    status = InsertResult(objects, ptrs, i, r, index, local);
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      abort = true;
+      break;
+    }
+  }
+  cv_space.notify_all();
+  pool.Wait();
+
+  if (stats != nullptr) {
+    for (const Stats& shard : shards) stats->MergeFrom(shard);
+  }
+  return status;
+}
+
+}  // namespace
+
+Status RunBuildPipeline(const std::vector<uncertain::UncertainObject>& objects,
+                        const std::vector<uncertain::ObjectPtr>& ptrs,
+                        const rtree::RTree& tree, const geom::Box& domain,
+                        const BuildPipelineOptions& options, UVIndex* index,
+                        BuildStats* build_stats, Stats* stats) {
+  if (objects.size() != ptrs.size()) {
+    return Status::InvalidArgument("objects/ptrs size mismatch");
+  }
+  for (size_t i = 0; i < objects.size(); ++i) {
+    if (objects[i].id() != static_cast<int>(i)) {
+      return Status::InvalidArgument("objects must be stored in id order");
+    }
+  }
+
+  const int workers =
+      options.build_threads > 0 ? options.build_threads : ThreadPool::DefaultThreads();
+
+  BuildStats local;
+  Timer total_timer;
+  Status status =
+      workers == 1
+          ? RunSerial(objects, ptrs, tree, domain, options, index, &local, stats)
+          : RunParallel(objects, ptrs, tree, domain, options, workers, index, &local,
+                        stats);
+  UVD_RETURN_NOT_OK(status);
+  {
+    ScopedTimer t(&local.indexing_seconds);
+    UVD_RETURN_NOT_OK(index->Finalize());
+  }
+
+  local.total_seconds = total_timer.ElapsedSeconds();
+  const size_t n = objects.size();
+  if (n > 0) {
+    local.i_pruning_ratio /= static_cast<double>(n);
+    local.c_pruning_ratio /= static_cast<double>(n);
+    local.avg_cr_objects /= static_cast<double>(n);
+    local.avg_r_objects /= static_cast<double>(n);
+  }
+  if (build_stats != nullptr) *build_stats = local;
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace uvd

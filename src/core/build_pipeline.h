@@ -1,0 +1,111 @@
+// Staged UV-index construction pipeline (paper Sec. VI-B.3, parallelized).
+//
+// Construction decomposes into two stages per object:
+//
+//   Stage 1 — candidate generation: Algorithm 2 pruning (CrObjectFinder::
+//             Find) and, for Basic/ICR, exact-cell refinement. Pure
+//             function of the immutable dataset + R-tree: embarrassingly
+//             parallel across objects.
+//   Stage 2 — index insertion: Algorithm 3 (UVIndex::InsertObject).
+//             Order-sensitive — split decisions depend on the resident
+//             set — so it stays on one thread.
+//
+// Threading model and determinism guarantee:
+//
+//   * Stage 1 fans out over `build_threads` workers from a shared
+//     common/thread_pool.h pool. Each worker owns a CrObjectFinder and a
+//     private Stats shard (merged into the caller's Stats at the end);
+//     the R-tree and PageManager are only read, and their shared tickers
+//     are relaxed atomics, so concurrent readers are safe.
+//   * Stage 2 consumes results through a bounded in-order ring buffer:
+//     the consumer inserts object i only after i-1, and workers stall
+//     once they run more than the window size ahead. Insertion order is
+//     therefore exactly 0..n-1 — identical to the serial build — so the
+//     quad-tree structure, leaf tuples, page layout, and every
+//     non-timing BuildStats field are byte-identical to build_threads=1.
+//   * build_threads = 1 runs the legacy single-threaded loop (no pool,
+//     no queue); build_threads <= 0 uses hardware concurrency.
+//
+// Timing fields (seed/pruning/robject seconds) are summed across workers,
+// i.e. aggregate CPU seconds; with build_threads > 1 they can exceed
+// total_seconds, which stays wall-clock.
+#ifndef UVD_CORE_BUILD_PIPELINE_H_
+#define UVD_CORE_BUILD_PIPELINE_H_
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/cr_finder.h"
+#include "core/uv_index.h"
+#include "geom/box.h"
+#include "rtree/rtree.h"
+#include "uncertain/object_store.h"
+#include "uncertain/uncertain_object.h"
+
+namespace uvd {
+namespace core {
+
+// The three construction methods evaluated in the paper (Sec. VI-B.3):
+//
+//   Basic — Algorithm 1 per object: build the exact UV-cell against all
+//           n-1 others, then index its r-objects. Exponential-flavored
+//           cost; the paper reports 97 hours at 50K objects.
+//   ICR   — I- and C-pruning (Algorithm 2) to get cr-objects, refine them
+//           into exact r-objects by building the exact cell from the
+//           candidates, then index the r-objects.
+//   IC    — I- and C-pruning only; index the cr-objects directly. The
+//           paper's winner (about 10% of ICR's time at 70K).
+enum class BuildMethod {
+  kBasic,
+  kICR,
+  kIC,
+};
+
+const char* BuildMethodName(BuildMethod m);
+
+/// Construction-time decomposition and pruning diagnostics
+/// (Fig. 7(a)-(g)). With build_threads > 1 the per-stage timing fields are
+/// aggregate CPU seconds across workers; every other field is accumulated
+/// by the in-order consumer and is bit-identical to the serial build.
+struct BuildStats {
+  double seed_seconds = 0.0;      ///< Initial possible regions (Step 1).
+  double pruning_seconds = 0.0;   ///< I- + C-pruning (Steps 2-3).
+  double robject_seconds = 0.0;   ///< Exact cell / r-object generation.
+  double indexing_seconds = 0.0;  ///< Algorithm 3 insertions.
+  double total_seconds = 0.0;     ///< Wall clock for the whole build.
+
+  double i_pruning_ratio = 0.0;   ///< Avg fraction pruned by I-pruning.
+  double c_pruning_ratio = 0.0;   ///< Avg fraction pruned after C-pruning.
+  double avg_cr_objects = 0.0;    ///< Mean |C_i| (IC / ICR).
+  double avg_r_objects = 0.0;     ///< Mean |F_i| (Basic / ICR).
+};
+
+/// Pipeline configuration.
+struct BuildPipelineOptions {
+  BuildMethod method = BuildMethod::kIC;
+  CrFinderOptions cr;
+  /// Stage-1 worker count. <= 0: hardware concurrency; 1: the exact
+  /// legacy serial loop. Any value yields a byte-identical index.
+  int build_threads = 0;
+  /// Bounded in-order queue window (max objects a worker may run ahead of
+  /// the consumer). <= 0: 2 * workers + 2. Must be >= the worker count to
+  /// stay deadlock-free; smaller values are clamped.
+  int queue_window = 0;
+};
+
+/// Runs the staged pipeline: stage-1 fan-out, in-order stage-2 insertion,
+/// then UVIndex::Finalize(). `tree` is the R-tree over the same objects
+/// (Algorithm 2's k-NN and range queries); `ptrs` are the ObjectStore
+/// pointers stored in leaf tuples. Objects must be in id order
+/// (objects[i].id() == i).
+Status RunBuildPipeline(const std::vector<uncertain::UncertainObject>& objects,
+                        const std::vector<uncertain::ObjectPtr>& ptrs,
+                        const rtree::RTree& tree, const geom::Box& domain,
+                        const BuildPipelineOptions& options, UVIndex* index,
+                        BuildStats* build_stats = nullptr, Stats* stats = nullptr);
+
+}  // namespace core
+}  // namespace uvd
+
+#endif  // UVD_CORE_BUILD_PIPELINE_H_

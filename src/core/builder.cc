@@ -1,116 +1,20 @@
 #include "core/builder.h"
 
-#include "common/logging.h"
-#include "common/timer.h"
-#include "core/uv_cell.h"
-
 namespace uvd {
 namespace core {
-
-const char* BuildMethodName(BuildMethod m) {
-  switch (m) {
-    case BuildMethod::kBasic:
-      return "Basic";
-    case BuildMethod::kICR:
-      return "ICR";
-    case BuildMethod::kIC:
-      return "IC";
-  }
-  return "unknown";
-}
-
-namespace {
-
-std::vector<geom::Circle> RegionsOf(const std::vector<uncertain::UncertainObject>& objects,
-                                    const std::vector<int>& ids) {
-  std::vector<geom::Circle> regions;
-  regions.reserve(ids.size());
-  for (int id : ids) {
-    regions.push_back(objects[static_cast<size_t>(id)].region());
-  }
-  return regions;
-}
-
-}  // namespace
 
 Status BuildUvIndex(const std::vector<uncertain::UncertainObject>& objects,
                     const std::vector<uncertain::ObjectPtr>& ptrs,
                     const rtree::RTree& tree, const geom::Box& domain,
                     BuildMethod method, const CrFinderOptions& cr_options,
-                    UVIndex* index, BuildStats* build_stats, Stats* stats) {
-  if (objects.size() != ptrs.size()) {
-    return Status::InvalidArgument("objects/ptrs size mismatch");
-  }
-  for (size_t i = 0; i < objects.size(); ++i) {
-    if (objects[i].id() != static_cast<int>(i)) {
-      return Status::InvalidArgument("objects must be stored in id order");
-    }
-  }
-
-  BuildStats local;
-  Timer total_timer;
-  const CrObjectFinder finder(objects, tree, domain, cr_options, stats);
-  const size_t n = objects.size();
-  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
-
-  for (size_t i = 0; i < n; ++i) {
-    std::vector<int> index_ids;  // ids whose outside regions describe U_i
-    switch (method) {
-      case BuildMethod::kBasic: {
-        ScopedTimer t(&local.robject_seconds);
-        const UVCell cell = BuildExactUvCell(objects, i, domain, stats);
-        index_ids = cell.RObjects();
-        local.avg_r_objects += static_cast<double>(index_ids.size());
-        break;
-      }
-      case BuildMethod::kICR: {
-        const CrResult cr = finder.Find(i);
-        local.seed_seconds += cr.seed_seconds;
-        local.pruning_seconds += cr.seed_seconds + cr.prune_seconds;
-        local.i_pruning_ratio += 1.0 - static_cast<double>(cr.after_i_pruning) / denom;
-        local.c_pruning_ratio += 1.0 - static_cast<double>(cr.cr_objects.size()) / denom;
-        local.avg_cr_objects += static_cast<double>(cr.cr_objects.size());
-        {
-          // Refinement: exact r-objects from the candidates.
-          ScopedTimer t(&local.robject_seconds);
-          const UVCell cell =
-              BuildUvCellFromCandidates(objects, i, cr.cr_objects, domain, stats);
-          index_ids = cell.RObjects();
-        }
-        local.avg_r_objects += static_cast<double>(index_ids.size());
-        break;
-      }
-      case BuildMethod::kIC: {
-        const CrResult cr = finder.Find(i);
-        local.seed_seconds += cr.seed_seconds;
-        local.pruning_seconds += cr.seed_seconds + cr.prune_seconds;
-        local.i_pruning_ratio += 1.0 - static_cast<double>(cr.after_i_pruning) / denom;
-        local.c_pruning_ratio += 1.0 - static_cast<double>(cr.cr_objects.size()) / denom;
-        local.avg_cr_objects += static_cast<double>(cr.cr_objects.size());
-        index_ids = cr.cr_objects;
-        break;
-      }
-    }
-    {
-      ScopedTimer t(&local.indexing_seconds);
-      UVD_RETURN_NOT_OK(index->InsertObject(objects[i].region(), objects[i].id(),
-                                            ptrs[i], RegionsOf(objects, index_ids)));
-    }
-  }
-  {
-    ScopedTimer t(&local.indexing_seconds);
-    UVD_RETURN_NOT_OK(index->Finalize());
-  }
-
-  local.total_seconds = total_timer.ElapsedSeconds();
-  if (n > 0) {
-    local.i_pruning_ratio /= static_cast<double>(n);
-    local.c_pruning_ratio /= static_cast<double>(n);
-    local.avg_cr_objects /= static_cast<double>(n);
-    local.avg_r_objects /= static_cast<double>(n);
-  }
-  if (build_stats != nullptr) *build_stats = local;
-  return Status::OK();
+                    UVIndex* index, BuildStats* build_stats, Stats* stats,
+                    int build_threads) {
+  BuildPipelineOptions options;
+  options.method = method;
+  options.cr = cr_options;
+  options.build_threads = build_threads;
+  return RunBuildPipeline(objects, ptrs, tree, domain, options, index, build_stats,
+                          stats);
 }
 
 }  // namespace core

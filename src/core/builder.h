@@ -1,20 +1,14 @@
-// The three UV-index construction methods evaluated in the paper
-// (Sec. VI-B.3):
-//
-//   Basic — Algorithm 1 per object: build the exact UV-cell against all
-//           n-1 others, then index its r-objects. Exponential-flavored
-//           cost; the paper reports 97 hours at 50K objects.
-//   ICR   — I- and C-pruning (Algorithm 2) to get cr-objects, refine them
-//           into exact r-objects by building the exact cell from the
-//           candidates, then index the r-objects.
-//   IC    — I- and C-pruning only; index the cr-objects directly. The
-//           paper's winner (about 10% of ICR's time at 70K).
+// Compatibility entry point for UV-index construction. The staged
+// implementation — stage decomposition, worker fan-out, in-order
+// insertion — lives in core/build_pipeline.h; BuildMethod and BuildStats
+// are defined there and re-exported through this header.
 #ifndef UVD_CORE_BUILDER_H_
 #define UVD_CORE_BUILDER_H_
 
 #include <vector>
 
 #include "common/status.h"
+#include "core/build_pipeline.h"
 #include "core/cr_finder.h"
 #include "core/uv_index.h"
 #include "rtree/rtree.h"
@@ -24,39 +18,20 @@
 namespace uvd {
 namespace core {
 
-enum class BuildMethod {
-  kBasic,
-  kICR,
-  kIC,
-};
-
-const char* BuildMethodName(BuildMethod m);
-
-/// Construction-time decomposition and pruning diagnostics
-/// (Fig. 7(a)-(g)).
-struct BuildStats {
-  double seed_seconds = 0.0;      ///< Initial possible regions (Step 1).
-  double pruning_seconds = 0.0;   ///< I- + C-pruning (Steps 2-3).
-  double robject_seconds = 0.0;   ///< Exact cell / r-object generation.
-  double indexing_seconds = 0.0;  ///< Algorithm 3 insertions.
-  double total_seconds = 0.0;
-
-  double i_pruning_ratio = 0.0;   ///< Avg fraction pruned by I-pruning.
-  double c_pruning_ratio = 0.0;   ///< Avg fraction pruned after C-pruning.
-  double avg_cr_objects = 0.0;    ///< Mean |C_i| (IC / ICR).
-  double avg_r_objects = 0.0;     ///< Mean |F_i| (Basic / ICR).
-};
-
 /// Builds the UV-index for the dataset with the chosen method. `tree` is
 /// the R-tree over the same objects (used by Algorithm 2's k-NN and range
 /// queries); `ptrs` are the ObjectStore pointers stored in leaf tuples.
 /// Finalizes the index. Objects must be in id order (objects[i].id() == i).
+///
+/// `build_threads` follows BuildPipelineOptions: 1 (the default here, for
+/// historical callers) is the serial legacy loop, <= 0 means hardware
+/// concurrency; every setting produces a byte-identical index.
 Status BuildUvIndex(const std::vector<uncertain::UncertainObject>& objects,
                     const std::vector<uncertain::ObjectPtr>& ptrs,
                     const rtree::RTree& tree, const geom::Box& domain,
                     BuildMethod method, const CrFinderOptions& cr_options,
                     UVIndex* index, BuildStats* build_stats = nullptr,
-                    Stats* stats = nullptr);
+                    Stats* stats = nullptr, int build_threads = 1);
 
 }  // namespace core
 }  // namespace uvd

@@ -52,6 +52,12 @@ struct CrResult {
 ///
 /// Objects must be stored in id order (objects[i].id() == i), which all
 /// dataset generators guarantee.
+///
+/// Thread safety: Find() and BuildSeedRegion() are const and mutate nothing
+/// but the Stats tickers, which are relaxed atomics — so one finder may be
+/// shared by concurrent callers. The parallel build pipeline still gives
+/// each worker its own finder with a private Stats shard to keep the hot
+/// envelope/hyperbola tickers contention-free (see core/build_pipeline.h).
 class CrObjectFinder {
  public:
   CrObjectFinder(const std::vector<uncertain::UncertainObject>& objects,

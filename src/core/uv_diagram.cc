@@ -39,9 +39,12 @@ Result<UVDiagram> UVDiagram::Build(std::vector<uncertain::UncertainObject> objec
   d.rtree_ = std::make_unique<rtree::RTree>(std::move(tree));
 
   d.index_ = std::make_unique<UVIndex>(domain, d.pm_.get(), options.index, d.stats_);
-  UVD_RETURN_NOT_OK(BuildUvIndex(d.objects_, d.ptrs_, *d.rtree_, domain, options.method,
-                                 options.cr, d.index_.get(), &d.build_stats_,
-                                 d.stats_));
+  BuildPipelineOptions pipeline;
+  pipeline.method = options.method;
+  pipeline.cr = options.cr;
+  pipeline.build_threads = options.build_threads;
+  UVD_RETURN_NOT_OK(RunBuildPipeline(d.objects_, d.ptrs_, *d.rtree_, domain, pipeline,
+                                     d.index_.get(), &d.build_stats_, d.stats_));
   return d;
 }
 

@@ -36,6 +36,10 @@ struct UVDiagramOptions {
   rtree::RTreeOptions rtree;
   uncertain::QualificationOptions qualification;
   size_t page_size = storage::kDefaultPageSize;
+  /// Construction worker count (see core/build_pipeline.h). <= 0: hardware
+  /// concurrency (the default); 1: the serial legacy loop. The resulting
+  /// index is byte-identical for every setting.
+  int build_threads = 0;
 };
 
 /// \brief An indexed UV-diagram over a set of uncertain objects.

@@ -29,6 +29,13 @@ struct RTreeOptions {
 };
 
 /// \brief Packed R-tree with disk-resident leaves.
+///
+/// Thread safety: the tree is immutable after BulkLoad — the const query
+/// paths (KNearestByDistMin, CentersInRange, ReadLeaf) keep no mutable
+/// caches and only touch nodes_/leaf_mbrs_/leaf_pages_, PageManager::Read
+/// (safe for concurrent readers), and atomic Stats tickers. Any number of
+/// threads may query one tree concurrently, provided nobody writes to the
+/// underlying PageManager meanwhile; the build pipeline relies on this.
 class RTree {
  public:
   /// In-memory non-leaf node. `children` index nodes() when

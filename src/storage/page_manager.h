@@ -27,6 +27,14 @@ constexpr size_t kDefaultPageSize = 4096;
 ///
 /// Pages live in memory but every Read/Write increments
 /// Ticker::kPageReads / kPageWrites, which benchmarks report as I/O counts.
+///
+/// Thread safety: concurrent Read calls are safe (Stats tickers are
+/// atomic). Allocate/Write mutate the page table (Allocate can reallocate
+/// it) and must not run while ANY other thread reads or writes — a single
+/// writer racing concurrent readers is still a race. The parallel build
+/// pipeline honors this by performing no page writes at all until its
+/// fan-out stage has fully joined (UVIndex::Finalize runs after
+/// ThreadPool::Wait).
 class PageManager {
  public:
   explicit PageManager(size_t page_size = kDefaultPageSize, Stats* stats = nullptr)

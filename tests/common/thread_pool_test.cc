@@ -1,0 +1,99 @@
+// ThreadPool: task execution, Wait semantics, reuse, and concurrent
+// Stats shard merging (the pattern the build pipeline relies on).
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace uvd {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, NonPositiveThreadCountFallsBackToDefault) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::DefaultThreads());
+}
+
+TEST(ThreadPoolTest, PerWorkerStatsShardsMergeExactly) {
+  constexpr int kWorkers = 4;
+  constexpr int kAddsPerWorker = 1000;
+  ThreadPool pool(kWorkers);
+  std::vector<Stats> shards(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    pool.Submit([&shards, w] {
+      for (int i = 0; i < kAddsPerWorker; ++i) {
+        shards[w].Add(Ticker::kHyperbolaTests);
+        shards[w].Add(Ticker::kPageReads, 2);
+      }
+    });
+  }
+  pool.Wait();
+  Stats total;
+  for (const Stats& shard : shards) total.MergeFrom(shard);
+  EXPECT_EQ(total.Get(Ticker::kHyperbolaTests), kWorkers * kAddsPerWorker);
+  EXPECT_EQ(total.Get(Ticker::kPageReads), 2u * kWorkers * kAddsPerWorker);
+}
+
+TEST(ThreadPoolTest, SharedStatsConcurrentAddIsExact) {
+  // Tickers are relaxed atomics: hammering one Stats from every worker
+  // must lose no increments.
+  constexpr int kWorkers = 8;
+  constexpr int kAddsPerWorker = 5000;
+  Stats shared;
+  {
+    ThreadPool pool(kWorkers);
+    for (int w = 0; w < kWorkers; ++w) {
+      pool.Submit([&shared] {
+        for (int i = 0; i < kAddsPerWorker; ++i) {
+          shared.Add(Ticker::kRtreeLeafReads);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(shared.Get(Ticker::kRtreeLeafReads),
+            static_cast<uint64_t>(kWorkers) * kAddsPerWorker);
+}
+
+}  // namespace
+}  // namespace uvd

@@ -1,0 +1,187 @@
+// Parallel-vs-serial determinism of the staged build pipeline: for every
+// BuildMethod, build_threads = 1 and build_threads = N must produce a
+// byte-identical UV-index (structure, leaf tuples, page layout), identical
+// non-timing BuildStats, identical Stats ticker totals, and identical PNN
+// answers. Also covers the queue/abort machinery.
+#include "core/build_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "common/random.h"
+#include "core/pnn.h"
+#include "core/uv_diagram.h"
+#include "datagen/generators.h"
+
+namespace uvd {
+namespace core {
+namespace {
+
+UVDiagram BuildDiagram(BuildMethod method, int threads, size_t n, uint64_t seed,
+                       Stats* stats) {
+  datagen::DatasetOptions opts;
+  opts.count = n;
+  opts.seed = seed;
+  UVDiagramOptions options;
+  options.method = method;
+  options.build_threads = threads;
+  auto diagram = UVDiagram::Build(datagen::GenerateUniform(opts),
+                                  datagen::DomainFor(opts), options, stats);
+  UVD_CHECK(diagram.ok()) << diagram.status().ToString();
+  return std::move(diagram).ValueOrDie();
+}
+
+std::vector<uint8_t> Serialized(const UVDiagram& d) {
+  std::vector<uint8_t> bytes;
+  UVD_CHECK_OK(d.index().SerializeStructure(&bytes));
+  return bytes;
+}
+
+void ExpectSameNonTimingStats(const BuildStats& a, const BuildStats& b) {
+  // Accumulated by the in-order consumer in both modes, so the sums must
+  // match bit for bit — not just approximately.
+  EXPECT_EQ(a.i_pruning_ratio, b.i_pruning_ratio);
+  EXPECT_EQ(a.c_pruning_ratio, b.c_pruning_ratio);
+  EXPECT_EQ(a.avg_cr_objects, b.avg_cr_objects);
+  EXPECT_EQ(a.avg_r_objects, b.avg_r_objects);
+}
+
+void ExpectSameTickers(const Stats& a, const Stats& b) {
+  for (uint32_t i = 0; i < static_cast<uint32_t>(Ticker::kNumTickers); ++i) {
+    const Ticker t = static_cast<Ticker>(i);
+    EXPECT_EQ(a.Get(t), b.Get(t)) << TickerName(t);
+  }
+}
+
+class BuildPipelineDeterminismTest : public ::testing::TestWithParam<BuildMethod> {};
+
+TEST_P(BuildPipelineDeterminismTest, ParallelMatchesSerial) {
+  const BuildMethod method = GetParam();
+  // Basic is O(n) envelope insertions per object; keep it small.
+  const size_t n = method == BuildMethod::kBasic ? 250 : 700;
+  const uint64_t seed = 23;
+
+  Stats serial_stats;
+  Stats parallel_stats;
+  const UVDiagram serial = BuildDiagram(method, 1, n, seed, &serial_stats);
+  const UVDiagram parallel = BuildDiagram(method, 4, n, seed, &parallel_stats);
+
+  // Byte-identical index: same quad-tree, same leaf tuples, same pages.
+  EXPECT_EQ(Serialized(serial), Serialized(parallel));
+  EXPECT_EQ(serial.index().num_nonleaf(), parallel.index().num_nonleaf());
+  EXPECT_EQ(serial.index().total_leaf_pages(), parallel.index().total_leaf_pages());
+
+  ExpectSameNonTimingStats(serial.build_stats(), parallel.build_stats());
+  ExpectSameTickers(serial_stats, parallel_stats);
+
+  // Identical PNN answers, probabilities included.
+  Rng rng(5);
+  for (int t = 0; t < 25; ++t) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    const auto a = serial.QueryPnn(q).ValueOrDie();
+    const auto b = parallel.QueryPnn(q).ValueOrDie();
+    ASSERT_EQ(a.size(), b.size()) << "t=" << t;
+    for (size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].id, b[k].id) << "t=" << t;
+      EXPECT_EQ(a[k].probability, b[k].probability) << "t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, BuildPipelineDeterminismTest,
+                         ::testing::Values(BuildMethod::kBasic, BuildMethod::kICR,
+                                           BuildMethod::kIC),
+                         [](const ::testing::TestParamInfo<BuildMethod>& info) {
+                           return BuildMethodName(info.param);
+                         });
+
+TEST(BuildPipelineTest, DefaultThreadsMatchesSerial) {
+  // build_threads = 0 (hardware concurrency, whatever it is here) must
+  // also reproduce the serial index.
+  const UVDiagram serial = BuildDiagram(BuildMethod::kIC, 1, 500, 31, nullptr);
+  const UVDiagram parallel = BuildDiagram(BuildMethod::kIC, 0, 500, 31, nullptr);
+  EXPECT_EQ(Serialized(serial), Serialized(parallel));
+}
+
+TEST(BuildPipelineTest, TinyQueueWindowIsClampedAndDeterministic) {
+  datagen::DatasetOptions opts;
+  opts.count = 400;
+  opts.seed = 37;
+  const auto objects = datagen::GenerateUniform(opts);
+  const geom::Box domain = datagen::DomainFor(opts);
+
+  auto build = [&](int threads, int window, std::vector<uint8_t>* bytes) {
+    Stats stats;
+    storage::PageManager pm(4096, &stats);
+    uncertain::ObjectStore store(&pm);
+    std::vector<uncertain::ObjectPtr> ptrs;
+    UVD_CHECK_OK(store.BulkLoad(objects, &ptrs));
+    auto tree = rtree::RTree::BulkLoad(objects, ptrs, &pm, {100}, &stats).ValueOrDie();
+    UVIndex index(domain, &pm, {}, &stats);
+    BuildPipelineOptions options;
+    options.method = BuildMethod::kIC;
+    options.build_threads = threads;
+    options.queue_window = window;  // below the worker count: clamped
+    UVD_CHECK_OK(
+        RunBuildPipeline(objects, ptrs, tree, domain, options, &index, nullptr, &stats));
+    UVD_CHECK_OK(index.SerializeStructure(bytes));
+  };
+
+  std::vector<uint8_t> serial, parallel;
+  build(1, 0, &serial);
+  build(8, 1, &parallel);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(BuildPipelineTest, InsertionErrorAbortsCleanly) {
+  // An object whose center lies outside the *index* domain makes stage-2
+  // insertion fail mid-stream; the pipeline must propagate the error and
+  // shut its workers down without hanging.
+  datagen::DatasetOptions opts;
+  opts.count = 120;
+  opts.seed = 41;
+  const auto objects = datagen::GenerateUniform(opts);
+  const geom::Box domain = datagen::DomainFor(opts);
+
+  Stats stats;
+  storage::PageManager pm(4096, &stats);
+  uncertain::ObjectStore store(&pm);
+  std::vector<uncertain::ObjectPtr> ptrs;
+  UVD_CHECK_OK(store.BulkLoad(objects, &ptrs));
+  auto tree = rtree::RTree::BulkLoad(objects, ptrs, &pm, {100}, &stats).ValueOrDie();
+  // Shrunken index domain: objects near the far edge fall outside.
+  UVIndex index(geom::Box({0, 0}, {5000, 5000}), &pm, {}, &stats);
+  BuildPipelineOptions options;
+  options.method = BuildMethod::kIC;
+  options.build_threads = 4;
+  const Status status =
+      RunBuildPipeline(objects, ptrs, tree, domain, options, &index, nullptr, &stats);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuildPipelineTest, RejectsMismatchedInputBeforeSpawningWorkers) {
+  datagen::DatasetOptions opts;
+  opts.count = 20;
+  opts.seed = 43;
+  const auto objects = datagen::GenerateUniform(opts);
+  const geom::Box domain = datagen::DomainFor(opts);
+  Stats stats;
+  storage::PageManager pm(4096, &stats);
+  uncertain::ObjectStore store(&pm);
+  std::vector<uncertain::ObjectPtr> ptrs;
+  UVD_CHECK_OK(store.BulkLoad(objects, &ptrs));
+  auto tree = rtree::RTree::BulkLoad(objects, ptrs, &pm, {100}, &stats).ValueOrDie();
+  UVIndex index(domain, &pm, {}, &stats);
+  std::vector<uncertain::ObjectPtr> short_ptrs(ptrs.begin(), ptrs.end() - 1);
+  BuildPipelineOptions options;
+  options.build_threads = 4;
+  EXPECT_FALSE(
+      RunBuildPipeline(objects, short_ptrs, tree, domain, options, &index, nullptr, &stats)
+          .ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace uvd
