@@ -1,0 +1,156 @@
+// Throughput of the batched query engine (src/query/): queries/sec for a
+// moving-NN style PNN stream, swept over worker threads x cache on/off.
+//
+// Unlike the per-figure benches (which charge UVD_SIM_IO_MS per page read
+// post hoc), this bench puts the system into the paper's disk-bound regime
+// for real: PageManager::SetSimulatedReadLatencyUs makes every page read
+// block, so worker threads demonstrably hide I/O latency instead of just
+// being billed for it. The engine's answers are checked bitwise-identical
+// across every configuration (thread count and cache setting).
+//
+// Flags (see bench_common.h): --query_threads=N --batch_size=N --smoke
+// plus --sim_io_us=N (default 500) for the simulated per-read latency.
+#include <cstring>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "query/query_engine.h"
+
+namespace uvd {
+namespace bench {
+namespace {
+
+/// FNV-1a over every answer's (id, probability bits): two result sets hash
+/// equal iff they are element-wise bitwise-identical.
+uint64_t HashResults(const std::vector<query::QueryResult>& results) {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& r : results) {
+    mix(r.status.ok() ? 1 : 0);
+    for (const auto& a : r.pnn) {
+      uint64_t bits = 0;
+      std::memcpy(&bits, &a.probability, sizeof(bits));
+      mix(static_cast<uint64_t>(a.id));
+      mix(bits);
+    }
+  }
+  return h;
+}
+
+struct RunResult {
+  double qps = 0;
+  double leaf_io_per_query = 0;
+  double hit_rate = 0;
+  uint64_t hash = 0;
+};
+
+RunResult RunBatch(const core::UVDiagram& diagram, const query::QueryBatch& batch,
+                   int threads, bool cache) {
+  query::QueryEngineOptions opts;
+  opts.threads = threads;
+  opts.enable_cache = cache;
+  query::QueryEngine engine(diagram, opts);
+
+  diagram.stats().Reset();
+  Timer timer;
+  const auto results = engine.ExecuteBatch(batch);
+  const double seconds = timer.ElapsedSeconds();
+
+  RunResult r;
+  const double n = static_cast<double>(batch.size());
+  r.qps = n / seconds;
+  r.leaf_io_per_query =
+      static_cast<double>(diagram.stats().Get(Ticker::kUvIndexLeafReads)) / n;
+  const double hits = static_cast<double>(diagram.stats().Get(Ticker::kQueryCacheHits));
+  const double misses =
+      static_cast<double>(diagram.stats().Get(Ticker::kQueryCacheMisses));
+  r.hit_rate = hits + misses > 0 ? hits / (hits + misses) : 0.0;
+  r.hash = HashResults(results);
+  return r;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace uvd
+
+int main(int argc, char** argv) {
+  using namespace uvd;
+  using namespace uvd::bench;
+
+  const QueryBenchFlags flags = ParseQueryBenchFlags(argc, argv);
+
+  PrintBanner("bench_batched_queries — concurrent batched query engine",
+              "throughput extension (ROADMAP): moving-NN PNN streams, "
+              "cf. Ali et al. probabilistic moving NN queries");
+
+  datagen::DatasetOptions data;
+  data.count = flags.smoke ? 600 : ScaledCount(10000);
+  data.seed = 42;
+  const geom::Box domain = datagen::DomainFor(data);
+  auto objects = datagen::GenerateUniform(data);
+
+  Stats stats;
+  core::UVDiagramOptions options;
+  options.build_threads = ThreadPool::DefaultThreads();
+  const core::UVDiagram diagram =
+      BuildDiagram(std::move(objects), domain, options, &stats);
+
+  const int batch_size = flags.smoke ? 200 : flags.batch_size;
+  const query::QueryBatch batch = [&] {
+    query::QueryBatch b;
+    const auto points = datagen::TrajectoryQueryPoints(
+        batch_size, domain, /*step_length=*/domain.Width() / 400.0, /*seed=*/7);
+    b.reserve(points.size());
+    for (const auto& p : points) b.push_back(query::Query::Pnn(p));
+    return b;
+  }();
+
+  std::printf("|O| = %zu, batch = %d trajectory PNN queries, sim read latency "
+              "= %d us\n\n",
+              data.count, batch_size, flags.sim_io_us);
+  storage::PageManager::SetSimulatedReadLatencyUs(
+      static_cast<uint32_t>(flags.sim_io_us));
+
+  std::vector<int> thread_sweep =
+      flags.smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  if (flags.query_threads > 0) thread_sweep = {1, flags.query_threads};
+
+  std::printf("%8s %7s %12s %14s %10s\n", "threads", "cache", "queries/s",
+              "leaf IO/query", "hit rate");
+  uint64_t reference_hash = 0;
+  bool first = true;
+  bool all_identical = true;
+  double qps_1t = 0, qps_max_t = 0;
+  for (const bool cache : {false, true}) {
+    for (const int threads : thread_sweep) {
+      const RunResult r = RunBatch(diagram, batch, threads, cache);
+      std::printf("%8d %7s %12.1f %14.2f %9.1f%%\n", threads,
+                  cache ? "on" : "off", r.qps, r.leaf_io_per_query,
+                  100.0 * r.hit_rate);
+      if (first) {
+        reference_hash = r.hash;
+        first = false;
+      } else if (r.hash != reference_hash) {
+        all_identical = false;
+      }
+      if (!cache) {
+        if (threads == 1) qps_1t = r.qps;
+        if (threads == thread_sweep.back()) qps_max_t = r.qps;
+      }
+    }
+  }
+  storage::PageManager::SetSimulatedReadLatencyUs(0);
+
+  std::printf("\nspeedup (%d threads vs 1, cache off) = %.2fx (target > 2.0)\n",
+              thread_sweep.back(), qps_1t > 0 ? qps_max_t / qps_1t : 0.0);
+  std::printf("answers bitwise-identical across configs: %s\n",
+              all_identical ? "yes" : "NO — DETERMINISM VIOLATION");
+  UVD_CHECK(all_identical) << "batch answers differ across thread/cache configs";
+  return 0;
+}

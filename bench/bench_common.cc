@@ -40,6 +40,26 @@ std::vector<size_t> SizeSweep() {
   return sizes;
 }
 
+QueryBenchFlags ParseQueryBenchFlags(int argc, char** argv) {
+  QueryBenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto int_value = [&arg](const char* prefix, int* out) {
+      const size_t len = std::string(prefix).size();
+      if (arg.compare(0, len, prefix) != 0) return false;
+      *out = std::atoi(arg.c_str() + len);
+      return true;
+    };
+    if (int_value("--query_threads=", &flags.query_threads)) continue;
+    if (int_value("--batch_size=", &flags.batch_size)) continue;
+    if (int_value("--sim_io_us=", &flags.sim_io_us)) continue;
+    if (arg == "--smoke") flags.smoke = true;
+  }
+  flags.batch_size = std::max(1, flags.batch_size);
+  flags.sim_io_us = std::max(0, flags.sim_io_us);
+  return flags;
+}
+
 void PrintBanner(const std::string& title, const std::string& paper_ref) {
   std::printf("==============================================================\n");
   std::printf("%s\n", title.c_str());

@@ -38,6 +38,24 @@ std::vector<size_t> SizeSweep();
 /// Number of PNN query points (paper Sec. VI-A: 50).
 constexpr int kNumQueries = 50;
 
+/// Flags shared by query benches so any of them can opt into the batched
+/// engine without per-bench flag parsing:
+///   --query_threads=N   QueryEngine worker count (<= 0: hardware)
+///   --batch_size=N      queries per batch
+///   --sim_io_us=N       blocking per-page-read latency for throughput
+///                       benches (PageManager::SetSimulatedReadLatencyUs)
+///   --smoke             tiny dataset + reduced sweep (CI smoke runs)
+/// Unrecognized arguments are ignored.
+struct QueryBenchFlags {
+  int query_threads = 0;
+  int batch_size = 2000;
+  int sim_io_us = 500;
+  bool smoke = false;
+};
+
+/// Parses the flags above from argv.
+QueryBenchFlags ParseQueryBenchFlags(int argc, char** argv);
+
 /// Prints the standard bench banner (title + scale + paper reference).
 void PrintBanner(const std::string& title, const std::string& paper_ref);
 

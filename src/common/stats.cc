@@ -32,6 +32,10 @@ const char* TickerName(Ticker t) {
       return "uvindex.fourpoint.tests";
     case Ticker::kQualificationIntegrations:
       return "pnn.qualification.integrations";
+    case Ticker::kQueryCacheHits:
+      return "query.cache.hits";
+    case Ticker::kQueryCacheMisses:
+      return "query.cache.misses";
     case Ticker::kNumTickers:
       break;
   }

@@ -26,6 +26,8 @@ enum class Ticker : uint32_t {
   kOverlapChecks,       ///< CheckOverlap (Algorithm 5) invocations.
   kFourPointTests,      ///< 4-point corner tests inside CheckOverlap.
   kQualificationIntegrations,  ///< Numerical integrations performed.
+  kQueryCacheHits,      ///< Leaf page-list lookups served by the query cache.
+  kQueryCacheMisses,    ///< Leaf page-list lookups that read through to disk.
   kNumTickers,  // must be last
 };
 

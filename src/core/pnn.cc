@@ -32,13 +32,30 @@ Result<std::vector<uncertain::PnnAnswer>> EvaluatePnnWithUvIndex(
     const UVIndex& index, const uncertain::ObjectStore& store, const geom::Point& q,
     const uncertain::QualificationOptions& options, Stats* stats,
     rtree::PnnBreakdown* breakdown) {
+  std::vector<rtree::LeafEntry> tuples;
+  {
+    double index_seconds = 0.0;
+    {
+      ScopedTimer t(&index_seconds);
+      auto retrieved = index.RetrieveCandidates(q);
+      if (!retrieved.ok()) return retrieved.status();
+      tuples = std::move(retrieved).value();
+    }
+    if (breakdown != nullptr) breakdown->index_seconds += index_seconds;
+  }
+  return EvaluatePnnFromCandidates(std::move(tuples), store, q, options, stats,
+                                   breakdown);
+}
+
+Result<std::vector<uncertain::PnnAnswer>> EvaluatePnnFromCandidates(
+    std::vector<rtree::LeafEntry> tuples, const uncertain::ObjectStore& store,
+    const geom::Point& q, const uncertain::QualificationOptions& options,
+    Stats* stats, rtree::PnnBreakdown* breakdown) {
   rtree::PnnBreakdown local;
   std::vector<rtree::LeafEntry> verified;
   {
     ScopedTimer t(&local.index_seconds);
-    auto tuples = index.RetrieveCandidates(q);
-    if (!tuples.ok()) return tuples.status();
-    verified = VerifyCandidates(std::move(tuples).value(), q);
+    verified = VerifyCandidates(std::move(tuples), q);
   }
 
   std::vector<uncertain::UncertainObject> objects;
@@ -64,17 +81,22 @@ Result<std::vector<uncertain::PnnAnswer>> EvaluatePnnWithUvIndex(
   return answers;
 }
 
+std::vector<int> AnswerIdsFromCandidates(std::vector<rtree::LeafEntry> tuples,
+                                         const geom::Point& q) {
+  std::vector<int> ids;
+  for (const rtree::LeafEntry& e : VerifyCandidates(std::move(tuples), q)) {
+    ids.push_back(e.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 Result<std::vector<int>> RetrievePnnAnswerIds(const UVIndex& index,
                                               const geom::Point& q, Stats* stats) {
   (void)stats;  // node visits and leaf reads are billed inside the index
   auto tuples = index.RetrieveCandidates(q);
   if (!tuples.ok()) return tuples.status();
-  std::vector<int> ids;
-  for (const rtree::LeafEntry& e : VerifyCandidates(std::move(tuples).value(), q)) {
-    ids.push_back(e.id);
-  }
-  std::sort(ids.begin(), ids.end());
-  return ids;
+  return AnswerIdsFromCandidates(std::move(tuples).value(), q);
 }
 
 }  // namespace core

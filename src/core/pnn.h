@@ -26,6 +26,21 @@ Result<std::vector<uncertain::PnnAnswer>> EvaluatePnnWithUvIndex(
     const uncertain::QualificationOptions& options = {}, Stats* stats = nullptr,
     rtree::PnnBreakdown* breakdown = nullptr);
 
+/// Verification + retrieval + probability phases over candidate tuples
+/// already produced by the index phase (UVIndex::RetrieveCandidates or a
+/// cached copy of its output). Split out so the query engine's cell cache
+/// can sit in front of the index phase: identical tuples in, bitwise
+/// identical answers out.
+Result<std::vector<uncertain::PnnAnswer>> EvaluatePnnFromCandidates(
+    std::vector<rtree::LeafEntry> tuples, const uncertain::ObjectStore& store,
+    const geom::Point& q, const uncertain::QualificationOptions& options = {},
+    Stats* stats = nullptr, rtree::PnnBreakdown* breakdown = nullptr);
+
+/// Verification phase only over already-fetched candidate tuples: the
+/// sorted ids of the answer objects (dist_min <= d_minmax).
+std::vector<int> AnswerIdsFromCandidates(std::vector<rtree::LeafEntry> tuples,
+                                         const geom::Point& q);
+
 /// Index + verification phases only: the ids of the answer objects
 /// (dist_min <= d_minmax), without probability computation. Useful for
 /// set-level analyses and tests.

@@ -49,6 +49,7 @@ Result<UVDiagram> UVDiagram::Build(std::vector<uncertain::UncertainObject> objec
 }
 
 void UVDiagram::RefreshRtreeIfStale() const {
+  std::lock_guard<std::mutex> lock(*rtree_mu_);
   if (!rtree_stale_) return;
   auto tree =
       rtree::RTree::BulkLoad(objects_, ptrs_, pm_.get(), options_.rtree, stats_);
@@ -69,7 +70,10 @@ Status UVDiagram::InsertObject(uncertain::UncertainObject object) {
   if (!ptr.ok()) return ptr.status();
   objects_.push_back(std::move(object));
   ptrs_.push_back(ptr.value());
-  rtree_stale_ = true;
+  {
+    std::lock_guard<std::mutex> lock(*rtree_mu_);
+    rtree_stale_ = true;
+  }
 
   // Derive the new object's cr-objects against the full population (the
   // lazily rebuilt R-tree covers every earlier insert).

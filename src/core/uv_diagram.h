@@ -10,6 +10,7 @@
 #define UVD_CORE_UV_DIAGRAM_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/result.h"
@@ -93,7 +94,14 @@ class UVDiagram {
  private:
   UVDiagram() = default;
 
-  /// Rebuilds the R-tree if live inserts made it stale.
+  /// Rebuilds the R-tree if live inserts made it stale. The staleness
+  /// check and the rebuild run under rtree_mu_, so concurrent R-tree-path
+  /// callers (QueryPnnWithRtree, rtree()) cannot both rebuild or observe
+  /// a half-built tree (the lazy mutation under `const` used to race).
+  /// Note a rebuild allocates pages in the shared PageManager, which must
+  /// not overlap ANY other reader (see page_manager.h); today that holds
+  /// because rebuilds only actually fire inside InsertObject — a mutation,
+  /// which callers already must not overlap with queries.
   void RefreshRtreeIfStale() const;
 
   std::vector<uncertain::UncertainObject> objects_;
@@ -105,7 +113,10 @@ class UVDiagram {
   std::unique_ptr<uncertain::ObjectStore> store_;
   std::vector<uncertain::ObjectPtr> ptrs_;
   mutable std::unique_ptr<rtree::RTree> rtree_;
-  mutable bool rtree_stale_ = false;
+  /// Guards rtree_stale_ and the lazy rebuild of *rtree_. A unique_ptr so
+  /// UVDiagram stays movable (Result<UVDiagram> returns by value).
+  mutable std::unique_ptr<std::mutex> rtree_mu_ = std::make_unique<std::mutex>();
+  mutable bool rtree_stale_ = false;  // guarded by rtree_mu_
   std::unique_ptr<UVIndex> index_;
   BuildStats build_stats_;
 };

@@ -320,15 +320,17 @@ uint32_t UVIndex::LocateLeaf(const geom::Point& q) const {
   return idx;
 }
 
-Result<std::vector<rtree::LeafEntry>> UVIndex::RetrieveCandidates(
-    const geom::Point& q) const {
+Result<uint32_t> UVIndex::LocateLeafChecked(const geom::Point& q) const {
   if (!finalized_) {
     return Status::Internal("index must be finalized before queries");
   }
   if (!domain_.Contains(q)) {
     return Status::InvalidArgument("query point outside the domain");
   }
-  const uint32_t leaf = LocateLeaf(q);
+  return LocateLeaf(q);
+}
+
+Result<std::vector<rtree::LeafEntry>> UVIndex::ReadLeafEntries(uint32_t leaf) const {
   std::vector<rtree::LeafEntry> out;
   std::vector<uint8_t> buf;
   for (storage::PageId page : nodes_[leaf].pages) {
@@ -337,6 +339,12 @@ Result<std::vector<rtree::LeafEntry>> UVIndex::RetrieveCandidates(
     rtree::DecodeLeafEntries(buf, &out);
   }
   return out;
+}
+
+Result<std::vector<rtree::LeafEntry>> UVIndex::RetrieveCandidates(
+    const geom::Point& q) const {
+  UVD_ASSIGN_OR_RETURN(const uint32_t leaf, LocateLeafChecked(q));
+  return ReadLeafEntries(leaf);
 }
 
 size_t UVIndex::num_leaves() const {

@@ -84,8 +84,18 @@ class UVIndex {
 
   /// PNN index phase: locate the leaf containing q, read its page chain and
   /// return the stored tuples (a superset of the answer objects; the caller
-  /// applies the d_minmax verification of [14]).
+  /// applies the d_minmax verification of [14]). Equivalent to
+  /// LocateLeafChecked + ReadLeafEntries; the split form exists so the
+  /// query engine's cell cache can memoize the page-list phase.
   Result<std::vector<rtree::LeafEntry>> RetrieveCandidates(const geom::Point& q) const;
+
+  /// Point-location phase with the validation RetrieveCandidates performs
+  /// (finalized index, q inside the domain).
+  Result<uint32_t> LocateLeafChecked(const geom::Point& q) const;
+
+  /// Page-list phase: reads and decodes the leaf's page chain. Leaf I/O is
+  /// billed to the index's Stats; safe for concurrent callers.
+  Result<std::vector<rtree::LeafEntry>> ReadLeafEntries(uint32_t leaf) const;
 
   /// Index of the leaf node whose region contains q.
   uint32_t LocateLeaf(const geom::Point& q) const;

@@ -1,6 +1,7 @@
 #include "datagen/workload.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -32,6 +33,34 @@ std::vector<geom::Box> SquareQueryRegions(int count, const geom::Box& domain,
     regions.push_back(geom::Box({x, y}, {x + side, y + side}));
   }
   return regions;
+}
+
+std::vector<geom::Point> TrajectoryQueryPoints(int count, const geom::Box& domain,
+                                               double step_length, uint64_t seed) {
+  UVD_CHECK_GT(step_length, 0.0);
+  Rng rng(seed);
+  auto uniform_point = [&] {
+    return geom::Point{rng.Uniform(domain.lo.x, domain.hi.x),
+                       rng.Uniform(domain.lo.y, domain.hi.y)};
+  };
+  std::vector<geom::Point> points;
+  points.reserve(static_cast<size_t>(count));
+  geom::Point pos = uniform_point();
+  geom::Point waypoint = uniform_point();
+  for (int i = 0; i < count; ++i) {
+    points.push_back(pos);
+    const double dx = waypoint.x - pos.x;
+    const double dy = waypoint.y - pos.y;
+    const double dist = std::sqrt(dx * dx + dy * dy);
+    if (dist <= step_length) {
+      pos = waypoint;
+      waypoint = uniform_point();
+    } else {
+      pos.x += dx / dist * step_length;
+      pos.y += dy / dist * step_length;
+    }
+  }
+  return points;
 }
 
 }  // namespace datagen

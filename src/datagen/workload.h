@@ -22,6 +22,16 @@ std::vector<geom::Point> UniformQueryPoints(int count, const geom::Box& domain,
 std::vector<geom::Box> SquareQueryRegions(int count, const geom::Box& domain,
                                           double side, uint64_t seed);
 
+/// Random-waypoint trajectory: a moving-NN query stream (Ali et al.,
+/// probabilistic moving nearest-neighbor queries). Starts at a uniform
+/// position, repeatedly picks a uniform waypoint and walks toward it in
+/// steps of `step_length`, emitting every position; on arrival a new
+/// waypoint is drawn. Consecutive probes are at most `step_length` apart,
+/// so they tend to land in the same UV-cell — the workload the query
+/// engine's cell cache is built for.
+std::vector<geom::Point> TrajectoryQueryPoints(int count, const geom::Box& domain,
+                                               double step_length, uint64_t seed);
+
 }  // namespace datagen
 }  // namespace uvd
 

@@ -1,0 +1,63 @@
+// Batch request/response types for the concurrent query engine. A batch is
+// an ordered list of heterogeneous queries (the four public query kinds of
+// UVDiagram); the engine answers them in submission order regardless of
+// worker count, so results[i] always corresponds to batch[i].
+#ifndef UVD_QUERY_QUERY_BATCH_H_
+#define UVD_QUERY_QUERY_BATCH_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/pattern_queries.h"
+#include "geom/box.h"
+#include "geom/point.h"
+#include "uncertain/qualification.h"
+
+namespace uvd {
+namespace query {
+
+/// The query kinds the engine executes (one per UVDiagram query method).
+enum class QueryKind {
+  kPnn,          ///< UVDiagram::QueryPnn (answer objects + probabilities)
+  kAnswerIds,    ///< UVDiagram::AnswerObjectIds (ids only, no integration)
+  kUvPartitions, ///< UVDiagram::QueryUvPartitions (pattern query, Sec. V-C)
+  kCellSummary,  ///< UVDiagram::QueryUvCellSummary (pattern query, Sec. V-C)
+};
+
+/// One query of any kind. Use the factory helpers; only the fields of the
+/// active kind are meaningful.
+struct Query {
+  QueryKind kind = QueryKind::kPnn;
+  geom::Point point;   ///< kPnn / kAnswerIds
+  geom::Box range;     ///< kUvPartitions
+  int object_id = -1;  ///< kCellSummary
+
+  static Query Pnn(const geom::Point& q) { return {QueryKind::kPnn, q, {}, -1}; }
+  static Query AnswerIds(const geom::Point& q) {
+    return {QueryKind::kAnswerIds, q, {}, -1};
+  }
+  static Query UvPartitions(const geom::Box& range) {
+    return {QueryKind::kUvPartitions, {}, range, -1};
+  }
+  static Query CellSummary(int object_id) {
+    return {QueryKind::kCellSummary, {}, {}, object_id};
+  }
+};
+
+/// Result of one query: `status` plus the payload of the query's kind.
+/// Error statuses (e.g. a point outside the domain) are per-result — one
+/// bad query does not fail the batch.
+struct QueryResult {
+  Status status;
+  std::vector<uncertain::PnnAnswer> pnn;          ///< kPnn
+  std::vector<int> answer_ids;                    ///< kAnswerIds
+  std::vector<core::UvPartition> partitions;      ///< kUvPartitions
+  core::UvCellSummary cell_summary;               ///< kCellSummary
+};
+
+using QueryBatch = std::vector<Query>;
+
+}  // namespace query
+}  // namespace uvd
+
+#endif  // UVD_QUERY_QUERY_BATCH_H_

@@ -1,0 +1,71 @@
+#include "query/query_cache.h"
+
+#include <algorithm>
+
+namespace uvd {
+namespace query {
+
+QueryCache::QueryCache(const QueryCacheOptions& options) {
+  capacity_ = std::max<size_t>(1, options.capacity);
+  const size_t shards =
+      std::min<size_t>(std::max(1, options.shards), capacity_);
+  shard_capacity_ = std::max<size_t>(1, capacity_ / shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+Result<std::vector<rtree::LeafEntry>> QueryCache::GetOrLoad(uint32_t leaf,
+                                                            const Loader& loader,
+                                                            Stats* stats) {
+  Shard& shard = ShardFor(leaf);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(leaf);
+    if (it != shard.map.end()) {
+      if (stats != nullptr) stats->Add(Ticker::kQueryCacheHits);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->tuples;  // copy: the caller consumes it
+    }
+  }
+
+  if (stats != nullptr) stats->Add(Ticker::kQueryCacheMisses);
+  auto loaded = loader();
+  if (!loaded.ok()) return loaded.status();
+  std::vector<rtree::LeafEntry> tuples = std::move(loaded).value();
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(leaf);
+    if (it == shard.map.end()) {  // a concurrent miss may have won the race
+      shard.lru.push_front(Entry{leaf, tuples});
+      shard.map[leaf] = shard.lru.begin();
+      if (shard.map.size() > shard_capacity_) {
+        shard.map.erase(shard.lru.back().leaf);
+        shard.lru.pop_back();
+      }
+    }
+  }
+  return tuples;
+}
+
+void QueryCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->map.clear();
+  }
+}
+
+size_t QueryCache::size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->map.size();
+  }
+  return n;
+}
+
+}  // namespace query
+}  // namespace uvd

@@ -1,0 +1,123 @@
+#include "query/query_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "core/pattern_queries.h"
+#include "core/pnn.h"
+
+namespace uvd {
+namespace query {
+
+QueryEngine::QueryEngine(const core::UVDiagram& diagram,
+                         const QueryEngineOptions& options)
+    : diagram_(diagram), options_(options) {
+  threads_ = options.threads > 0 ? options.threads : ThreadPool::DefaultThreads();
+  if (options_.enable_cache) {
+    cache_ = std::make_unique<QueryCache>(options_.cache);
+  }
+  if (threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(threads_);
+  }
+}
+
+void QueryEngine::InvalidateCache() {
+  if (cache_ != nullptr) cache_->Clear();
+}
+
+Result<std::vector<rtree::LeafEntry>> QueryEngine::CandidatesFor(
+    const geom::Point& p, Stats* shard) const {
+  const core::UVIndex& index = diagram_.index();
+  UVD_ASSIGN_OR_RETURN(const uint32_t leaf, index.LocateLeafChecked(p));
+  if (cache_ != nullptr) {
+    return cache_->GetOrLoad(
+        leaf, [&index, leaf] { return index.ReadLeafEntries(leaf); }, shard);
+  }
+  return index.ReadLeafEntries(leaf);
+}
+
+QueryResult QueryEngine::ExecuteOne(const Query& q, Stats* shard) const {
+  QueryResult result;
+  switch (q.kind) {
+    case QueryKind::kPnn: {
+      auto candidates = CandidatesFor(q.point, shard);
+      if (!candidates.ok()) {
+        result.status = candidates.status();
+        break;
+      }
+      auto answers = core::EvaluatePnnFromCandidates(
+          std::move(candidates).value(), diagram_.store(), q.point,
+          diagram_.options().qualification, shard);
+      if (!answers.ok()) {
+        result.status = answers.status();
+        break;
+      }
+      result.pnn = std::move(answers).value();
+      break;
+    }
+    case QueryKind::kAnswerIds: {
+      auto candidates = CandidatesFor(q.point, shard);
+      if (!candidates.ok()) {
+        result.status = candidates.status();
+        break;
+      }
+      result.answer_ids =
+          core::AnswerIdsFromCandidates(std::move(candidates).value(), q.point);
+      break;
+    }
+    case QueryKind::kUvPartitions: {
+      result.partitions = core::RetrieveUvPartitions(diagram_.index(), q.range, shard);
+      break;
+    }
+    case QueryKind::kCellSummary: {
+      auto summary = core::RetrieveUvCellSummary(diagram_.index(), q.object_id,
+                                                 /*use_offline_lists=*/true, shard);
+      if (!summary.ok()) {
+        result.status = summary.status();
+        break;
+      }
+      result.cell_summary = summary.value();
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<QueryResult> QueryEngine::ExecuteBatch(const QueryBatch& batch) {
+  std::vector<QueryResult> results(batch.size());
+  const int workers =
+      static_cast<int>(std::min<size_t>(static_cast<size_t>(threads_), batch.size()));
+
+  if (pool_ == nullptr || workers <= 1) {
+    worker_stats_.assign(1, Stats());
+    Stats* shard = &worker_stats_[0];
+    for (size_t i = 0; i < batch.size(); ++i) {
+      results[i] = ExecuteOne(batch[i], shard);
+    }
+    diagram_.stats().MergeFrom(worker_stats_[0]);
+    return results;
+  }
+
+  // Fan-out: workers claim slots through the cursor; results are written
+  // positionally, so submission order is preserved for free.
+  worker_stats_.assign(static_cast<size_t>(workers), Stats());
+  std::atomic<size_t> next{0};
+  for (int w = 0; w < workers; ++w) {
+    Stats* shard = &worker_stats_[static_cast<size_t>(w)];
+    pool_->Submit([this, &batch, &results, &next, shard] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch.size()) return;
+        results[i] = ExecuteOne(batch[i], shard);
+      }
+    });
+  }
+  pool_->Wait();
+
+  for (const Stats& shard : worker_stats_) diagram_.stats().MergeFrom(shard);
+  return results;
+}
+
+}  // namespace query
+}  // namespace uvd

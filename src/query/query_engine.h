@@ -1,0 +1,104 @@
+// Concurrent batched query execution over a built UVDiagram.
+//
+// PR 1 parallelized construction; this subsystem does the same for the
+// serving side. A QueryEngine owns a worker pool (common/thread_pool.h, the
+// same pool type the build pipeline uses) and executes batches of
+// heterogeneous queries — PNN, answer-ids-only, UV-partition range and
+// cell-summary — against an immutable diagram:
+//
+//   * Fan-out: workers claim batch slots through an atomic cursor; every
+//     query path is const over the diagram (leaf pages and object records
+//     are only read, and PageManager reads are safe for concurrent
+//     callers), so any number of workers may serve one batch.
+//   * Per-worker stats: each worker bills the hot computation tickers
+//     (integrations, hyperbola tests, cache hits/misses) to a private
+//     Stats shard, merged into the diagram's Stats via Stats::MergeFrom
+//     after the batch — mirroring the build pipeline's story. Index/page
+//     tickers billed through the index's own Stats pointer are relaxed
+//     atomics and stay exact under sharing.
+//   * In-order results: results[i] answers batch[i] for every worker
+//     count; per-query errors land in results[i].status.
+//   * Cell cache: a bounded sharded LRU (query_cache.h) memoizes the
+//     point-location + page-list phase per UV-index leaf, so co-located
+//     probes (moving-NN trajectories) skip redundant leaf I/O.
+//
+// Determinism guarantee: for a fixed diagram, the results of ExecuteBatch
+// are bitwise-identical across thread counts and cache settings — the
+// cache stores the exact ReadLeafEntries output and the per-query
+// computation never depends on scheduling.
+//
+// The engine must not run concurrently with diagram mutation
+// (UVDiagram::InsertObject); after an insert, call InvalidateCache()
+// before the next batch. One ExecuteBatch runs at a time per engine.
+#ifndef UVD_QUERY_QUERY_ENGINE_H_
+#define UVD_QUERY_QUERY_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "core/uv_diagram.h"
+#include "query/query_batch.h"
+#include "query/query_cache.h"
+
+namespace uvd {
+namespace query {
+
+/// Engine configuration.
+struct QueryEngineOptions {
+  /// Worker count. <= 0: hardware concurrency; 1: serial execution on the
+  /// calling thread (no pool). Results are identical for every setting.
+  int threads = 0;
+  /// Cell-level result caching of the leaf page-list phase. Answers are
+  /// bitwise-identical with the cache on or off; disable to measure raw
+  /// I/O or when leaves are mutated between batches.
+  bool enable_cache = true;
+  QueryCacheOptions cache;
+};
+
+/// \brief Executes query batches against a built UVDiagram.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const core::UVDiagram& diagram,
+                       const QueryEngineOptions& options = {});
+
+  /// Answers every query in the batch; results[i] corresponds to batch[i].
+  /// Per-query failures (e.g. a point outside the domain) are reported in
+  /// results[i].status without failing the rest of the batch. Worker
+  /// shards are merged into diagram.stats() before returning.
+  std::vector<QueryResult> ExecuteBatch(const QueryBatch& batch);
+
+  /// Per-worker Stats shards from the most recent ExecuteBatch (already
+  /// merged into the diagram's Stats; kept for observability — e.g. cache
+  /// hit rates or integration counts per worker).
+  const std::vector<Stats>& worker_stats() const { return worker_stats_; }
+
+  /// Drops every cached leaf; required after UVDiagram::InsertObject.
+  void InvalidateCache();
+
+  /// Null when the cache is disabled.
+  QueryCache* cache() { return cache_.get(); }
+
+  int num_threads() const { return threads_; }
+  const QueryEngineOptions& options() const { return options_; }
+
+ private:
+  QueryResult ExecuteOne(const Query& q, Stats* shard) const;
+
+  /// The cacheable index phase: point location + leaf page list.
+  Result<std::vector<rtree::LeafEntry>> CandidatesFor(const geom::Point& p,
+                                                      Stats* shard) const;
+
+  const core::UVDiagram& diagram_;
+  QueryEngineOptions options_;
+  int threads_;
+  std::unique_ptr<QueryCache> cache_;    // null if disabled
+  std::unique_ptr<ThreadPool> pool_;     // null if threads_ == 1
+  std::vector<Stats> worker_stats_;      // last batch's shards
+};
+
+}  // namespace query
+}  // namespace uvd
+
+#endif  // UVD_QUERY_QUERY_ENGINE_H_

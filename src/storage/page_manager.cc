@@ -1,7 +1,23 @@
 #include "storage/page_manager.h"
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 namespace uvd {
 namespace storage {
+
+namespace {
+std::atomic<uint32_t> g_simulated_read_latency_us{0};
+}  // namespace
+
+void PageManager::SetSimulatedReadLatencyUs(uint32_t us) {
+  g_simulated_read_latency_us.store(us, std::memory_order_relaxed);
+}
+
+uint32_t PageManager::SimulatedReadLatencyUs() {
+  return g_simulated_read_latency_us.load(std::memory_order_relaxed);
+}
 
 PageId PageManager::Allocate() {
   pages_.emplace_back(page_size_, 0);
@@ -13,6 +29,10 @@ Status PageManager::Read(PageId id, std::vector<uint8_t>* out) const {
     return Status::NotFound("page id out of range");
   }
   if (stats_ != nullptr) stats_->Add(Ticker::kPageReads);
+  const uint32_t latency_us = SimulatedReadLatencyUs();
+  if (latency_us != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+  }
   *out = pages_[id];
   return Status::OK();
 }

@@ -55,6 +55,16 @@ class PageManager {
   /// Writes data (at most page_size() bytes; shorter data is zero-padded).
   virtual Status Write(PageId id, const std::vector<uint8_t>& data);
 
+  /// Simulated per-read disk latency: every Read blocks for this many
+  /// microseconds before returning. 0 (the default — tests and figure
+  /// benches are unaffected) disables the sleep. Process-global so
+  /// throughput benches can put the system into the paper's disk-bound
+  /// regime (Sec. VI: leaf pages and pdfs live on disk) without plumbing
+  /// a knob through every layer; concurrency features then demonstrably
+  /// hide this latency instead of merely charging it post hoc.
+  static void SetSimulatedReadLatencyUs(uint32_t us);
+  static uint32_t SimulatedReadLatencyUs();
+
  private:
   size_t page_size_;
   Stats* stats_;

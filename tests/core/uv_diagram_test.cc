@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common/random.h"
 #include "datagen/generators.h"
 #include "datagen/workload.h"
@@ -89,6 +92,49 @@ TEST(UvDiagramTest, MoveSemantics) {
   UVDiagram moved = std::move(d);
   const auto answers = moved.QueryPnn({5000, 5000}).ValueOrDie();
   EXPECT_FALSE(answers.empty());
+}
+
+TEST(UvDiagramTest, ConcurrentRtreeQueriesAfterInsertDoNotRace) {
+  // Regression: RefreshRtreeIfStale used to check and mutate rtree_ /
+  // rtree_stale_ under `const` with no synchronization, so concurrent
+  // QueryPnnWithRtree callers raced on the staleness flag (and, were the
+  // tree ever left stale, on the rebuild itself). The check-and-rebuild is
+  // now serialized behind rtree_mu_; this test drives the concurrent
+  // refresh path after an insert and runs in the TSan CI job.
+  datagen::DatasetOptions opts;
+  opts.count = 250;
+  opts.seed = 41;
+  auto d = UVDiagram::Build(datagen::GenerateUniform(opts), datagen::DomainFor(opts))
+               .ValueOrDie();
+  const int new_id = static_cast<int>(d.objects().size());
+  ASSERT_TRUE(d.InsertObject(uncertain::UncertainObject::WithGaussianPdf(
+                                 new_id, {{5000, 5000}, 30}))
+                  .ok());  // marks the R-tree stale
+
+  const auto queries = datagen::UniformQueryPoints(12, d.domain(), 43);
+  std::vector<std::thread> threads;
+  std::vector<int> answer_counts(4, 0);
+  // Spin barrier: all threads hit their first (stale) query together, so
+  // the racy interleaving actually materializes under TSan.
+  std::atomic<int> ready{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&d, &queries, &answer_counts, &ready, t] {
+      ready.fetch_add(1);
+      while (ready.load() < 4) {
+      }
+      int count = 0;
+      for (const auto& q : queries) {
+        auto answers = d.QueryPnnWithRtree(q);
+        ASSERT_TRUE(answers.ok());
+        count += static_cast<int>(answers.value().size());
+      }
+      answer_counts[static_cast<size_t>(t)] = count;
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Every thread saw the post-insert tree and identical answers.
+  for (int t = 1; t < 4; ++t) EXPECT_EQ(answer_counts[0], answer_counts[t]);
+  EXPECT_GT(answer_counts[0], 0);
 }
 
 TEST(UvDiagramTest, UniformPdfDatasets) {

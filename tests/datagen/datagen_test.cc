@@ -153,6 +153,35 @@ TEST(WorkloadTest, QueryRegionsInsideDomain) {
   }
 }
 
+TEST(WorkloadTest, TrajectoryStaysInDomainWithBoundedSteps) {
+  const geom::Box domain({0, 0}, {10000, 10000});
+  const double step = 25.0;
+  const auto pts = TrajectoryQueryPoints(500, domain, step, 7);
+  ASSERT_EQ(pts.size(), 500u);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_TRUE(domain.Contains(pts[i]));
+    if (i > 0) {
+      const double dx = pts[i].x - pts[i - 1].x;
+      const double dy = pts[i].y - pts[i - 1].y;
+      EXPECT_LE(std::sqrt(dx * dx + dy * dy), step + 1e-9) << "i=" << i;
+    }
+  }
+}
+
+TEST(WorkloadTest, TrajectoryIsDeterministicPerSeedAndRoams) {
+  const geom::Box domain({0, 0}, {10000, 10000});
+  const auto a = TrajectoryQueryPoints(300, domain, 50.0, 11);
+  const auto b = TrajectoryQueryPoints(300, domain, 50.0, 11);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].y, b[i].y);
+  }
+  // The walk should cover real distance, not sit at the start.
+  geom::Box extent = geom::Box::Empty();
+  for (const auto& p : a) extent.ExpandToInclude(p);
+  EXPECT_GT(extent.Width() + extent.Height(), 1000.0);
+}
+
 }  // namespace
 }  // namespace datagen
 }  // namespace uvd

@@ -1,0 +1,251 @@
+// Batch-vs-serial parity and determinism of the concurrent query engine:
+// for random heterogeneous batches, QueryEngine answers must be
+// element-wise bitwise-identical to looping the UVDiagram query methods,
+// across thread counts {1, 2, 8} and cache on/off.
+#include "query/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/random.h"
+#include "datagen/generators.h"
+#include "datagen/workload.h"
+
+namespace uvd {
+namespace query {
+namespace {
+
+core::UVDiagram BuildDiagram(size_t n, uint64_t seed) {
+  datagen::DatasetOptions opts;
+  opts.count = n;
+  opts.seed = seed;
+  auto objects = datagen::GenerateUniform(opts);
+  return core::UVDiagram::Build(std::move(objects), datagen::DomainFor(opts))
+      .ValueOrDie();
+}
+
+/// A mixed batch exercising all four query kinds.
+QueryBatch MakeMixedBatch(const core::UVDiagram& diagram, int count, uint64_t seed) {
+  Rng rng(seed);
+  const geom::Box& domain = diagram.domain();
+  QueryBatch batch;
+  batch.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const geom::Point p{rng.Uniform(domain.lo.x, domain.hi.x),
+                        rng.Uniform(domain.lo.y, domain.hi.y)};
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        batch.push_back(Query::Pnn(p));
+        break;
+      case 1:
+        batch.push_back(Query::AnswerIds(p));
+        break;
+      case 2: {
+        const double side = rng.Uniform(50, 400);
+        const geom::Point lo{rng.Uniform(domain.lo.x, domain.hi.x - side),
+                             rng.Uniform(domain.lo.y, domain.hi.y - side)};
+        batch.push_back(Query::UvPartitions(
+            geom::Box(lo, {lo.x + side, lo.y + side})));
+        break;
+      }
+      default:
+        batch.push_back(Query::CellSummary(static_cast<int>(
+            rng.UniformInt(0, static_cast<int64_t>(diagram.objects().size()) - 1))));
+        break;
+    }
+  }
+  return batch;
+}
+
+/// Serial reference: the existing one-at-a-time UVDiagram methods.
+std::vector<QueryResult> SerialReference(const core::UVDiagram& diagram,
+                                         const QueryBatch& batch) {
+  std::vector<QueryResult> results(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Query& q = batch[i];
+    QueryResult& r = results[i];
+    switch (q.kind) {
+      case QueryKind::kPnn: {
+        auto a = diagram.QueryPnn(q.point);
+        if (a.ok()) r.pnn = std::move(a).value();
+        else r.status = a.status();
+        break;
+      }
+      case QueryKind::kAnswerIds: {
+        auto a = diagram.AnswerObjectIds(q.point);
+        if (a.ok()) r.answer_ids = std::move(a).value();
+        else r.status = a.status();
+        break;
+      }
+      case QueryKind::kUvPartitions:
+        r.partitions = diagram.QueryUvPartitions(q.range);
+        break;
+      case QueryKind::kCellSummary: {
+        auto a = diagram.QueryUvCellSummary(q.object_id);
+        if (a.ok()) r.cell_summary = a.value();
+        else r.status = a.status();
+        break;
+      }
+    }
+  }
+  return results;
+}
+
+/// Bitwise (exact ==) element-wise comparison of two result lists.
+void ExpectIdentical(const std::vector<QueryResult>& actual,
+                     const std::vector<QueryResult>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    const QueryResult& a = actual[i];
+    const QueryResult& e = expected[i];
+    ASSERT_EQ(a.status.ok(), e.status.ok()) << "query " << i;
+    ASSERT_EQ(a.pnn.size(), e.pnn.size()) << "query " << i;
+    for (size_t k = 0; k < a.pnn.size(); ++k) {
+      EXPECT_EQ(a.pnn[k].id, e.pnn[k].id) << "query " << i;
+      EXPECT_EQ(a.pnn[k].probability, e.pnn[k].probability) << "query " << i;
+    }
+    EXPECT_EQ(a.answer_ids, e.answer_ids) << "query " << i;
+    ASSERT_EQ(a.partitions.size(), e.partitions.size()) << "query " << i;
+    for (size_t k = 0; k < a.partitions.size(); ++k) {
+      EXPECT_EQ(a.partitions[k].object_count, e.partitions[k].object_count);
+      EXPECT_EQ(a.partitions[k].density, e.partitions[k].density);
+      EXPECT_EQ(a.partitions[k].region.lo.x, e.partitions[k].region.lo.x);
+      EXPECT_EQ(a.partitions[k].region.hi.y, e.partitions[k].region.hi.y);
+    }
+    EXPECT_EQ(a.cell_summary.area, e.cell_summary.area) << "query " << i;
+    EXPECT_EQ(a.cell_summary.num_leaves, e.cell_summary.num_leaves) << "query " << i;
+  }
+}
+
+TEST(QueryEngineTest, BatchMatchesSerialAcrossThreadsAndCache) {
+  const core::UVDiagram diagram = BuildDiagram(900, 3);
+  const QueryBatch batch = MakeMixedBatch(diagram, 120, 17);
+  const auto expected = SerialReference(diagram, batch);
+  for (const int threads : {1, 2, 8}) {
+    for (const bool cache : {false, true}) {
+      QueryEngineOptions opts;
+      opts.threads = threads;
+      opts.enable_cache = cache;
+      QueryEngine engine(diagram, opts);
+      const auto results = engine.ExecuteBatch(batch);
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " cache=" + std::to_string(cache));
+      ExpectIdentical(results, expected);
+    }
+  }
+}
+
+TEST(QueryEngineTest, PnnStreamParityOnTrajectory) {
+  const core::UVDiagram diagram = BuildDiagram(700, 5);
+  const auto points =
+      datagen::TrajectoryQueryPoints(200, diagram.domain(), 30.0, 11);
+  QueryBatch batch;
+  for (const auto& p : points) batch.push_back(Query::Pnn(p));
+  const auto expected = SerialReference(diagram, batch);
+  for (const int threads : {2, 8}) {
+    QueryEngineOptions opts;
+    opts.threads = threads;
+    QueryEngine engine(diagram, opts);
+    ExpectIdentical(engine.ExecuteBatch(batch), expected);
+  }
+}
+
+TEST(QueryEngineTest, PerQueryErrorsDoNotFailTheBatch) {
+  const core::UVDiagram diagram = BuildDiagram(600, 7);
+  QueryBatch batch;
+  batch.push_back(Query::Pnn({5000, 5000}));
+  batch.push_back(Query::Pnn({-1e9, 0}));  // outside the domain
+  batch.push_back(Query::CellSummary(1 << 28));  // no such object
+  batch.push_back(Query::AnswerIds({4000, 4000}));
+  QueryEngine engine(diagram, {});
+  const auto results = engine.ExecuteBatch(batch);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_FALSE(results[1].status.ok());
+  EXPECT_FALSE(results[2].status.ok());
+  EXPECT_TRUE(results[3].status.ok());
+  EXPECT_FALSE(results[0].pnn.empty());
+  EXPECT_FALSE(results[3].answer_ids.empty());
+}
+
+TEST(QueryEngineTest, CacheCutsLeafReadsOnTrajectoryWorkload) {
+  const core::UVDiagram diagram = BuildDiagram(900, 13);
+  const auto points =
+      datagen::TrajectoryQueryPoints(300, diagram.domain(), 20.0, 19);
+  QueryBatch batch;
+  for (const auto& p : points) batch.push_back(Query::Pnn(p));
+
+  QueryEngineOptions uncached;
+  uncached.threads = 2;
+  uncached.enable_cache = false;
+  QueryEngine cold(diagram, uncached);
+  diagram.stats().Reset();
+  const auto expected = cold.ExecuteBatch(batch);
+  const uint64_t cold_leaf_reads = diagram.stats().Get(Ticker::kUvIndexLeafReads);
+  EXPECT_EQ(diagram.stats().Get(Ticker::kQueryCacheHits), 0u);
+
+  QueryEngineOptions cached;
+  cached.threads = 2;
+  QueryEngine warm(diagram, cached);
+  diagram.stats().Reset();
+  const auto results = warm.ExecuteBatch(batch);
+  const uint64_t warm_leaf_reads = diagram.stats().Get(Ticker::kUvIndexLeafReads);
+  const uint64_t hits = diagram.stats().Get(Ticker::kQueryCacheHits);
+  const uint64_t misses = diagram.stats().Get(Ticker::kQueryCacheMisses);
+
+  // Co-located probes hit the cache and skip the page chain; answers stay
+  // bitwise identical (the determinism guarantee).
+  EXPECT_LT(warm_leaf_reads, cold_leaf_reads);
+  EXPECT_GT(hits, misses);
+  ExpectIdentical(results, expected);
+}
+
+TEST(QueryEngineTest, WorkerShardsMergeIntoDiagramStats) {
+  const core::UVDiagram diagram = BuildDiagram(700, 23);
+  QueryBatch batch = MakeMixedBatch(diagram, 64, 29);
+  QueryEngineOptions opts;
+  opts.threads = 4;
+  QueryEngine engine(diagram, opts);
+  diagram.stats().Reset();
+  engine.ExecuteBatch(batch);
+
+  ASSERT_EQ(engine.worker_stats().size(), 4u);
+  uint64_t shard_total = 0;
+  for (const Stats& shard : engine.worker_stats()) {
+    shard_total += shard.Get(Ticker::kQueryCacheHits) +
+                   shard.Get(Ticker::kQueryCacheMisses);
+  }
+  // Every cache lookup was billed to exactly one worker shard, and the
+  // shards were merged into the diagram's Stats (the builder's story).
+  EXPECT_EQ(shard_total, diagram.stats().Get(Ticker::kQueryCacheHits) +
+                             diagram.stats().Get(Ticker::kQueryCacheMisses));
+  EXPECT_GT(shard_total, 0u);
+}
+
+TEST(QueryEngineTest, InvalidateCacheServesPostInsertState) {
+  core::UVDiagram diagram = BuildDiagram(600, 31);
+  QueryEngineOptions opts;
+  opts.threads = 1;
+  QueryEngine engine(diagram, opts);
+  const geom::Point q{5000, 5000};
+  QueryBatch batch = {Query::AnswerIds(q)};
+  (void)engine.ExecuteBatch(batch);  // populate the cache
+
+  // A new object right at q must show up after invalidation.
+  const int new_id = static_cast<int>(diagram.objects().size());
+  ASSERT_TRUE(diagram
+                  .InsertObject(uncertain::UncertainObject::WithGaussianPdf(
+                      new_id, {q, 30}))
+                  .ok());
+  engine.InvalidateCache();
+  const auto results = engine.ExecuteBatch(batch);
+  ASSERT_TRUE(results[0].status.ok());
+  const auto& ids = results[0].answer_ids;
+  EXPECT_NE(std::find(ids.begin(), ids.end(), new_id), ids.end());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace uvd
