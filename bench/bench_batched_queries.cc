@@ -10,38 +10,16 @@
 //
 // Flags (see bench_common.h): --query_threads=N --batch_size=N --smoke
 // plus --sim_io_us=N (default 500) for the simulated per-read latency.
-#include <cstring>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/timer.h"
 #include "query/query_engine.h"
+#include "query/result_digest.h"
 
 namespace uvd {
 namespace bench {
 namespace {
-
-/// FNV-1a over every answer's (id, probability bits): two result sets hash
-/// equal iff they are element-wise bitwise-identical.
-uint64_t HashResults(const std::vector<query::QueryResult>& results) {
-  uint64_t h = 1469598103934665603ull;
-  const auto mix = [&h](uint64_t v) {
-    for (int b = 0; b < 8; ++b) {
-      h ^= (v >> (8 * b)) & 0xff;
-      h *= 1099511628211ull;
-    }
-  };
-  for (const auto& r : results) {
-    mix(r.status.ok() ? 1 : 0);
-    for (const auto& a : r.pnn) {
-      uint64_t bits = 0;
-      std::memcpy(&bits, &a.probability, sizeof(bits));
-      mix(static_cast<uint64_t>(a.id));
-      mix(bits);
-    }
-  }
-  return h;
-}
 
 struct RunResult {
   double qps = 0;
@@ -71,7 +49,7 @@ RunResult RunBatch(const core::UVDiagram& diagram, const query::QueryBatch& batc
   const double misses =
       static_cast<double>(diagram.stats().Get(Ticker::kQueryCacheMisses));
   r.hit_rate = hits + misses > 0 ? hits / (hits + misses) : 0.0;
-  r.hash = HashResults(results);
+  r.hash = query::DigestPointAnswers(results);
   return r;
 }
 

@@ -102,6 +102,40 @@ class ThreadPool {
   std::vector<std::thread> threads_;
 };
 
+/// \brief Counted completion tracker for fanning ONE call's tasks over a
+/// shared pool.
+///
+/// ThreadPool::Wait blocks until the pool is globally idle, which couples
+/// concurrent callers: a small batch waits for every overlapping batch to
+/// drain. A WaitGroup instead counts exactly the caller's own tasks.
+/// Allocate it in a shared_ptr captured by value in every task (a
+/// straggler's Done() may run after Wait() has already returned on another
+/// task's notification; shared ownership keeps the tracker alive for it).
+class WaitGroup {
+ public:
+  explicit WaitGroup(int count) : remaining_(count) {}
+
+  /// Marks one task complete. Call exactly once per counted task.
+  void Done() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --remaining_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until every counted task called Done().
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return remaining_ <= 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int remaining_;  // guarded by mu_
+};
+
 }  // namespace uvd
 
 #endif  // UVD_COMMON_THREAD_POOL_H_

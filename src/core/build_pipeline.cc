@@ -1,5 +1,6 @@
 #include "core/build_pipeline.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
@@ -230,6 +231,25 @@ Status RunParallel(const std::vector<uncertain::UncertainObject>& objects,
   return status;
 }
 
+Status ValidateIdOrder(const std::vector<uncertain::UncertainObject>& objects) {
+  for (size_t i = 0; i < objects.size(); ++i) {
+    if (objects[i].id() != static_cast<int>(i)) {
+      return Status::InvalidArgument("objects must be stored in id order");
+    }
+  }
+  return Status::OK();
+}
+
+/// Turns the per-object sums accumulated by Accumulate into the
+/// per-object means BuildStats reports.
+void NormalizeBuildStats(size_t n, BuildStats* s) {
+  if (n == 0) return;
+  s->i_pruning_ratio /= static_cast<double>(n);
+  s->c_pruning_ratio /= static_cast<double>(n);
+  s->avg_cr_objects /= static_cast<double>(n);
+  s->avg_r_objects /= static_cast<double>(n);
+}
+
 }  // namespace
 
 Status RunBuildPipeline(const std::vector<uncertain::UncertainObject>& objects,
@@ -240,11 +260,7 @@ Status RunBuildPipeline(const std::vector<uncertain::UncertainObject>& objects,
   if (objects.size() != ptrs.size()) {
     return Status::InvalidArgument("objects/ptrs size mismatch");
   }
-  for (size_t i = 0; i < objects.size(); ++i) {
-    if (objects[i].id() != static_cast<int>(i)) {
-      return Status::InvalidArgument("objects must be stored in id order");
-    }
-  }
+  UVD_RETURN_NOT_OK(ValidateIdOrder(objects));
 
   const int workers =
       options.build_threads > 0 ? options.build_threads : ThreadPool::DefaultThreads();
@@ -263,13 +279,64 @@ Status RunBuildPipeline(const std::vector<uncertain::UncertainObject>& objects,
   }
 
   local.total_seconds = total_timer.ElapsedSeconds();
+  NormalizeBuildStats(objects.size(), &local);
+  if (build_stats != nullptr) *build_stats = local;
+  return Status::OK();
+}
+
+Status ComputeStage1Candidates(const std::vector<uncertain::UncertainObject>& objects,
+                               const rtree::RTree& tree, const geom::Box& domain,
+                               const BuildPipelineOptions& options,
+                               std::vector<std::vector<int>>* index_ids,
+                               BuildStats* build_stats, Stats* stats) {
+  UVD_RETURN_NOT_OK(ValidateIdOrder(objects));
   const size_t n = objects.size();
-  if (n > 0) {
-    local.i_pruning_ratio /= static_cast<double>(n);
-    local.c_pruning_ratio /= static_cast<double>(n);
-    local.avg_cr_objects /= static_cast<double>(n);
-    local.avg_r_objects /= static_cast<double>(n);
+  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  const int workers = std::min<int>(
+      options.build_threads > 0 ? options.build_threads : ThreadPool::DefaultThreads(),
+      n > 0 ? static_cast<int>(n) : 1);
+
+  BuildStats local;
+  Timer total_timer;
+  std::vector<StageResult> results(n);
+  if (workers <= 1) {
+    const CrObjectFinder finder(objects, tree, domain, options.cr, stats);
+    for (size_t i = 0; i < n; ++i) {
+      results[i] = RunObjectStage(objects, finder, i, domain, options.method, denom,
+                                  stats);
+    }
+  } else {
+    // Results land positionally, so no ordering machinery is needed here —
+    // unlike RunParallel there is no stage-2 consumer to keep in step.
+    std::vector<Stats> shards(static_cast<size_t>(workers));
+    std::atomic<size_t> next{0};
+    ThreadPool pool(workers);
+    for (int w = 0; w < workers; ++w) {
+      pool.Submit([&, w] {
+        Stats* shard = stats != nullptr ? &shards[static_cast<size_t>(w)] : nullptr;
+        const CrObjectFinder finder(objects, tree, domain, options.cr, shard);
+        for (;;) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          results[i] =
+              RunObjectStage(objects, finder, i, domain, options.method, denom, shard);
+        }
+      });
+    }
+    pool.Wait();
+    if (stats != nullptr) {
+      for (const Stats& shard : shards) stats->MergeFrom(shard);
+    }
   }
+
+  index_ids->clear();
+  index_ids->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Accumulate(results[i], &local);
+    index_ids->push_back(std::move(results[i].index_ids));
+  }
+  local.total_seconds = total_timer.ElapsedSeconds();
+  NormalizeBuildStats(n, &local);
   if (build_stats != nullptr) *build_stats = local;
   return Status::OK();
 }

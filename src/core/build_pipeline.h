@@ -105,6 +105,25 @@ Status RunBuildPipeline(const std::vector<uncertain::UncertainObject>& objects,
                         const BuildPipelineOptions& options, UVIndex* index,
                         BuildStats* build_stats = nullptr, Stats* stats = nullptr);
 
+/// Stage 1 alone, materialized: index_ids->at(i) holds the ids whose
+/// outside regions describe object i's UV-cell (cr-objects for IC,
+/// r-objects for ICR/Basic) — exactly what RunBuildPipeline would feed
+/// stage 2. Fans out over `build_threads` workers with per-worker Stats
+/// shards; per-object results and the BuildStats aggregation are
+/// accumulated in id order, so the output is bit-identical for every
+/// thread count. Sharded construction (src/shard/) runs this once against
+/// the global population, then replays the results into every sub-domain
+/// index an object's cell overlaps — the per-subdomain build/merge split
+/// of divide-and-conquer Voronoi construction. Timing semantics match
+/// RunBuildPipeline (aggregate CPU seconds across workers);
+/// indexing_seconds stays 0.
+Status ComputeStage1Candidates(const std::vector<uncertain::UncertainObject>& objects,
+                               const rtree::RTree& tree, const geom::Box& domain,
+                               const BuildPipelineOptions& options,
+                               std::vector<std::vector<int>>* index_ids,
+                               BuildStats* build_stats = nullptr,
+                               Stats* stats = nullptr);
+
 }  // namespace core
 }  // namespace uvd
 

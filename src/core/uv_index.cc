@@ -180,7 +180,7 @@ Status UVIndex::InsertObject(const geom::Circle& region, int id,
   if (finalized_) {
     return Status::InvalidArgument("index already finalized");
   }
-  if (!domain_.Contains(region.center)) {
+  if (!options_.accept_border_objects && !domain_.Contains(region.center)) {
     return Status::InvalidArgument("object center outside the domain");
   }
   members_.push_back(MakeMember(region, id, ptr, std::move(cr_regions)));
@@ -194,9 +194,12 @@ UVIndex::Member UVIndex::MakeMember(const geom::Circle& region, int id,
   Member member{region, id, ptr, std::move(cr_regions), nullptr, 0};
   // The interior fast path (envelope containment) only pays off when the
   // cr-object scan it replaces is long; small sets are cheaper to scan
-  // directly than to summarize.
+  // directly than to summarize. RadialEnvelope anchors must lie inside the
+  // domain, so border-replicated members (center outside a shard's
+  // sub-domain) skip the fast path — decisions are identical, just O(|C_i|).
   constexpr size_t kCellFastPathThreshold = 32;
-  if (member.cr_regions.size() > kCellFastPathThreshold) {
+  if (member.cr_regions.size() > kCellFastPathThreshold &&
+      domain_.Contains(region.center)) {
     member.cell = std::make_unique<geom::RadialEnvelope>(region.center, domain_);
     for (size_t k = 0; k < member.cr_regions.size(); ++k) {
       member.cell->Insert(geom::RadialConstraint::ForObjects(
@@ -256,7 +259,7 @@ Status UVIndex::InsertObjectLive(const geom::Circle& region, int id,
     return Status::InvalidArgument(
         "live insertion requires a finalized index; use InsertObject");
   }
-  if (!domain_.Contains(region.center)) {
+  if (!options_.accept_border_objects && !domain_.Contains(region.center)) {
     return Status::InvalidArgument("object center outside the domain");
   }
   members_.push_back(MakeMember(region, id, ptr, std::move(cr_regions)));
@@ -320,10 +323,23 @@ uint32_t UVIndex::LocateLeaf(const geom::Point& q) const {
   return idx;
 }
 
+bool UVIndex::OwnsPoint(const geom::Point& q) const {
+  return domain_.ContainsHalfOpen(q);
+}
+
 Result<uint32_t> UVIndex::LocateLeafChecked(const geom::Point& q) const {
   if (!finalized_) {
     return Status::Internal("index must be finalized before queries");
   }
+  // Acceptance is the closed domain: ownership at interior boundaries is
+  // half-open [min, max) — a cut-line point between two indexes tiling a
+  // larger domain belongs to the upper/right index alone (OwnsPoint; the
+  // >= descent in LocateLeaf treats interior leaf boundaries the same
+  // way) — but the domain's own max edge has no upper neighbor, so it
+  // stays closed and a probe exactly on it is answered by the max-edge
+  // leaves instead of being dropped. Routers combine OwnsPoint with a
+  // max-edge clamp, so cut-line routing yields no drops and no
+  // double-answers (ShardedUVDiagram::ShardIndexForPoint).
   if (!domain_.Contains(q)) {
     return Status::InvalidArgument("query point outside the domain");
   }
@@ -384,6 +400,22 @@ int UVIndex::height() const {
 size_t UVIndex::LeafObjectCount(uint32_t node_index) const {
   UVD_DCHECK(nodes_[node_index].is_leaf);
   return nodes_[node_index].member_slots.size();
+}
+
+bool UvCellMayOverlap(const geom::Circle& region,
+                      const std::vector<geom::Circle>& cr_regions,
+                      const geom::Box& box, Stats* stats) {
+  if (stats != nullptr) stats->Add(Ticker::kOverlapChecks);
+  // Same Algorithm 5 logic as UVIndex::CheckOverlap, minus the per-member
+  // memoization: the cell cannot overlap `box` iff some cr-object's convex
+  // outside region contains it (4-point corner test). Monotone under box
+  // containment — if it reports "no overlap" for a shard box, it would for
+  // every leaf inside that box too — which is what makes shard-border
+  // registration by this test conservative (Lemma 4 end to end).
+  for (const geom::Circle& cr : cr_regions) {
+    if (UVEdge(region, cr, /*j_id=*/-1).RegionInOutside(box, stats)) return false;
+  }
+  return true;
 }
 
 std::vector<int> UVIndex::LeafObjectIds(uint32_t node_index) const {

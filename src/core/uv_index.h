@@ -32,6 +32,13 @@ struct UVIndexOptions {
   int max_nonleaf = 4000;        ///< M: in-memory non-leaf node budget.
   double split_threshold = 1.0;  ///< T_theta in [0, 1]; larger = more splits.
   int leaf_fanout = 100;         ///< Tuples per 4 KB leaf page.
+  /// Accept insertions whose center lies outside the domain. Sharded
+  /// serving registers an object with every sub-domain its UV-cell
+  /// overlaps, so border objects belong to indexes that do not contain
+  /// their centers; Algorithm 3's root-level CheckOverlap remains the real
+  /// placement gate. Off by default: for a whole-domain index an external
+  /// center is a caller bug worth rejecting.
+  bool accept_border_objects = false;
 };
 
 /// \brief Adaptive grid index over UV-cells.
@@ -90,8 +97,20 @@ class UVIndex {
   Result<std::vector<rtree::LeafEntry>> RetrieveCandidates(const geom::Point& q) const;
 
   /// Point-location phase with the validation RetrieveCandidates performs
-  /// (finalized index, q inside the domain).
+  /// (finalized index, q inside the domain). The domain is owned with
+  /// explicit [min, max) semantics per axis — interior boundaries belong to
+  /// the upper/right side — except the domain's own max edge, which stays
+  /// closed so boundary probes are answered rather than dropped. See
+  /// OwnsPoint for the exclusive-ownership predicate used by shard routing.
   Result<uint32_t> LocateLeafChecked(const geom::Point& q) const;
+
+  /// True iff this index owns q exclusively under the half-open [min, max)
+  /// tiling convention: adjacent indexes covering a partitioned domain each
+  /// own a cut-line point exactly once (the upper/right neighbor). Points
+  /// on the global domain's max edge are owned by no index under this test;
+  /// routers clamp them to the max-edge shard (whose closed max edge
+  /// accepts them, see LocateLeafChecked).
+  bool OwnsPoint(const geom::Point& q) const;
 
   /// Page-list phase: reads and decodes the leaf's page chain. Leaf I/O is
   /// billed to the index's Stats; safe for concurrent callers.
@@ -188,6 +207,17 @@ class UVIndex {
   int nonleaf_count_ = 0;
   bool finalized_ = false;
 };
+
+/// Conservative cell-vs-box overlap test (Algorithm 5, exported): true
+/// unless some cr-object's outside region provably contains `box`, in which
+/// case the UV-cell of the object with uncertainty region `region` cannot
+/// intersect it. Sharded builds use this to decide which sub-domains an
+/// object must be registered with — a "no" is exact (the cell misses the
+/// box), a "yes" may be a false positive (harmless: the object is filtered
+/// at query time like any other conservative candidate).
+bool UvCellMayOverlap(const geom::Circle& region,
+                      const std::vector<geom::Circle>& cr_regions,
+                      const geom::Box& box, Stats* stats = nullptr);
 
 }  // namespace core
 }  // namespace uvd

@@ -40,6 +40,16 @@ struct Box {
     return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
   }
 
+  /// Half-open membership [lo, hi) per axis: a point on a shared edge of
+  /// two boxes tiling a larger region belongs to the upper/right box only,
+  /// so tilings (sharded serving, quad-tree quarters) own every point
+  /// exactly once. The max edge of the outermost box belongs to no box
+  /// under this test — callers owning a global boundary must close it
+  /// explicitly (see UVIndex::LocateLeafChecked).
+  bool ContainsHalfOpen(const Point& p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y;
+  }
+
   bool ContainsBox(const Box& b) const {
     return b.lo.x >= lo.x && b.hi.x <= hi.x && b.lo.y >= lo.y && b.hi.y <= hi.y;
   }

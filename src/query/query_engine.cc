@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <utility>
 
 #include "core/pattern_queries.h"
@@ -10,9 +11,27 @@
 namespace uvd {
 namespace query {
 
+namespace {
+
+DiagramView ViewOf(const core::UVDiagram& diagram) {
+  DiagramView view;
+  view.index = &diagram.index();
+  view.store = &diagram.store();
+  view.qualification = diagram.options().qualification;
+  view.stats = &diagram.stats();
+  return view;
+}
+
+}  // namespace
+
 QueryEngine::QueryEngine(const core::UVDiagram& diagram,
                          const QueryEngineOptions& options)
-    : diagram_(diagram), options_(options) {
+    : QueryEngine(ViewOf(diagram), options) {}
+
+QueryEngine::QueryEngine(const DiagramView& view, const QueryEngineOptions& options)
+    : view_(view), options_(options) {
+  UVD_CHECK(view_.index != nullptr);
+  UVD_CHECK(view_.store != nullptr);
   threads_ = options.threads > 0 ? options.threads : ThreadPool::DefaultThreads();
   if (options_.enable_cache) {
     cache_ = std::make_unique<QueryCache>(options_.cache);
@@ -26,9 +45,14 @@ void QueryEngine::InvalidateCache() {
   if (cache_ != nullptr) cache_->Clear();
 }
 
+std::vector<Stats> QueryEngine::worker_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return worker_stats_;
+}
+
 Result<std::vector<rtree::LeafEntry>> QueryEngine::CandidatesFor(
     const geom::Point& p, Stats* shard) const {
-  const core::UVIndex& index = diagram_.index();
+  const core::UVIndex& index = *view_.index;
   UVD_ASSIGN_OR_RETURN(const uint32_t leaf, index.LocateLeafChecked(p));
   if (cache_ != nullptr) {
     return cache_->GetOrLoad(
@@ -47,8 +71,8 @@ QueryResult QueryEngine::ExecuteOne(const Query& q, Stats* shard) const {
         break;
       }
       auto answers = core::EvaluatePnnFromCandidates(
-          std::move(candidates).value(), diagram_.store(), q.point,
-          diagram_.options().qualification, shard);
+          std::move(candidates).value(), *view_.store, q.point,
+          view_.qualification, shard);
       if (!answers.ok()) {
         result.status = answers.status();
         break;
@@ -67,11 +91,11 @@ QueryResult QueryEngine::ExecuteOne(const Query& q, Stats* shard) const {
       break;
     }
     case QueryKind::kUvPartitions: {
-      result.partitions = core::RetrieveUvPartitions(diagram_.index(), q.range, shard);
+      result.partitions = core::RetrieveUvPartitions(*view_.index, q.range, shard);
       break;
     }
     case QueryKind::kCellSummary: {
-      auto summary = core::RetrieveUvCellSummary(diagram_.index(), q.object_id,
+      auto summary = core::RetrieveUvCellSummary(*view_.index, q.object_id,
                                                  /*use_offline_lists=*/true, shard);
       if (!summary.ok()) {
         result.status = summary.status();
@@ -89,33 +113,47 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(const QueryBatch& batch) {
   const int workers =
       static_cast<int>(std::min<size_t>(static_cast<size_t>(threads_), batch.size()));
 
+  // Every shard is call-local: concurrent ExecuteBatch callers on one
+  // engine (e.g. two front-ends sharing a shard) never touch each other's
+  // counters. The member copy below exists only for worker_stats()
+  // observability and is the one cross-call write, hence the mutex.
+  std::vector<Stats> shards;
+
   if (pool_ == nullptr || workers <= 1) {
-    worker_stats_.assign(1, Stats());
-    Stats* shard = &worker_stats_[0];
+    shards.assign(1, Stats());
     for (size_t i = 0; i < batch.size(); ++i) {
-      results[i] = ExecuteOne(batch[i], shard);
+      results[i] = ExecuteOne(batch[i], &shards[0]);
     }
-    diagram_.stats().MergeFrom(worker_stats_[0]);
-    return results;
+  } else {
+    // Fan-out: workers claim slots through the cursor; results are written
+    // positionally, so submission order is preserved for free. Completion
+    // is tracked per call (WaitGroup) — NOT via the pool's global Wait,
+    // which would couple this caller's latency to every overlapping
+    // batch's drain.
+    shards.assign(static_cast<size_t>(workers), Stats());
+    std::atomic<size_t> next{0};
+    auto done = std::make_shared<WaitGroup>(workers);
+    for (int w = 0; w < workers; ++w) {
+      Stats* shard = &shards[static_cast<size_t>(w)];
+      pool_->Submit([this, &batch, &results, &next, done, shard] {
+        for (;;) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= batch.size()) break;
+          results[i] = ExecuteOne(batch[i], shard);
+        }
+        done->Done();
+      });
+    }
+    done->Wait();
   }
 
-  // Fan-out: workers claim slots through the cursor; results are written
-  // positionally, so submission order is preserved for free.
-  worker_stats_.assign(static_cast<size_t>(workers), Stats());
-  std::atomic<size_t> next{0};
-  for (int w = 0; w < workers; ++w) {
-    Stats* shard = &worker_stats_[static_cast<size_t>(w)];
-    pool_->Submit([this, &batch, &results, &next, shard] {
-      for (;;) {
-        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= batch.size()) return;
-        results[i] = ExecuteOne(batch[i], shard);
-      }
-    });
+  if (view_.stats != nullptr) {
+    for (const Stats& shard : shards) view_.stats->MergeFrom(shard);
   }
-  pool_->Wait();
-
-  for (const Stats& shard : worker_stats_) diagram_.stats().MergeFrom(shard);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    worker_stats_ = std::move(shards);
+  }
   return results;
 }
 

@@ -27,13 +27,17 @@
 // cache stores the exact ReadLeafEntries output and the per-query
 // computation never depends on scheduling.
 //
-// The engine must not run concurrently with diagram mutation
-// (UVDiagram::InsertObject); after an insert, call InvalidateCache()
-// before the next batch. One ExecuteBatch runs at a time per engine.
+// Concurrency: ExecuteBatch is safe to call from several threads on one
+// engine (per-shard front-ends funneling to the same index); each call
+// uses private Stats shards, and publication of the observability snapshot
+// (worker_stats()) is mutex-guarded. The engine must not run concurrently
+// with diagram mutation (UVDiagram::InsertObject); after an insert, call
+// InvalidateCache() before the next batch.
 #ifndef UVD_QUERY_QUERY_ENGINE_H_
 #define UVD_QUERY_QUERY_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/stats.h"
@@ -57,22 +61,39 @@ struct QueryEngineOptions {
   QueryCacheOptions cache;
 };
 
-/// \brief Executes query batches against a built UVDiagram.
+/// The slice of a diagram the engine actually queries. UVDiagram is one
+/// source of such a view; a shard of a ShardedUVDiagram (its own UVIndex +
+/// ObjectStore over a sub-domain, src/shard/) is another. All pointers must
+/// outlive the engine; `stats` (optional) receives the merged per-worker
+/// shards after each batch.
+struct DiagramView {
+  const core::UVIndex* index = nullptr;
+  const uncertain::ObjectStore* store = nullptr;
+  uncertain::QualificationOptions qualification;
+  Stats* stats = nullptr;
+};
+
+/// \brief Executes query batches against a built UVDiagram (or any
+/// DiagramView, e.g. one shard of a sharded deployment).
 class QueryEngine {
  public:
   explicit QueryEngine(const core::UVDiagram& diagram,
                        const QueryEngineOptions& options = {});
+  explicit QueryEngine(const DiagramView& view, const QueryEngineOptions& options = {});
 
   /// Answers every query in the batch; results[i] corresponds to batch[i].
   /// Per-query failures (e.g. a point outside the domain) are reported in
   /// results[i].status without failing the rest of the batch. Worker
-  /// shards are merged into diagram.stats() before returning.
+  /// shards are merged into the view's Stats before returning. Safe for
+  /// concurrent callers: each call owns its shards (no cross-call state).
   std::vector<QueryResult> ExecuteBatch(const QueryBatch& batch);
 
   /// Per-worker Stats shards from the most recent ExecuteBatch (already
-  /// merged into the diagram's Stats; kept for observability — e.g. cache
-  /// hit rates or integration counts per worker).
-  const std::vector<Stats>& worker_stats() const { return worker_stats_; }
+  /// merged into the view's Stats; kept for observability — e.g. cache
+  /// hit rates or integration counts per worker). Returns a snapshot by
+  /// value: with concurrent ExecuteBatch callers the member is updated
+  /// under a mutex, so a reference would race with the next publication.
+  std::vector<Stats> worker_stats() const;
 
   /// Drops every cached leaf; required after UVDiagram::InsertObject.
   void InvalidateCache();
@@ -82,6 +103,7 @@ class QueryEngine {
 
   int num_threads() const { return threads_; }
   const QueryEngineOptions& options() const { return options_; }
+  const DiagramView& view() const { return view_; }
 
  private:
   QueryResult ExecuteOne(const Query& q, Stats* shard) const;
@@ -90,12 +112,13 @@ class QueryEngine {
   Result<std::vector<rtree::LeafEntry>> CandidatesFor(const geom::Point& p,
                                                       Stats* shard) const;
 
-  const core::UVDiagram& diagram_;
+  DiagramView view_;
   QueryEngineOptions options_;
   int threads_;
   std::unique_ptr<QueryCache> cache_;    // null if disabled
   std::unique_ptr<ThreadPool> pool_;     // null if threads_ == 1
-  std::vector<Stats> worker_stats_;      // last batch's shards
+  mutable std::mutex stats_mu_;          // guards worker_stats_
+  std::vector<Stats> worker_stats_;      // last batch's shards (snapshot)
 };
 
 }  // namespace query

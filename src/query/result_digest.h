@@ -1,0 +1,44 @@
+// Order-sensitive FNV-1a digest of point-query answers: two result lists
+// digest equal iff their statuses, PNN answers (ids AND probability bits)
+// and answer-id lists are element-wise bitwise-identical. This is the one
+// mix every bitwise-identity assertion shares — the query-engine and
+// sharded-serving benches and the shard equivalence tests all compare
+// digests from this function, so a drift in the mix cannot make one
+// harness pass a divergence another would catch.
+#ifndef UVD_QUERY_RESULT_DIGEST_H_
+#define UVD_QUERY_RESULT_DIGEST_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "query/query_batch.h"
+
+namespace uvd {
+namespace query {
+
+inline uint64_t DigestPointAnswers(const std::vector<QueryResult>& results) {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const QueryResult& r : results) {
+    mix(r.status.ok() ? 1 : 0);
+    for (const uncertain::PnnAnswer& a : r.pnn) {
+      uint64_t bits = 0;
+      std::memcpy(&bits, &a.probability, sizeof(bits));
+      mix(static_cast<uint64_t>(a.id));
+      mix(bits);
+    }
+    for (int id : r.answer_ids) mix(static_cast<uint64_t>(id));
+  }
+  return h;
+}
+
+}  // namespace query
+}  // namespace uvd
+
+#endif  // UVD_QUERY_RESULT_DIGEST_H_

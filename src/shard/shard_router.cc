@@ -1,0 +1,155 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace uvd {
+namespace shard {
+
+ShardRouter::ShardRouter(const ShardedUVDiagram& diagram,
+                         const ShardRouterOptions& options)
+    : diagram_(diagram), options_(options) {
+  engines_.reserve(diagram.num_shards());
+  for (size_t s = 0; s < diagram.num_shards(); ++s) {
+    engines_.push_back(std::make_unique<query::QueryEngine>(diagram.ViewOfShard(s),
+                                                            options_.engine));
+  }
+  // Default: one slot per shard, NOT capped at hardware concurrency — a
+  // disk-bound shard spends its time blocked in page reads, so fanning all
+  // shards even on few cores is what hides the latency (the sharding win).
+  const int threads = options_.router_threads > 0
+                          ? options_.router_threads
+                          : static_cast<int>(diagram.num_shards());
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+void ShardRouter::InvalidateCaches() {
+  for (auto& engine : engines_) engine->InvalidateCache();
+}
+
+std::vector<query::QueryResult> ShardRouter::ExecuteBatch(
+    const query::QueryBatch& batch) {
+  const size_t num_shards = engines_.size();
+  std::vector<query::QueryResult> results(batch.size());
+
+  // Plan: per-shard sub-batches of (global index, query). Multi-shard
+  // kinds appear in several plans and are merged below.
+  struct Slot {
+    size_t global;
+    query::Query query;
+  };
+  std::vector<std::vector<Slot>> plan(num_shards);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const query::Query& q = batch[i];
+    switch (q.kind) {
+      case query::QueryKind::kPnn:
+      case query::QueryKind::kAnswerIds: {
+        const int s = diagram_.ShardIndexForPoint(q.point);
+        plan[static_cast<size_t>(s)].push_back({i, q});
+        break;
+      }
+      case query::QueryKind::kUvPartitions: {
+        for (int s : diagram_.ShardsForRange(q.range)) {
+          plan[static_cast<size_t>(s)].push_back({i, q});
+        }
+        // No intersecting shard: an unsharded index answers a disjoint
+        // range with an empty list too, so the default result stands.
+        break;
+      }
+      case query::QueryKind::kCellSummary: {
+        std::vector<int> targets = diagram_.ShardsForObject(q.object_id);
+        // Unregistered ids still need the canonical NotFound an unsharded
+        // scan produces; any shard's scan yields it.
+        if (targets.empty()) targets.push_back(0);
+        for (int s : targets) {
+          plan[static_cast<size_t>(s)].push_back({i, q});
+        }
+        break;
+      }
+    }
+  }
+
+  // Execute the non-empty sub-batches, concurrently across shards when the
+  // router has a pool. Engines guarantee in-order sub-results, so each
+  // shard's answers line up with its plan.
+  std::vector<std::vector<query::QueryResult>> shard_results(num_shards);
+  const auto run_shard = [&](size_t s) {
+    query::QueryBatch sub;
+    sub.reserve(plan[s].size());
+    for (const Slot& slot : plan[s]) sub.push_back(slot.query);
+    shard_results[s] = engines_[s]->ExecuteBatch(sub);
+  };
+  std::vector<size_t> active;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!plan[s].empty()) active.push_back(s);
+  }
+  if (pool_ == nullptr || active.size() <= 1) {
+    for (size_t s : active) run_shard(s);
+  } else {
+    // Per-call completion tracking (WaitGroup, not the pool's global
+    // Wait): two concurrent router batches share the pool without coupling
+    // each other's latency to the slower batch's drain.
+    std::atomic<size_t> next{0};
+    const size_t tasks = std::min<size_t>(
+        active.size(), static_cast<size_t>(pool_->num_threads()));
+    auto done = std::make_shared<WaitGroup>(static_cast<int>(tasks));
+    for (size_t t = 0; t < tasks; ++t) {
+      pool_->Submit([&, done] {
+        for (;;) {
+          const size_t a = next.fetch_add(1, std::memory_order_relaxed);
+          if (a >= active.size()) break;
+          run_shard(active[a]);
+        }
+        done->Done();
+      });
+    }
+    done->Wait();
+  }
+
+  // Reassemble positionally; ascending shard order makes multi-shard
+  // merges deterministic for every thread configuration.
+  std::vector<size_t> merged_so_far(batch.size(), 0);
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (size_t k = 0; k < plan[s].size(); ++k) {
+      const size_t i = plan[s][k].global;
+      query::QueryResult& partial = shard_results[s][k];
+      query::QueryResult& out = results[i];
+      switch (batch[i].kind) {
+        case query::QueryKind::kPnn:
+        case query::QueryKind::kAnswerIds:
+          out = std::move(partial);
+          break;
+        case query::QueryKind::kUvPartitions:
+          out.partitions.insert(out.partitions.end(),
+                                std::make_move_iterator(partial.partitions.begin()),
+                                std::make_move_iterator(partial.partitions.end()));
+          break;
+        case query::QueryKind::kCellSummary: {
+          // Merge found summaries (shard leaves are disjoint, so areas and
+          // leaf counts add); keep NotFound only if every shard said so.
+          const bool first = merged_so_far[i] == 0;
+          if (first) out.status = partial.status;
+          if (partial.status.ok()) {
+            if (first || !out.status.ok()) {
+              // First found shard (possibly after earlier NotFounds).
+              out.status = Status::OK();
+              out.cell_summary = core::UvCellSummary{};
+              out.cell_summary.extent = geom::Box::Empty();
+            }
+            out.cell_summary.area += partial.cell_summary.area;
+            out.cell_summary.num_leaves += partial.cell_summary.num_leaves;
+            out.cell_summary.extent.ExpandToInclude(partial.cell_summary.extent);
+          }
+          ++merged_so_far[i];
+          break;
+        }
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace shard
+}  // namespace uvd

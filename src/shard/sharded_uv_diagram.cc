@@ -1,0 +1,282 @@
+#include "shard/sharded_uv_diagram.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "rtree/rtree.h"
+
+namespace uvd {
+namespace shard {
+
+namespace {
+
+/// Longest-axis recursive bisection; the lower/left half gets the extra
+/// shard of an odd count. The cut coordinate is computed once and shared by
+/// both halves, so adjacent boxes agree bitwise on their common edge.
+void Bisect(const geom::Box& box, int k, std::vector<geom::Box>* out) {
+  if (k <= 1) {
+    out->push_back(box);
+    return;
+  }
+  const int kl = (k + 1) / 2;
+  const double frac = static_cast<double>(kl) / static_cast<double>(k);
+  if (box.Width() >= box.Height()) {
+    const double cut = box.lo.x + (box.hi.x - box.lo.x) * frac;
+    Bisect(geom::Box(box.lo, {cut, box.hi.y}), kl, out);
+    Bisect(geom::Box({cut, box.lo.y}, box.hi), k - kl, out);
+  } else {
+    const double cut = box.lo.y + (box.hi.y - box.lo.y) * frac;
+    Bisect(geom::Box(box.lo, {box.hi.x, cut}), kl, out);
+    Bisect(geom::Box({box.lo.x, cut}, box.hi), k - kl, out);
+  }
+}
+
+/// Clamped half-open ownership along one axis: [lo, hi), closed at hi only
+/// where hi is the domain's own max edge (no upper neighbor exists there).
+bool OwnsAxis(double v, double lo, double hi, double domain_hi) {
+  if (v < lo) return false;
+  if (v < hi) return true;
+  return v == hi && hi == domain_hi;
+}
+
+}  // namespace
+
+std::vector<geom::Box> PartitionDomain(const geom::Box& domain, int num_shards,
+                                       ShardPartitioning partitioning) {
+  const int k = std::max(1, num_shards);
+  std::vector<geom::Box> boxes;
+  boxes.reserve(static_cast<size_t>(k));
+  if (partitioning == ShardPartitioning::kBisection) {
+    Bisect(domain, k, &boxes);
+    return boxes;
+  }
+  // Grid: the divisor pair closest to square (strips for a prime count).
+  int rows = 1;
+  for (int d = 1; d * d <= k; ++d) {
+    if (k % d == 0) rows = d;
+  }
+  const int cols = k / rows;
+  // One cut array per axis: adjacent boxes share the exact double.
+  std::vector<double> cuts_x(static_cast<size_t>(cols) + 1);
+  std::vector<double> cuts_y(static_cast<size_t>(rows) + 1);
+  for (int i = 0; i <= cols; ++i) {
+    cuts_x[static_cast<size_t>(i)] =
+        i == cols ? domain.hi.x
+                  : domain.lo.x + domain.Width() * static_cast<double>(i) /
+                                      static_cast<double>(cols);
+  }
+  for (int j = 0; j <= rows; ++j) {
+    cuts_y[static_cast<size_t>(j)] =
+        j == rows ? domain.hi.y
+                  : domain.lo.y + domain.Height() * static_cast<double>(j) /
+                                      static_cast<double>(rows);
+  }
+  for (int j = 0; j < rows; ++j) {
+    for (int i = 0; i < cols; ++i) {
+      boxes.emplace_back(
+          geom::Point{cuts_x[static_cast<size_t>(i)], cuts_y[static_cast<size_t>(j)]},
+          geom::Point{cuts_x[static_cast<size_t>(i) + 1],
+                      cuts_y[static_cast<size_t>(j) + 1]});
+    }
+  }
+  return boxes;
+}
+
+Result<ShardedUVDiagram> ShardedUVDiagram::Build(
+    std::vector<uncertain::UncertainObject> objects, const geom::Box& domain,
+    const ShardedUVDiagramOptions& options, Stats* stats) {
+  if (objects.empty()) {
+    return Status::InvalidArgument("cannot build a UV-diagram over zero objects");
+  }
+  for (size_t i = 0; i < objects.size(); ++i) {
+    if (objects[i].id() != static_cast<int>(i)) {
+      return Status::InvalidArgument("objects must have ids 0..n-1 in order");
+    }
+    if (!domain.Contains(objects[i].center())) {
+      return Status::InvalidArgument("object center outside the domain");
+    }
+  }
+
+  Timer total_timer;
+  ShardedUVDiagram d;
+  d.objects_ = std::move(objects);
+  d.domain_ = domain;
+  d.options_ = options;
+  d.options_.num_shards = std::max(1, options.num_shards);
+  if (stats != nullptr) {
+    d.stats_ = stats;
+  } else {
+    d.owned_stats_ = std::make_unique<Stats>();
+    d.stats_ = d.owned_stats_.get();
+  }
+  const size_t n = d.objects_.size();
+
+  // Global stage 1 against the full population: a scratch store + R-tree
+  // drive Algorithm 2's pruning exactly as an unsharded build would, so
+  // every object's cell description is the unsharded one. Both are
+  // discarded afterwards — serving state is per-shard only.
+  std::vector<std::vector<int>> index_ids;
+  {
+    storage::PageManager scratch_pm(d.options_.diagram.page_size, d.stats_);
+    uncertain::ObjectStore scratch_store(&scratch_pm);
+    std::vector<uncertain::ObjectPtr> scratch_ptrs;
+    UVD_RETURN_NOT_OK(scratch_store.BulkLoad(d.objects_, &scratch_ptrs));
+    UVD_ASSIGN_OR_RETURN(
+        rtree::RTree tree,
+        rtree::RTree::BulkLoad(d.objects_, scratch_ptrs, &scratch_pm,
+                               d.options_.diagram.rtree, d.stats_));
+    core::BuildPipelineOptions pipeline;
+    pipeline.method = d.options_.diagram.method;
+    pipeline.cr = d.options_.diagram.cr;
+    pipeline.build_threads = d.options_.diagram.build_threads;
+    UVD_RETURN_NOT_OK(core::ComputeStage1Candidates(d.objects_, tree, domain, pipeline,
+                                                    &index_ids, &d.build_stats_,
+                                                    d.stats_));
+  }
+  std::vector<std::vector<geom::Circle>> cell_regions(n);
+  for (size_t i = 0; i < n; ++i) {
+    cell_regions[i].reserve(index_ids[i].size());
+    for (int id : index_ids[i]) {
+      cell_regions[i].push_back(d.objects_[static_cast<size_t>(id)].region());
+    }
+    index_ids[i].clear();
+    index_ids[i].shrink_to_fit();
+  }
+
+  // Stage 2, K ways: register + bulk-load + insert + finalize one shard.
+  // Shards share only the read-only dataset and stage-1 output; storage,
+  // index and Stats are private per shard, so the builds are independent.
+  const std::vector<geom::Box> boxes =
+      PartitionDomain(domain, d.options_.num_shards, d.options_.partitioning);
+  d.shards_.resize(boxes.size());
+  std::vector<Status> shard_status(boxes.size());
+  std::vector<double> shard_seconds(boxes.size(), 0.0);
+
+  const auto build_shard = [&](size_t s) {
+    ScopedTimer timer(&shard_seconds[s]);
+    Shard& sh = d.shards_[s];
+    sh.box = boxes[s];
+    sh.stats = std::make_unique<Stats>();
+    sh.pm = std::make_unique<storage::PageManager>(d.options_.diagram.page_size,
+                                                   sh.stats.get());
+    sh.store = std::make_unique<uncertain::ObjectStore>(sh.pm.get());
+
+    // Border replication: every object whose cell may reach this sub-box,
+    // in global id order (insertion order therefore matches the unsharded
+    // build's for the objects this shard holds).
+    for (size_t i = 0; i < n; ++i) {
+      if (core::UvCellMayOverlap(d.objects_[i].region(), cell_regions[i], sh.box,
+                                 sh.stats.get())) {
+        sh.object_ids.push_back(static_cast<int>(i));
+      }
+    }
+    std::vector<uncertain::UncertainObject> subset;
+    subset.reserve(sh.object_ids.size());
+    for (int id : sh.object_ids) subset.push_back(d.objects_[static_cast<size_t>(id)]);
+    shard_status[s] = sh.store->BulkLoad(subset, &sh.ptrs);
+    if (!shard_status[s].ok()) return;
+
+    core::UVIndexOptions index_options = d.options_.diagram.index;
+    index_options.accept_border_objects = true;  // replicas may center elsewhere
+    sh.index = std::make_unique<core::UVIndex>(sh.box, sh.pm.get(), index_options,
+                                               sh.stats.get());
+    for (size_t k = 0; k < sh.object_ids.size(); ++k) {
+      const size_t gid = static_cast<size_t>(sh.object_ids[k]);
+      shard_status[s] = sh.index->InsertObject(d.objects_[gid].region(),
+                                               sh.object_ids[k], sh.ptrs[k],
+                                               cell_regions[gid]);
+      if (!shard_status[s].ok()) return;
+    }
+    shard_status[s] = sh.index->Finalize();
+  };
+
+  const int build_threads = d.options_.diagram.build_threads > 0
+                                ? d.options_.diagram.build_threads
+                                : ThreadPool::DefaultThreads();
+  const int workers = std::min<int>(build_threads, static_cast<int>(boxes.size()));
+  if (workers <= 1) {
+    for (size_t s = 0; s < boxes.size(); ++s) build_shard(s);
+  } else {
+    ThreadPool pool(workers);
+    std::atomic<size_t> next{0};
+    for (int w = 0; w < workers; ++w) {
+      pool.Submit([&] {
+        for (;;) {
+          const size_t s = next.fetch_add(1, std::memory_order_relaxed);
+          if (s >= boxes.size()) return;
+          build_shard(s);
+        }
+      });
+    }
+    pool.Wait();
+  }
+  for (const Status& status : shard_status) UVD_RETURN_NOT_OK(status);
+
+  for (double seconds : shard_seconds) d.build_stats_.indexing_seconds += seconds;
+  d.build_stats_.total_seconds = total_timer.ElapsedSeconds();
+  return d;
+}
+
+int ShardedUVDiagram::ShardIndexForPoint(const geom::Point& p) const {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const geom::Box& box = shards_[s].box;
+    if (OwnsAxis(p.x, box.lo.x, box.hi.x, domain_.hi.x) &&
+        OwnsAxis(p.y, box.lo.y, box.hi.y, domain_.hi.y)) {
+      return static_cast<int>(s);
+    }
+  }
+  // Outside the closed domain: clamp to the nearest shard, whose index
+  // rejects the probe with the InvalidArgument an unsharded query yields.
+  size_t best = 0;
+  double best_dist = shards_[0].box.MinDist(p);
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    const double dist = shards_[s].box.MinDist(p);
+    if (dist < best_dist) {
+      best = s;
+      best_dist = dist;
+    }
+  }
+  return static_cast<int>(best);
+}
+
+std::vector<int> ShardedUVDiagram::ShardsForRange(const geom::Box& range) const {
+  std::vector<int> out;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].box.Intersects(range)) out.push_back(static_cast<int>(s));
+  }
+  return out;
+}
+
+std::vector<int> ShardedUVDiagram::ShardsForObject(int object_id) const {
+  std::vector<int> out;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const std::vector<int>& ids = shards_[s].object_ids;
+    if (std::binary_search(ids.begin(), ids.end(), object_id)) {
+      out.push_back(static_cast<int>(s));
+    }
+  }
+  return out;
+}
+
+query::DiagramView ShardedUVDiagram::ViewOfShard(size_t s) const {
+  const Shard& sh = shards_[s];
+  query::DiagramView view;
+  view.index = sh.index.get();
+  view.store = sh.store.get();
+  view.qualification = options_.diagram.qualification;
+  view.stats = sh.stats.get();
+  return view;
+}
+
+Stats ShardedUVDiagram::AggregateStats() const {
+  Stats out(*stats_);
+  for (const Shard& sh : shards_) out.MergeFrom(*sh.stats);
+  return out;
+}
+
+}  // namespace shard
+}  // namespace uvd

@@ -1,0 +1,162 @@
+// Sharded UV-index serving (ROADMAP "Sharded index serving"): the domain is
+// partitioned into K sub-boxes, each backed by its own UV-index, object
+// store and simulated disk, so a deployment can spread one diagram's leaf
+// pages and pdf records across several stores and build them in parallel —
+// the per-subdomain build/merge split of divide-and-conquer Voronoi
+// construction (arXiv:0906.2760), extended to uncertain data.
+//
+// Construction = one global stage 1, K independent stage 2s:
+//
+//   1. Stage 1 (candidate generation) runs ONCE against the full
+//      population, reusing the build pipeline's fan-out
+//      (core::ComputeStage1Candidates with UVDiagramOptions::build_threads
+//      workers). Every object's cell description (cr-/r-objects) is
+//      therefore identical to what an unsharded build would index.
+//   2. Border replication: an object is registered with EVERY shard whose
+//      sub-box its UV-cell may overlap (core::UvCellMayOverlap — the
+//      Algorithm 5 test against the shard box). An object whose
+//      uncertainty region or cell straddles a cut line thus lives in all
+//      touching shards; objects interior to one shard live in exactly one.
+//   3. Each shard bulk-loads its registered objects into a private
+//      ObjectStore (tuples keep GLOBAL ids) and inserts them — in global
+//      id order, with their global cell descriptions — into a UVIndex
+//      whose domain is the shard box. Shard builds fan out across the
+//      worker pool; each shard's storage and stats are private, so the
+//      builds share nothing but the read-only stage-1 output.
+//
+// Border-correctness guarantee (the reason replication is by cell, not by
+// position): for any query point q, the owning shard's leaf candidate list
+// contains every object whose UV-cell contains q — exactly the objects an
+// unsharded leaf guarantees (Lemma 4) — because registration uses the same
+// conservative overlap test as leaf placement, and that test is monotone
+// under box containment. The d_minmax verification then filters both lists
+// to the same answer set in the same (id-ascending) order, so PNN answers
+// and answer-id lists are BITWISE-IDENTICAL to the unsharded build, cut-line
+// probes included (tests/shard/ asserts this by hash).
+//
+// Point ownership at cut lines is half-open [min, max) per axis (the
+// upper/right shard owns the line; see UVIndex::OwnsPoint), except the
+// domain's max edge, which clamps to the max-edge shard so boundary probes
+// are never dropped. Every point of the closed domain is owned by exactly
+// one shard: no drops, no double-answers.
+#ifndef UVD_SHARD_SHARDED_UV_DIAGRAM_H_
+#define UVD_SHARD_SHARDED_UV_DIAGRAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "core/build_pipeline.h"
+#include "core/uv_diagram.h"
+#include "core/uv_index.h"
+#include "geom/box.h"
+#include "geom/point.h"
+#include "query/query_engine.h"
+#include "storage/page_manager.h"
+#include "uncertain/object_store.h"
+#include "uncertain/uncertain_object.h"
+
+namespace uvd {
+namespace shard {
+
+/// How the domain is cut into shard boxes.
+enum class ShardPartitioning {
+  /// rows x cols grid, rows * cols == num_shards with the factor pair
+  /// closest to square (a prime count degenerates to strips).
+  kGrid,
+  /// Recursive longest-axis bisection; shard counts need not be composite
+  /// or powers of two (an odd count splits ceil/floor).
+  kBisection,
+};
+
+struct ShardedUVDiagramOptions {
+  /// K: number of sub-domain indexes. 1 degenerates to an unsharded build.
+  int num_shards = 4;
+  ShardPartitioning partitioning = ShardPartitioning::kGrid;
+  /// Per-shard build/query configuration. `build_threads` drives both the
+  /// global stage-1 fan-out and the parallel shard builds; `index`,
+  /// `page_size` and `qualification` apply to every shard.
+  core::UVDiagramOptions diagram;
+};
+
+/// \brief K UV-indexes over a partitioned domain with border replication.
+class ShardedUVDiagram {
+ public:
+  /// One sub-domain: its box, private storage, and UV-index. `object_ids`
+  /// are the GLOBAL ids registered here (ascending); `ptrs[k]` locates
+  /// object_ids[k] in this shard's store.
+  struct Shard {
+    geom::Box box;
+    std::unique_ptr<Stats> stats;  // billed by pm/store/index/engine view
+    std::unique_ptr<storage::PageManager> pm;
+    std::unique_ptr<uncertain::ObjectStore> store;
+    std::vector<uncertain::ObjectPtr> ptrs;
+    std::vector<int> object_ids;
+    std::unique_ptr<core::UVIndex> index;
+  };
+
+  /// Builds every shard. Objects must have ids 0..n-1 in order and centers
+  /// inside `domain` (the whole-diagram validation; individual shards
+  /// accept border objects whose centers lie outside their sub-box). If
+  /// `stats` is null an internal Stats receives the global-phase tickers.
+  static Result<ShardedUVDiagram> Build(
+      std::vector<uncertain::UncertainObject> objects, const geom::Box& domain,
+      const ShardedUVDiagramOptions& options = {}, Stats* stats = nullptr);
+
+  size_t num_shards() const { return shards_.size(); }
+  const Shard& shard(size_t s) const { return shards_[s]; }
+  const geom::Box& domain() const { return domain_; }
+  const std::vector<uncertain::UncertainObject>& objects() const { return objects_; }
+  const ShardedUVDiagramOptions& options() const { return options_; }
+
+  /// The shard owning `p` exclusively: half-open [min, max) ownership at
+  /// interior cut lines (upper/right shard wins), clamped to the max-edge
+  /// shard on the domain's own max boundary. Points outside the closed
+  /// domain clamp to the nearest edge shard, whose index rejects them with
+  /// the same InvalidArgument an unsharded query would produce.
+  int ShardIndexForPoint(const geom::Point& p) const;
+
+  /// Shards whose (closed) boxes intersect `range`, ascending — every
+  /// shard holding leaves a UV-partition query over `range` must visit.
+  std::vector<int> ShardsForRange(const geom::Box& range) const;
+
+  /// Shards the object is registered with (ascending); empty for ids never
+  /// registered (e.g. out-of-range ids).
+  std::vector<int> ShardsForObject(int object_id) const;
+
+  /// QueryEngine view of one shard (its index/store/stats and the shared
+  /// qualification options).
+  query::DiagramView ViewOfShard(size_t s) const;
+
+  /// Global-phase Stats (stage-1 pruning, scratch R-tree I/O) merged with
+  /// every shard's private Stats — the whole deployment's counters.
+  Stats AggregateStats() const;
+
+  /// Stage-1 timing/pruning diagnostics plus aggregate per-shard indexing
+  /// seconds; total_seconds is the wall clock of the whole sharded build.
+  const core::BuildStats& build_stats() const { return build_stats_; }
+
+ private:
+  ShardedUVDiagram() = default;
+
+  std::vector<uncertain::UncertainObject> objects_;
+  geom::Box domain_;
+  ShardedUVDiagramOptions options_;
+  Stats* stats_ = nullptr;  // external or owned_stats_.get(); global phases
+  std::unique_ptr<Stats> owned_stats_;
+  std::vector<Shard> shards_;
+  core::BuildStats build_stats_;
+};
+
+/// Partitions `domain` into exactly `num_shards` boxes that tile it with
+/// bitwise-shared cut coordinates (adjacent boxes reuse the same double for
+/// their common edge, so half-open ownership tests are exact). Exposed for
+/// tests and tooling.
+std::vector<geom::Box> PartitionDomain(const geom::Box& domain, int num_shards,
+                                       ShardPartitioning partitioning);
+
+}  // namespace shard
+}  // namespace uvd
+
+#endif  // UVD_SHARD_SHARDED_UV_DIAGRAM_H_

@@ -179,6 +179,98 @@ TEST(UvIndexTest, QueryOutsideDomainRejected) {
   EXPECT_FALSE(f.index->RetrieveCandidates({20000, 50}).ok());
 }
 
+TEST(UvIndexTest, MaxEdgeProbesAreAnsweredNotDropped) {
+  // Regression for the sharded-serving boundary semantics: the domain's
+  // max edge has no upper neighbor, so it stays closed — probes exactly on
+  // it (edges and the far corner) must locate a leaf and answer, not be
+  // rejected as out-of-domain.
+  Fixture f;
+  f.Build(300, 67);
+  const double hi_x = f.domain.hi.x;
+  const double hi_y = f.domain.hi.y;
+  for (const geom::Point q : {geom::Point{hi_x, 5000.0}, geom::Point{5000.0, hi_y},
+                              geom::Point{hi_x, hi_y}, geom::Point{hi_x, f.domain.lo.y},
+                              geom::Point{f.domain.lo.x, hi_y}}) {
+    auto leaf = f.index->LocateLeafChecked(q);
+    ASSERT_TRUE(leaf.ok()) << "(" << q.x << ", " << q.y << ")";
+    EXPECT_TRUE(f.index->nodes()[leaf.value()].region.Contains(q));
+    auto answers = RetrievePnnAnswerIds(*f.index, q, &f.stats);
+    ASSERT_TRUE(answers.ok());
+    EXPECT_EQ(answers.value(), f.BruteAnswers(q));
+  }
+}
+
+TEST(UvIndexTest, OwnsPointIsHalfOpen) {
+  // [min, max) ownership: min edges owned, max edges not (they belong to
+  // the upper/right neighbor in a tiled deployment — or, on the global
+  // boundary, to the closed-max-edge acceptance of LocateLeafChecked).
+  Fixture f;
+  f.Build(100, 71);
+  EXPECT_TRUE(f.index->OwnsPoint({f.domain.lo.x, f.domain.lo.y}));
+  EXPECT_TRUE(f.index->OwnsPoint({5000, 5000}));
+  EXPECT_FALSE(f.index->OwnsPoint({f.domain.hi.x, 5000}));
+  EXPECT_FALSE(f.index->OwnsPoint({5000, f.domain.hi.y}));
+  EXPECT_FALSE(f.index->OwnsPoint({f.domain.hi.x, f.domain.hi.y}));
+  EXPECT_FALSE(f.index->OwnsPoint({f.domain.lo.x - 1, 5000}));
+}
+
+TEST(UvIndexTest, AdjacentIndexesOwnCutLinePointsExactlyOnce) {
+  // Two indexes tiling [0,100]x[0,100] at x=50: every probe on the cut
+  // line is owned by exactly one of them (the right one), so a router
+  // produces no drops and no double-answers.
+  Stats stats;
+  storage::PageManager pm(4096, &stats);
+  const geom::Box left({0, 0}, {50, 100});
+  const geom::Box right({50, 0}, {100, 100});
+  UVIndex left_index(left, &pm, {}, &stats);
+  UVIndex right_index(right, &pm, {}, &stats);
+  for (double y : {0.0, 25.0, 99.0, 100.0}) {
+    const geom::Point q{50, y};
+    EXPECT_EQ((left_index.OwnsPoint(q) ? 1 : 0) + (right_index.OwnsPoint(q) ? 1 : 0),
+              y < 100.0 ? 1 : 0)
+        << "y=" << y;
+    EXPECT_FALSE(left_index.OwnsPoint(q));
+  }
+}
+
+TEST(UvIndexTest, BorderObjectsRequireOptIn) {
+  Stats stats;
+  storage::PageManager pm(4096, &stats);
+  const geom::Box domain({0, 0}, {100, 100});
+  UVIndex strict(domain, &pm, {}, &stats);
+  EXPECT_FALSE(strict.InsertObject({{120, 50}, 5}, 0, 0, {}).ok());
+
+  UVIndexOptions border;
+  border.accept_border_objects = true;
+  UVIndex shard(domain, &pm, border, &stats);
+  ASSERT_TRUE(shard.InsertObject({{120, 50}, 5}, 0, 0, {}).ok());
+  ASSERT_TRUE(shard.InsertObject({{50, 50}, 5}, 1, 0, {}).ok());
+  ASSERT_TRUE(shard.Finalize().ok());
+  // The external member still lands in leaves (its cell overlaps the
+  // domain when no cr-object excludes it), exactly what border
+  // replication relies on.
+  auto tuples = shard.RetrieveCandidates({50, 50});
+  ASSERT_TRUE(tuples.ok());
+  EXPECT_EQ(tuples.value().size(), 2u);
+}
+
+TEST(UvIndexTest, UvCellMayOverlapIsConservativeAndMonotone) {
+  const geom::Circle region({10, 50}, 5);
+  // One competitor far to the right: its outside region covers boxes far
+  // right of the anchor but never boxes containing the anchor.
+  const std::vector<geom::Circle> crs = {{{90, 50}, 5}};
+  const geom::Box near_anchor({0, 40}, {20, 60});
+  const geom::Box far_right({80, 40}, {99, 60});
+  EXPECT_TRUE(UvCellMayOverlap(region, crs, near_anchor));
+  EXPECT_FALSE(UvCellMayOverlap(region, crs, far_right));
+  // Monotone under containment: a sub-box of a proven-disjoint box is
+  // proven disjoint too (the shard-registration soundness argument).
+  const geom::Box sub({85, 45}, {95, 55});
+  EXPECT_FALSE(UvCellMayOverlap(region, crs, sub));
+  // No competitors: the cell is the whole domain, everything overlaps.
+  EXPECT_TRUE(UvCellMayOverlap(region, {}, far_right));
+}
+
 TEST(UvIndexTest, QuadrantRegionsTileParents) {
   Fixture f;
   f.Build(2500, 59);

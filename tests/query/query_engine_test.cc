@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <string>
+#include <thread>
 
 #include "common/random.h"
 #include "datagen/generators.h"
@@ -222,6 +223,45 @@ TEST(QueryEngineTest, WorkerShardsMergeIntoDiagramStats) {
   EXPECT_EQ(shard_total, diagram.stats().Get(Ticker::kQueryCacheHits) +
                              diagram.stats().Get(Ticker::kQueryCacheMisses));
   EXPECT_GT(shard_total, 0u);
+}
+
+TEST(QueryEngineTest, ConcurrentExecuteBatchCallersAreSafeAndCorrect) {
+  // Regression: ExecuteBatch used to reassign the shared worker_stats_
+  // member from every call, so two threads batching on one engine raced
+  // and corrupted the merged Stats. Shards are call-local now; this test
+  // runs under the TSan CI job to keep it that way.
+  const core::UVDiagram diagram = BuildDiagram(700, 37);
+  const QueryBatch batch_a = MakeMixedBatch(diagram, 80, 41);
+  const QueryBatch batch_b = MakeMixedBatch(diagram, 80, 43);
+  const auto expected_a = SerialReference(diagram, batch_a);
+  const auto expected_b = SerialReference(diagram, batch_b);
+
+  QueryEngineOptions opts;
+  opts.threads = 4;
+  QueryEngine engine(diagram, opts);
+  diagram.stats().Reset();
+
+  std::vector<std::vector<QueryResult>> got(4);
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&, t] {
+      got[static_cast<size_t>(t)] =
+          engine.ExecuteBatch(t % 2 == 0 ? batch_a : batch_b);
+    });
+  }
+  for (auto& thread : callers) thread.join();
+
+  for (int t = 0; t < 4; ++t) {
+    SCOPED_TRACE("caller " + std::to_string(t));
+    ExpectIdentical(got[static_cast<size_t>(t)],
+                    t % 2 == 0 ? expected_a : expected_b);
+  }
+  // Every caller's shards were merged into the diagram's Stats: four
+  // batches of lookups landed (a lost merge would undercount well below
+  // one batch's worth of point queries).
+  EXPECT_GE(diagram.stats().Get(Ticker::kQueryCacheHits) +
+                diagram.stats().Get(Ticker::kQueryCacheMisses),
+            batch_a.size());
 }
 
 TEST(QueryEngineTest, InvalidateCacheServesPostInsertState) {
