@@ -44,6 +44,8 @@ int main() {
               "(factor %.2fx)\n\n",
               replicas, objects.size(),
               static_cast<double>(replicas) / static_cast<double>(objects.size()));
+  std::printf("per-shard balance (hot shards show up in the imbalance line):\n%s\n",
+              sharded.BalanceReportString().c_str());
 
   // Route a trajectory batch; compare one cut-line probe to an unsharded
   // build to see the border-correctness guarantee in action.

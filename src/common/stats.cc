@@ -36,6 +36,10 @@ const char* TickerName(Ticker t) {
       return "query.cache.hits";
     case Ticker::kQueryCacheMisses:
       return "query.cache.misses";
+    case Ticker::kQueryCachePromotions:
+      return "query.cache.promotions";
+    case Ticker::kQueryCacheDemotions:
+      return "query.cache.demotions";
     case Ticker::kNumTickers:
       break;
   }

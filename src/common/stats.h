@@ -28,6 +28,8 @@ enum class Ticker : uint32_t {
   kQualificationIntegrations,  ///< Numerical integrations performed.
   kQueryCacheHits,      ///< Leaf page-list lookups served by the query cache.
   kQueryCacheMisses,    ///< Leaf page-list lookups that read through to disk.
+  kQueryCachePromotions,  ///< Probationary entries promoted on re-reference.
+  kQueryCacheDemotions,   ///< Protected entries demoted on segment overflow.
   kNumTickers,  // must be last
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <utility>
 
@@ -22,6 +23,18 @@ const char* BuildMethodName(BuildMethod m) {
       return "ICR";
     case BuildMethod::kIC:
       return "IC";
+  }
+  return "unknown";
+}
+
+const char* Stage2ModeName(Stage2Mode m) {
+  switch (m) {
+    case Stage2Mode::kAuto:
+      return "auto";
+    case Stage2Mode::kInOrder:
+      return "in-order";
+    case Stage2Mode::kPartitioned:
+      return "partitioned";
   }
   return "unknown";
 }
@@ -138,6 +151,95 @@ Status RunSerial(const std::vector<uncertain::UncertainObject>& objects,
   return Status::OK();
 }
 
+/// Stage 1 materialized across `workers` from `pool` (nullable when
+/// workers <= 1): results land positionally, in any order — there is no
+/// stage-2 consumer to keep in step — and per-worker Stats shards are
+/// merged into `stats` before returning. Shared by ComputeStage1Candidates
+/// and the partitioned stage-2 path.
+void RunStage1Materialized(const std::vector<uncertain::UncertainObject>& objects,
+                           const rtree::RTree& tree, const geom::Box& domain,
+                           const BuildPipelineOptions& options, int workers,
+                           ThreadPool* pool, std::vector<StageResult>* results,
+                           Stats* stats) {
+  const size_t n = objects.size();
+  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  results->resize(n);
+  if (workers <= 1 || pool == nullptr) {
+    const CrObjectFinder finder(objects, tree, domain, options.cr, stats);
+    for (size_t i = 0; i < n; ++i) {
+      (*results)[i] =
+          RunObjectStage(objects, finder, i, domain, options.method, denom, stats);
+    }
+    return;
+  }
+  std::vector<Stats> shards(static_cast<size_t>(workers));
+  std::atomic<size_t> next{0};
+  auto done = std::make_shared<WaitGroup>(workers);
+  for (int w = 0; w < workers; ++w) {
+    pool->Submit([&, w, done] {
+      Stats* shard = stats != nullptr ? &shards[static_cast<size_t>(w)] : nullptr;
+      const CrObjectFinder finder(objects, tree, domain, options.cr, shard);
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        (*results)[i] =
+            RunObjectStage(objects, finder, i, domain, options.method, denom, shard);
+      }
+      done->Done();
+    });
+  }
+  done->Wait();
+  if (stats != nullptr) {
+    for (const Stats& shard : shards) stats->MergeFrom(shard);
+  }
+}
+
+/// Partitioned path: stage 1 materialized, then stage 2 fanned out per
+/// quad-tree subtree with the canonical stitch
+/// (UVIndex::InsertObjectsPartitioned) and a parallel Finalize. The two
+/// stages are disjoint phases here, so the per-stage walls are genuine.
+Status RunPartitioned(const std::vector<uncertain::UncertainObject>& objects,
+                      const std::vector<uncertain::ObjectPtr>& ptrs,
+                      const rtree::RTree& tree, const geom::Box& domain,
+                      const BuildPipelineOptions& options, int workers,
+                      UVIndex* index, BuildStats* local, Stats* stats) {
+  const size_t n = objects.size();
+  ThreadPool pool(workers);
+
+  std::vector<StageResult> results;
+  {
+    Timer stage1_timer;
+    RunStage1Materialized(objects, tree, domain, options, workers, &pool, &results,
+                          stats);
+    local->stage1_wall_seconds = stage1_timer.ElapsedSeconds();
+  }
+  // Accumulate the per-object BuildStats deltas in id order — the same
+  // floating-point summation order as the serial build, bit for bit.
+  for (size_t i = 0; i < n; ++i) Accumulate(results[i], local);
+
+  Timer stage2_timer;
+  std::vector<UVIndex::BulkInsertItem> items(n);
+  for (size_t i = 0; i < n; ++i) {
+    items[i].region = objects[i].region();
+    items[i].id = objects[i].id();
+    items[i].ptr = ptrs[i];
+    items[i].cr_regions = RegionsOf(objects, results[i].index_ids);
+    results[i].index_ids.clear();
+    results[i].index_ids.shrink_to_fit();
+  }
+  UVIndex::PartitionedInsertOptions popts;
+  popts.threads = workers;
+  popts.max_depth = options.stage2_max_depth;
+  popts.target_subtrees = options.stage2_target_subtrees;
+  {
+    ScopedTimer t(&local->indexing_seconds);
+    UVD_RETURN_NOT_OK(index->InsertObjectsPartitioned(std::move(items), &pool, popts));
+    UVD_RETURN_NOT_OK(index->FinalizeWith(&pool, workers));
+  }
+  local->stage2_wall_seconds = stage2_timer.ElapsedSeconds();
+  return Status::OK();
+}
+
 /// Fan-out path: stage-1 workers feed the in-order consumer through a
 /// bounded ring buffer.
 Status RunParallel(const std::vector<uncertain::UncertainObject>& objects,
@@ -169,6 +271,10 @@ Status RunParallel(const std::vector<uncertain::UncertainObject>& objects,
   // relaxed atomics, so sharing them across workers is exact too.
   std::vector<Stats> shards(static_cast<size_t>(workers));
 
+  // The stages overlap in this mode; stage-1 wall = time until the LAST
+  // worker drained its share (each worker records its exit under mu).
+  Timer phase_timer;
+
   ThreadPool pool(workers);
   for (int w = 0; w < workers; ++w) {
     pool.Submit([&, w] {
@@ -176,7 +282,12 @@ Status RunParallel(const std::vector<uncertain::UncertainObject>& objects,
       const CrObjectFinder finder(objects, tree, domain, options.cr, shard);
       for (;;) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
+        if (i >= n) {
+          std::lock_guard<std::mutex> lock(mu);
+          local->stage1_wall_seconds =
+              std::max(local->stage1_wall_seconds, phase_timer.ElapsedSeconds());
+          return;
+        }
         {
           // Bound how far stage 1 runs ahead of the consumer. The worker
           // holding the smallest unfilled index is always admitted
@@ -228,6 +339,10 @@ Status RunParallel(const std::vector<uncertain::UncertainObject>& objects,
   if (stats != nullptr) {
     for (const Stats& shard : shards) stats->MergeFrom(shard);
   }
+  // Consumer wall: the in-order insertion ran alongside stage 1 from the
+  // first result on, so this wall overlaps stage1_wall_seconds (the
+  // header's caveat); Finalize is added by the caller.
+  local->stage2_wall_seconds = phase_timer.ElapsedSeconds();
   return status;
 }
 
@@ -264,18 +379,40 @@ Status RunBuildPipeline(const std::vector<uncertain::UncertainObject>& objects,
 
   const int workers =
       options.build_threads > 0 ? options.build_threads : ThreadPool::DefaultThreads();
+  // Mode resolution: the partitioned stage 2 is the default whenever more
+  // than one worker runs; kInOrder keeps PR 1's exact-ticker pipeline
+  // selectable; a single worker always runs the legacy serial loop unless
+  // the partitioned path is requested explicitly (it degrades to the same
+  // serial insertion order).
+  Stage2Mode mode = options.stage2;
+  if (mode == Stage2Mode::kAuto) {
+    mode = workers > 1 ? Stage2Mode::kPartitioned : Stage2Mode::kInOrder;
+  }
 
   BuildStats local;
   Timer total_timer;
-  Status status =
-      workers == 1
-          ? RunSerial(objects, ptrs, tree, domain, options, index, &local, stats)
-          : RunParallel(objects, ptrs, tree, domain, options, workers, index, &local,
-                        stats);
+  Status status;
+  if (mode == Stage2Mode::kPartitioned) {
+    status = RunPartitioned(objects, ptrs, tree, domain, options, workers, index,
+                            &local, stats);
+  } else if (workers == 1) {
+    status = RunSerial(objects, ptrs, tree, domain, options, index, &local, stats);
+  } else {
+    status =
+        RunParallel(objects, ptrs, tree, domain, options, workers, index, &local, stats);
+  }
   UVD_RETURN_NOT_OK(status);
   {
+    // A no-op after RunPartitioned (which finalizes with its pool).
     ScopedTimer t(&local.indexing_seconds);
+    ScopedTimer t2(&local.stage2_wall_seconds);
     UVD_RETURN_NOT_OK(index->Finalize());
+  }
+  if (mode != Stage2Mode::kPartitioned && workers == 1) {
+    // Serial loop: per-stage CPU sums ARE the walls.
+    local.stage1_wall_seconds =
+        local.seed_seconds + local.pruning_seconds + local.robject_seconds;
+    local.stage2_wall_seconds = local.indexing_seconds;
   }
 
   local.total_seconds = total_timer.ElapsedSeconds();
@@ -291,43 +428,21 @@ Status ComputeStage1Candidates(const std::vector<uncertain::UncertainObject>& ob
                                BuildStats* build_stats, Stats* stats) {
   UVD_RETURN_NOT_OK(ValidateIdOrder(objects));
   const size_t n = objects.size();
-  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
   const int workers = std::min<int>(
       options.build_threads > 0 ? options.build_threads : ThreadPool::DefaultThreads(),
       n > 0 ? static_cast<int>(n) : 1);
 
   BuildStats local;
   Timer total_timer;
-  std::vector<StageResult> results(n);
+  std::vector<StageResult> results;
   if (workers <= 1) {
-    const CrObjectFinder finder(objects, tree, domain, options.cr, stats);
-    for (size_t i = 0; i < n; ++i) {
-      results[i] = RunObjectStage(objects, finder, i, domain, options.method, denom,
-                                  stats);
-    }
+    RunStage1Materialized(objects, tree, domain, options, 1, nullptr, &results, stats);
   } else {
-    // Results land positionally, so no ordering machinery is needed here —
-    // unlike RunParallel there is no stage-2 consumer to keep in step.
-    std::vector<Stats> shards(static_cast<size_t>(workers));
-    std::atomic<size_t> next{0};
     ThreadPool pool(workers);
-    for (int w = 0; w < workers; ++w) {
-      pool.Submit([&, w] {
-        Stats* shard = stats != nullptr ? &shards[static_cast<size_t>(w)] : nullptr;
-        const CrObjectFinder finder(objects, tree, domain, options.cr, shard);
-        for (;;) {
-          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= n) return;
-          results[i] =
-              RunObjectStage(objects, finder, i, domain, options.method, denom, shard);
-        }
-      });
-    }
-    pool.Wait();
-    if (stats != nullptr) {
-      for (const Stats& shard : shards) stats->MergeFrom(shard);
-    }
+    RunStage1Materialized(objects, tree, domain, options, workers, &pool, &results,
+                          stats);
   }
+  local.stage1_wall_seconds = total_timer.ElapsedSeconds();
 
   index_ids->clear();
   index_ids->reserve(n);

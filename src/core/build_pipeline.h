@@ -8,27 +8,39 @@
 //             parallel across objects.
 //   Stage 2 — index insertion: Algorithm 3 (UVIndex::InsertObject).
 //             Order-sensitive — split decisions depend on the resident
-//             set — so it stays on one thread.
+//             set — so naively it is serial.
 //
-// Threading model and determinism guarantee:
+// Stage-2 strategies (Stage2Mode):
 //
-//   * Stage 1 fans out over `build_threads` workers from a shared
-//     common/thread_pool.h pool. Each worker owns a CrObjectFinder and a
-//     private Stats shard (merged into the caller's Stats at the end);
-//     the R-tree and PageManager are only read, and their shared tickers
-//     are relaxed atomics, so concurrent readers are safe.
-//   * Stage 2 consumes results through a bounded in-order ring buffer:
-//     the consumer inserts object i only after i-1, and workers stall
-//     once they run more than the window size ahead. Insertion order is
-//     therefore exactly 0..n-1 — identical to the serial build — so the
-//     quad-tree structure, leaf tuples, page layout, and every
-//     non-timing BuildStats field are byte-identical to build_threads=1.
-//   * build_threads = 1 runs the legacy single-threaded loop (no pool,
-//     no queue); build_threads <= 0 uses hardware concurrency.
+//   * kInOrder (PR 1): stage-1 workers feed one consumer through a bounded
+//     in-order ring buffer; the consumer inserts object i only after i-1,
+//     so the index evolves exactly as in the serial build. Stage 1
+//     overlaps stage 2, but stage 2 itself is the Amdahl remainder.
+//   * kPartitioned (default when parallel): stage-1 results are
+//     materialized, then stage 2 itself fans out per quad-tree subtree —
+//     a short serial prefix grows the top-level scaffold, every object is
+//     routed to each frontier subtree its UV-cell may overlap, subtrees
+//     build independently in private node arenas, and a canonical stitch
+//     renumbers the new nodes into the serial creation order (see
+//     UVIndex::InsertObjectsPartitioned for the full contract). The
+//     serialized index is bitwise-identical to the serial build for every
+//     thread count and frontier depth.
+//   * build_threads = 1 (or kAuto with one worker) runs the legacy
+//     single-threaded loop (no pool, no queue); build_threads <= 0 uses
+//     hardware concurrency.
+//
+// Determinism guarantee, all modes: the quad-tree structure, leaf tuples,
+// page layout and every non-timing BuildStats field are byte-identical to
+// build_threads = 1. Stats tickers are exact for kInOrder; kPartitioned
+// preserves every ticker except the pruner-scan-order-dependent
+// kHyperbolaTests / kFourPointTests (same decisions, different scan
+// lengths — see uv_index.h).
 //
 // Timing fields (seed/pruning/robject seconds) are summed across workers,
 // i.e. aggregate CPU seconds; with build_threads > 1 they can exceed
-// total_seconds, which stays wall-clock.
+// total_seconds, which stays wall-clock. stage1_wall_seconds /
+// stage2_wall_seconds report per-stage wall clock alongside those sums
+// (for kInOrder the stages overlap, so their walls can sum past total).
 #ifndef UVD_CORE_BUILD_PIPELINE_H_
 #define UVD_CORE_BUILD_PIPELINE_H_
 
@@ -64,16 +76,42 @@ enum class BuildMethod {
 
 const char* BuildMethodName(BuildMethod m);
 
+/// How stage 2 (quad-tree insertion) is executed. Every mode produces a
+/// byte-identical serialized index; they differ in parallelism and in
+/// which Stats tickers stay exactly equal to the serial build's.
+enum class Stage2Mode {
+  /// kPartitioned when more than one worker runs, else serial.
+  kAuto,
+  /// PR 1's bounded in-order ring: one consumer inserts in id order while
+  /// stage-1 workers run ahead. Exact tickers; stage 2 stays serial.
+  kInOrder,
+  /// Domain-partitioned parallel insertion with a canonical stitch
+  /// (UVIndex::InsertObjectsPartitioned). Parallel stage 2; scan-order
+  /// tickers may differ from the serial build.
+  kPartitioned,
+};
+
+const char* Stage2ModeName(Stage2Mode m);
+
 /// Construction-time decomposition and pruning diagnostics
 /// (Fig. 7(a)-(g)). With build_threads > 1 the per-stage timing fields are
-/// aggregate CPU seconds across workers; every other field is accumulated
-/// by the in-order consumer and is bit-identical to the serial build.
+/// aggregate CPU seconds across workers; every other non-wall field is
+/// accumulated in id order and is bit-identical to the serial build.
 struct BuildStats {
   double seed_seconds = 0.0;      ///< Initial possible regions (Step 1).
   double pruning_seconds = 0.0;   ///< I- + C-pruning (Steps 2-3).
   double robject_seconds = 0.0;   ///< Exact cell / r-object generation.
   double indexing_seconds = 0.0;  ///< Algorithm 3 insertions.
   double total_seconds = 0.0;     ///< Wall clock for the whole build.
+
+  /// Wall clock per stage, reported alongside the per-worker CPU sums
+  /// above (which overstate per-stage time whenever build_threads > 1 —
+  /// the Fig. 7 breakdown caveat). Stage 1 is candidate generation; stage
+  /// 2 is insertion + stitch + Finalize. Under Stage2Mode::kInOrder the
+  /// stages overlap in time, so these walls can sum past total_seconds;
+  /// under kPartitioned they are disjoint phases.
+  double stage1_wall_seconds = 0.0;
+  double stage2_wall_seconds = 0.0;
 
   double i_pruning_ratio = 0.0;   ///< Avg fraction pruned by I-pruning.
   double c_pruning_ratio = 0.0;   ///< Avg fraction pruned after C-pruning.
@@ -85,13 +123,21 @@ struct BuildStats {
 struct BuildPipelineOptions {
   BuildMethod method = BuildMethod::kIC;
   CrFinderOptions cr;
-  /// Stage-1 worker count. <= 0: hardware concurrency; 1: the exact
-  /// legacy serial loop. Any value yields a byte-identical index.
+  /// Worker count for both stages. <= 0: hardware concurrency; 1: the
+  /// exact legacy serial loop. Any value yields a byte-identical index.
   int build_threads = 0;
   /// Bounded in-order queue window (max objects a worker may run ahead of
-  /// the consumer). <= 0: 2 * workers + 2. Must be >= the worker count to
-  /// stay deadlock-free; smaller values are clamped.
+  /// the consumer; Stage2Mode::kInOrder only). <= 0: 2 * workers + 2.
+  /// Must be >= the worker count to stay deadlock-free; smaller values
+  /// are clamped.
   int queue_window = 0;
+  /// Stage-2 strategy; see Stage2Mode.
+  Stage2Mode stage2 = Stage2Mode::kAuto;
+  /// Partition frontier depth cap for kPartitioned (clamped to [1, 3]).
+  int stage2_max_depth = 2;
+  /// Frontier size the serial prefix aims for. <= 0: 2 * workers,
+  /// clamped to [4, 64].
+  int stage2_target_subtrees = 0;
 };
 
 /// Runs the staged pipeline: stage-1 fan-out, in-order stage-2 insertion,

@@ -43,6 +43,9 @@ Result<UVDiagram> UVDiagram::Build(std::vector<uncertain::UncertainObject> objec
   pipeline.method = options.method;
   pipeline.cr = options.cr;
   pipeline.build_threads = options.build_threads;
+  pipeline.stage2 = options.stage2;
+  pipeline.stage2_max_depth = options.stage2_max_depth;
+  pipeline.stage2_target_subtrees = options.stage2_target_subtrees;
   UVD_RETURN_NOT_OK(RunBuildPipeline(d.objects_, d.ptrs_, *d.rtree_, domain, pipeline,
                                      d.index_.get(), &d.build_stats_, d.stats_));
   return d;

@@ -41,6 +41,12 @@ struct UVDiagramOptions {
   /// concurrency (the default); 1: the serial legacy loop. The resulting
   /// index is byte-identical for every setting.
   int build_threads = 0;
+  /// Stage-2 strategy and partition shape (see core/build_pipeline.h).
+  /// kAuto runs the domain-partitioned parallel stage 2 whenever more than
+  /// one worker builds; every mode serializes to identical bytes.
+  Stage2Mode stage2 = Stage2Mode::kAuto;
+  int stage2_max_depth = 2;
+  int stage2_target_subtrees = 0;
 };
 
 /// \brief An indexed UV-diagram over a set of uncertain objects.

@@ -1,13 +1,39 @@
 #include "core/uv_index.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <functional>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/timer.h"
 #include "rtree/leaf_codec.h"
 
 namespace uvd {
 namespace core {
+
+namespace {
+
+/// Runs fn(0..workers-1) as tasks on `pool`, waiting for the caller's own
+/// tasks only (WaitGroup, not the pool-global Wait — the pool may be shared
+/// with other in-flight builds, e.g. sibling shards).
+void RunWorkers(ThreadPool* pool, int workers, const std::function<void(int)>& fn) {
+  if (pool == nullptr || workers <= 1) {
+    fn(0);
+    return;
+  }
+  auto done = std::make_shared<WaitGroup>(workers);
+  for (int w = 0; w < workers; ++w) {
+    pool->Submit([fn, w, done] {
+      fn(w);
+      done->Done();
+    });
+  }
+  done->Wait();
+}
+
+}  // namespace
 
 UVIndex::UVIndex(const geom::Box& domain, storage::PageManager* pm,
                  const UVIndexOptions& options, Stats* stats)
@@ -25,8 +51,20 @@ UVIndex::UVIndex(const geom::Box& domain, storage::PageManager* pm,
   nonleaf_count_ = 1;
 }
 
-bool UVIndex::CheckOverlap(const Member& m, const geom::Box& region) const {
-  if (stats_ != nullptr) stats_->Add(Ticker::kOverlapChecks);
+UVIndex::BuildArena UVIndex::MainArena() {
+  BuildArena a;
+  a.nodes = &nodes_;
+  a.nonleaf_count = &nonleaf_count_;
+  a.enforce_budget = true;
+  a.events = nullptr;
+  a.stats = stats_;
+  a.pruner_hints = nullptr;
+  return a;
+}
+
+bool UVIndex::CheckOverlapWith(const Member& m, const geom::Box& region,
+                               Stats* stats, size_t* last_pruner) const {
+  if (stats != nullptr) stats->Add(Ticker::kOverlapChecks);
   // Algorithm 5: if any cr-object's outside region fully contains the grid
   // region, the UV-cell cannot overlap it (Lemma 4).
   const size_t n = m.cr_regions.size();
@@ -38,29 +76,44 @@ bool UVIndex::CheckOverlap(const Member& m, const geom::Box& region) const {
   if (m.cell != nullptr && m.cell->ContainsBox(region)) return true;
   // Scan, trying the cr-object that pruned last time first: consecutive
   // checks cover adjacent regions, so it usually prunes again.
-  if (m.last_pruner < n) {
-    const UVEdge edge(m.region, m.cr_regions[m.last_pruner], /*j_id=*/-1);
-    if (edge.RegionInOutside(region, stats_)) return false;
+  if (*last_pruner < n) {
+    const UVEdge edge(m.region, m.cr_regions[*last_pruner], /*j_id=*/-1);
+    if (edge.RegionInOutside(region, stats)) return false;
   }
   for (size_t k = 0; k < n; ++k) {
-    if (k == m.last_pruner) continue;
+    if (k == *last_pruner) continue;
     const UVEdge edge(m.region, m.cr_regions[k], /*j_id=*/-1);
-    if (edge.RegionInOutside(region, stats_)) {
-      m.last_pruner = k;
+    if (edge.RegionInOutside(region, stats)) {
+      *last_pruner = k;
       return false;
     }
   }
   return true;
 }
 
-void UVIndex::EnsureSplitCache(uint32_t node_idx) {
-  Node& node = nodes_[node_idx];
+bool UVIndex::CheckOverlap(const Member& m, const geom::Box& region) const {
+  return CheckOverlapWith(m, region, stats_, &m.last_pruner);
+}
+
+bool UVIndex::CheckOverlapArena(const BuildArena& a, uint32_t member_slot,
+                                const geom::Box& region) const {
+  const Member& m = members_[member_slot];
+  if (a.pruner_hints == nullptr) {
+    return CheckOverlapWith(m, region, a.stats, &m.last_pruner);
+  }
+  size_t hint = (*a.pruner_hints)[member_slot];
+  const bool overlap = CheckOverlapWith(m, region, a.stats, &hint);
+  (*a.pruner_hints)[member_slot] = static_cast<uint32_t>(hint);
+  return overlap;
+}
+
+void UVIndex::EnsureSplitCache(const BuildArena& a, uint32_t node_idx) {
+  Node& node = (*a.nodes)[node_idx];
   if (node.split_cache_valid) return;
   for (auto& list : node.split_cache) list.clear();
   for (uint32_t slot : node.member_slots) {
-    const Member& m = members_[slot];
     for (int k = 0; k < 4; ++k) {
-      if (CheckOverlap(m, node.region.Quadrant(k))) {
+      if (CheckOverlapArena(a, slot, node.region.Quadrant(k))) {
         node.split_cache[static_cast<size_t>(k)].push_back(slot);
       }
     }
@@ -68,37 +121,42 @@ void UVIndex::EnsureSplitCache(uint32_t node_idx) {
   node.split_cache_valid = true;
 }
 
-void UVIndex::AddToSplitCache(uint32_t node_idx, uint32_t member_slot) {
-  Node& node = nodes_[node_idx];
+void UVIndex::AddToSplitCache(const BuildArena& a, uint32_t node_idx,
+                              uint32_t member_slot) {
+  Node& node = (*a.nodes)[node_idx];
   if (!node.split_cache_valid) return;  // rebuilt lazily when needed
-  const Member& m = members_[member_slot];
   for (int k = 0; k < 4; ++k) {
-    if (CheckOverlap(m, node.region.Quadrant(k))) {
+    if (CheckOverlapArena(a, member_slot, node.region.Quadrant(k))) {
       node.split_cache[static_cast<size_t>(k)].push_back(member_slot);
     }
   }
 }
 
 UVIndex::SplitDecision UVIndex::CheckSplit(
-    uint32_t node_idx, uint32_t incoming_slot,
+    const BuildArena& a, uint32_t node_idx, uint32_t incoming_slot,
     std::array<std::vector<uint32_t>, 4>* child_lists) {
+  std::vector<Node>& nodes = *a.nodes;
   // Steps 1-3: room left on the allocated pages.
-  if (nodes_[node_idx].member_slots.size() < LeafCapacity(nodes_[node_idx])) {
+  if (nodes[node_idx].member_slots.size() < LeafCapacity(nodes[node_idx])) {
     return SplitDecision::kNormal;
   }
-  // Steps 4-5: non-leaf budget exhausted.
-  if (nonleaf_count_ + 1 > options_.max_nonleaf) return SplitDecision::kOverflow;
+  // Steps 4-5: non-leaf budget exhausted. Optimistic subtree builds skip
+  // this (enforce_budget false) and let the stitch's event replay decide;
+  // if the budget would have bound, the whole build reruns serially.
+  if (a.enforce_budget && *a.nonleaf_count + 1 > options_.max_nonleaf) {
+    return SplitDecision::kOverflow;
+  }
 
   // Steps 7-15: distribute A = O_i union g.list over the four quarters.
   // The resident part of the distribution is memoized (split_cache) and
   // maintained incrementally by the insertion paths, so only the incoming
   // object is tested here.
-  EnsureSplitCache(node_idx);
-  Node& node = nodes_[node_idx];
+  EnsureSplitCache(a, node_idx);
+  Node& node = nodes[node_idx];
   std::array<bool, 4> incoming{};
   for (int k = 0; k < 4; ++k) {
     incoming[static_cast<size_t>(k)] =
-        CheckOverlap(members_[incoming_slot], node.region.Quadrant(k));
+        CheckOverlapArena(a, incoming_slot, node.region.Quadrant(k));
   }
 
   // Step 16: split fraction theta (denominator is |g.list|, the resident
@@ -126,49 +184,57 @@ UVIndex::SplitDecision UVIndex::CheckSplit(
   return SplitDecision::kSplit;
 }
 
-void UVIndex::InsertInto(uint32_t node_idx, uint32_t member_slot) {
+void UVIndex::InsertInto(const BuildArena& a, uint32_t node_idx,
+                         uint32_t member_slot) {
+  std::vector<Node>& nodes = *a.nodes;
   // Algorithm 3 Step 1.
-  if (!CheckOverlap(members_[member_slot], nodes_[node_idx].region)) return;
+  if (!CheckOverlapArena(a, member_slot, nodes[node_idx].region)) return;
 
-  if (!nodes_[node_idx].is_leaf) {
+  if (!nodes[node_idx].is_leaf) {
     // Steps 2-5: recurse into all four children.
-    const std::array<uint32_t, 4> children = nodes_[node_idx].children;
-    for (uint32_t child : children) InsertInto(child, member_slot);
+    const std::array<uint32_t, 4> children = nodes[node_idx].children;
+    for (uint32_t child : children) InsertInto(a, child, member_slot);
     return;
   }
 
   std::array<std::vector<uint32_t>, 4> child_lists;
-  switch (CheckSplit(node_idx, member_slot, &child_lists)) {
+  switch (CheckSplit(a, node_idx, member_slot, &child_lists)) {
     case SplitDecision::kNormal:
-      nodes_[node_idx].member_slots.push_back(member_slot);
-      AddToSplitCache(node_idx, member_slot);
+      nodes[node_idx].member_slots.push_back(member_slot);
+      AddToSplitCache(a, node_idx, member_slot);
       break;
     case SplitDecision::kOverflow:
-      nodes_[node_idx].num_pages += 1;  // Step 13: allocate a new page
-      nodes_[node_idx].member_slots.push_back(member_slot);
-      AddToSplitCache(node_idx, member_slot);
+      nodes[node_idx].num_pages += 1;  // Step 13: allocate a new page
+      nodes[node_idx].member_slots.push_back(member_slot);
+      AddToSplitCache(a, node_idx, member_slot);
       break;
     case SplitDecision::kSplit: {
       // Steps 16-22: the node becomes a non-leaf; CheckSplit already
       // distributed the members (incoming one included) into the quarters.
+      // The four quarters occupy consecutive arena slots — the stitch's
+      // renumbering relies on that (SplitEvent::first_child).
+      if (a.events != nullptr) {
+        a.events->push_back(
+            {a.order_key, static_cast<uint32_t>(nodes.size())});
+      }
       std::array<uint32_t, 4> child_idx{};
       for (int k = 0; k < 4; ++k) {
         Node child;
-        child.region = nodes_[node_idx].region.Quadrant(k);
+        child.region = nodes[node_idx].region.Quadrant(k);
         child.member_slots = std::move(child_lists[static_cast<size_t>(k)]);
         child.num_pages = std::max<size_t>(
             1, (child.member_slots.size() + static_cast<size_t>(options_.leaf_fanout) - 1) /
                    static_cast<size_t>(options_.leaf_fanout));
-        nodes_.push_back(std::move(child));
-        child_idx[static_cast<size_t>(k)] = static_cast<uint32_t>(nodes_.size() - 1);
+        nodes.push_back(std::move(child));
+        child_idx[static_cast<size_t>(k)] = static_cast<uint32_t>(nodes.size() - 1);
       }
-      Node& parent = nodes_[node_idx];  // re-fetch: vector may have grown
+      Node& parent = nodes[node_idx];  // re-fetch: vector may have grown
       parent.is_leaf = false;
       parent.children = child_idx;
       parent.member_slots.clear();
       parent.member_slots.shrink_to_fit();
       parent.num_pages = 0;
-      ++nonleaf_count_;
+      ++*a.nonleaf_count;
       break;
     }
   }
@@ -184,7 +250,8 @@ Status UVIndex::InsertObject(const geom::Circle& region, int id,
     return Status::InvalidArgument("object center outside the domain");
   }
   members_.push_back(MakeMember(region, id, ptr, std::move(cr_regions)));
-  InsertInto(root(), static_cast<uint32_t>(members_.size() - 1));
+  const BuildArena a = MainArena();
+  InsertInto(a, root(), static_cast<uint32_t>(members_.size() - 1));
   return Status::OK();
 }
 
@@ -209,32 +276,428 @@ UVIndex::Member UVIndex::MakeMember(const geom::Circle& region, int id,
   return member;
 }
 
-Status UVIndex::Finalize() {
+std::vector<uint32_t> UVIndex::ComputeFrontier(int max_depth) const {
+  std::vector<uint32_t> frontier;
+  // Pre-order, children 0..3 — the serial descent's visit order, so the
+  // frontier index doubles as the event-merge tie-break rank.
+  const std::function<void(uint32_t, int)> visit = [&](uint32_t idx, int depth) {
+    const Node& node = nodes_[idx];
+    if (node.is_leaf || depth >= max_depth) {
+      frontier.push_back(idx);
+      return;
+    }
+    for (uint32_t child : node.children) visit(child, depth + 1);
+  };
+  visit(root(), 0);
+  return frontier;
+}
+
+Status UVIndex::InsertObjectsPartitioned(std::vector<BulkInsertItem> items,
+                                         ThreadPool* pool,
+                                         const PartitionedInsertOptions& options,
+                                         PartitionedInsertReport* report) {
+  if (finalized_) {
+    return Status::InvalidArgument("index already finalized");
+  }
+  if (!members_.empty() || nodes_.size() != 1 || !nodes_[0].is_leaf) {
+    return Status::InvalidArgument(
+        "partitioned insertion requires a fresh (empty) index");
+  }
+  const size_t n = items.size();
+  for (const BulkInsertItem& item : items) {
+    if (!options_.accept_border_objects && !domain_.Contains(item.region.center)) {
+      return Status::InvalidArgument("object center outside the domain");
+    }
+  }
+
+  PartitionedInsertReport rep;
+  rep.total_objects = n;
+  // Snapshot for the budget-overflow fallback: the serial rebuild must
+  // leave the tickers as if only it had run (the exactness contract
+  // above), so the prefix/route/subtree ticks are unwound by restoring
+  // this and never merging the discarded shards.
+  Stats stats_before_build;
+  if (stats_ != nullptr) stats_before_build = *stats_;
+  const int workers = std::max(1, options.threads);
+  const int max_depth = std::min(3, std::max(1, options.max_depth));
+  // 4^max_depth caps what the frontier can ever reach; without the clamp a
+  // shallow max_depth would chase an unreachable target and serialize the
+  // whole build into the prefix.
+  const int max_frontier = 1 << (2 * max_depth);
+  const int target_subtrees = std::min(
+      max_frontier, options.target_subtrees > 0 ? options.target_subtrees
+                                                : std::max(4, 2 * workers));
+  const size_t prefix_cap =
+      options.prefix_cap > 0 ? options.prefix_cap
+                             : 16u * static_cast<size_t>(options_.leaf_fanout);
+
+  // Phase 0 — materialize every member record up front. MakeMember is a
+  // pure function of the item (the envelope fast path never looks at the
+  // resident set), so the fan-out is invisible in the result.
+  {
+    ScopedTimer t(&rep.member_seconds);
+    members_.resize(n);
+    std::atomic<size_t> next{0};
+    constexpr size_t kBlock = 16;
+    RunWorkers(pool, workers, [&](int) {
+      for (;;) {
+        const size_t begin = next.fetch_add(kBlock, std::memory_order_relaxed);
+        if (begin >= n) return;
+        const size_t end = std::min(n, begin + kBlock);
+        for (size_t i = begin; i < end; ++i) {
+          members_[i] = MakeMember(items[i].region, items[i].id, items[i].ptr,
+                                   std::move(items[i].cr_regions));
+        }
+      }
+    });
+  }
+
+  // Phase 1 — serial prefix: the exact serial algorithm, one item at a
+  // time, until the scaffold above the partition frontier exists (or the
+  // input / prefix budget runs out). Identical to the serial build by
+  // construction; with a single worker the "prefix" is simply the whole
+  // build.
+  BuildArena main_arena = MainArena();
+  size_t p = 0;
+  {
+    ScopedTimer t(&rep.prefix_seconds);
+    if (workers <= 1 || pool == nullptr) {
+      for (; p < n; ++p) InsertInto(main_arena, root(), static_cast<uint32_t>(p));
+    } else {
+      int frontier_size = 1;
+      int last_nonleaf = nonleaf_count_;
+      while (p < n) {
+        if (!nodes_[root()].is_leaf &&
+            (frontier_size >= target_subtrees || p >= prefix_cap)) {
+          break;
+        }
+        InsertInto(main_arena, root(), static_cast<uint32_t>(p));
+        ++p;
+        if (nonleaf_count_ != last_nonleaf) {
+          last_nonleaf = nonleaf_count_;
+          frontier_size = static_cast<int>(ComputeFrontier(max_depth).size());
+        }
+      }
+    }
+  }
+  rep.prefix_objects = p;
+  if (p >= n) {
+    if (report != nullptr) *report = rep;
+    return Status::OK();
+  }
+
+  // Phase 2 — route the remaining items through the scaffold: the same
+  // CheckOverlap descent the serial insertion performs above the frontier,
+  // emitting a frontier bitmask per item. Each item is routed by exactly
+  // one worker with a fresh pruner memo, so the masks — and the tickers —
+  // are independent of the worker count.
+  const std::vector<uint32_t> frontier = ComputeFrontier(max_depth);
+  const size_t num_subtrees = frontier.size();
+  UVD_CHECK_LE(num_subtrees, 64u);
+  rep.subtrees = static_cast<int>(num_subtrees);
+  std::vector<int> rank_of(nodes_.size(), -1);
+  for (size_t r = 0; r < num_subtrees; ++r) {
+    rank_of[frontier[r]] = static_cast<int>(r);
+  }
+  std::vector<uint64_t> route(n - p, 0);
+  std::vector<Stats> route_shards(static_cast<size_t>(workers));
+  {
+    ScopedTimer t(&rep.route_seconds);
+    std::atomic<size_t> next{p};
+    constexpr size_t kBlock = 16;
+    RunWorkers(pool, workers, [&](int w) {
+      Stats* shard = stats_ != nullptr ? &route_shards[static_cast<size_t>(w)] : nullptr;
+      for (;;) {
+        const size_t begin = next.fetch_add(kBlock, std::memory_order_relaxed);
+        if (begin >= n) return;
+        const size_t end = std::min(n, begin + kBlock);
+        for (size_t i = begin; i < end; ++i) {
+          const Member& m = members_[i];
+          size_t hint = 0;
+          uint64_t mask = 0;
+          uint32_t stack[128];
+          int top = 0;
+          stack[top++] = root();
+          while (top > 0) {
+            const uint32_t idx = stack[--top];
+            if (!CheckOverlapWith(m, nodes_[idx].region, shard, &hint)) continue;
+            for (uint32_t child : nodes_[idx].children) {
+              const int r = rank_of[child];
+              if (r >= 0) {
+                mask |= uint64_t{1} << r;
+              } else {
+                UVD_DCHECK_LT(top, 128);
+                stack[top++] = child;
+              }
+            }
+          }
+          route[i - p] = mask;
+        }
+      }
+    });
+  }
+
+  // Phase 3 — independent subtree builds. Each frontier node and its
+  // existing descendants are extracted into a private arena; routed items
+  // are inserted in order with split events logged against their item
+  // position. The max_nonleaf budget is ignored here (enforced post hoc by
+  // the replay below).
+  struct SubtreeBuild {
+    std::vector<Node> nodes;
+    std::vector<uint32_t> orig_ids;  // arena-local -> global, prefix nodes
+    std::vector<uint32_t> slots;     // routed item positions, ascending
+    std::vector<SplitEvent> events;
+    Stats stats;
+    int local_nonleaf = 0;
+  };
+  std::vector<SubtreeBuild> subs(num_subtrees);
+  for (size_t i = p; i < n; ++i) {
+    uint64_t mask = route[i - p];
+    while (mask != 0) {
+      const int r = __builtin_ctzll(mask);
+      mask &= mask - 1;
+      subs[static_cast<size_t>(r)].slots.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  {
+    ScopedTimer t(&rep.subtree_seconds);
+    for (size_t s = 0; s < num_subtrees; ++s) {
+      SubtreeBuild& st = subs[s];
+      const std::function<uint32_t(uint32_t)> extract = [&](uint32_t gid) -> uint32_t {
+        const uint32_t local = static_cast<uint32_t>(st.nodes.size());
+        st.nodes.push_back(nodes_[gid]);
+        st.orig_ids.push_back(gid);
+        if (!nodes_[gid].is_leaf) {
+          const std::array<uint32_t, 4> children = nodes_[gid].children;
+          for (int k = 0; k < 4; ++k) {
+            const uint32_t child_local = extract(children[static_cast<size_t>(k)]);
+            st.nodes[local].children[static_cast<size_t>(k)] = child_local;
+          }
+        }
+        return local;
+      };
+      extract(frontier[s]);
+    }
+    // Longest-queue-first claim order for balance on skewed routes.
+    std::vector<size_t> order(num_subtrees);
+    for (size_t s = 0; s < num_subtrees; ++s) order[s] = s;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (subs[a].slots.size() != subs[b].slots.size()) {
+        return subs[a].slots.size() > subs[b].slots.size();
+      }
+      return a < b;
+    });
+    std::atomic<size_t> next{0};
+    RunWorkers(pool, workers, [&](int) {
+      // One slot-indexed pruner-hint scratch per WORKER, zeroed once;
+      // after each subtree the slots it could have touched are reset —
+      // its routed slots plus every prefix slot (split-cache rebuilds
+      // scan resident prefix members too; p is prefix_cap-bounded, so
+      // this stays cheap) — so every (member, subtree) pair starts from
+      // hint 0 regardless of which worker builds which subtrees, without
+      // O(subtrees x n) zeroing.
+      std::vector<uint32_t> hints(n, 0);
+      for (;;) {
+        const size_t oi = next.fetch_add(1, std::memory_order_relaxed);
+        if (oi >= order.size()) return;
+        SubtreeBuild& st = subs[order[oi]];
+        BuildArena arena;
+        arena.nodes = &st.nodes;
+        arena.nonleaf_count = &st.local_nonleaf;
+        arena.enforce_budget = false;
+        arena.events = &st.events;
+        arena.stats = stats_ != nullptr ? &st.stats : nullptr;
+        arena.pruner_hints = &hints;
+        for (uint32_t slot : st.slots) {
+          arena.order_key = static_cast<int>(slot);
+          InsertInto(arena, 0, slot);
+        }
+        for (uint32_t slot : st.slots) hints[slot] = 0;
+        std::fill(hints.begin(), hints.begin() + static_cast<long>(p), 0);
+      }
+    });
+  }
+
+  // Phase 4 — canonical stitch. Merging the per-subtree event logs by
+  // (item position, frontier rank) reproduces the serial build's node
+  // creation order exactly: within one item's insertion the serial descent
+  // reaches subtrees in frontier (root-DFS) order, and within a subtree
+  // the arena's log order IS the recursion order. New nodes are numbered
+  // in that merged order, so the node vector — and therefore Finalize's
+  // page assignment and SerializeStructure's bytes — matches the serial
+  // build. The replay also re-applies the global max_nonleaf budget the
+  // optimistic builds skipped; if it would have bound, partitioning
+  // changed a split decision somewhere, so the result is discarded and the
+  // build reruns serially (exact by definition).
+  {
+    ScopedTimer t(&rep.stitch_seconds);
+    std::vector<std::vector<uint32_t>> remap(num_subtrees);
+    for (size_t s = 0; s < num_subtrees; ++s) {
+      remap[s].assign(subs[s].nodes.size(), 0);
+      std::copy(subs[s].orig_ids.begin(), subs[s].orig_ids.end(), remap[s].begin());
+    }
+    std::vector<size_t> cursor(num_subtrees, 0);
+    uint32_t next_global = static_cast<uint32_t>(nodes_.size());
+    int running_nonleaf = nonleaf_count_;
+    bool budget_overflow = false;
+    size_t merged = 0;
+    for (;;) {
+      int best = -1;
+      for (size_t s = 0; s < num_subtrees; ++s) {
+        if (cursor[s] >= subs[s].events.size()) continue;
+        if (best < 0 ||
+            subs[s].events[cursor[s]].order_key <
+                subs[static_cast<size_t>(best)].events[cursor[static_cast<size_t>(best)]]
+                    .order_key) {
+          best = static_cast<int>(s);
+        }
+      }
+      if (best < 0) break;
+      if (running_nonleaf + 1 > options_.max_nonleaf) {
+        budget_overflow = true;
+        break;
+      }
+      ++running_nonleaf;
+      ++merged;
+      const size_t bs = static_cast<size_t>(best);
+      const SplitEvent& ev = subs[bs].events[cursor[bs]++];
+      for (uint32_t j = 0; j < 4; ++j) {
+        remap[bs][ev.first_child + j] = next_global++;
+      }
+    }
+    rep.parallel_splits = merged;
+
+    if (budget_overflow) {
+      // The serial build would have denied a split the optimistic phase
+      // performed; everything downstream of that point may diverge.
+      // Rebuild serially — the members are already materialized, so this
+      // costs one serial stage 2, the same as not partitioning at all.
+      // The discarded phases' ticks are unwound first (and the per-phase
+      // shards below are never merged) so the counters come out exactly
+      // as a serial build's.
+      if (stats_ != nullptr) *stats_ = stats_before_build;
+      // Pruner memos too: a fresh serial build starts every member at 0,
+      // so with these reset the rebuild's scan lengths — and therefore
+      // even kHyperbolaTests / kFourPointTests — replay a pure serial
+      // build exactly.
+      for (Member& m : members_) m.last_pruner = 0;
+      nodes_.clear();
+      Node root_node;
+      root_node.region = domain_;
+      nodes_.push_back(std::move(root_node));
+      nonleaf_count_ = 1;
+      BuildArena retry = MainArena();
+      for (size_t i = 0; i < n; ++i) {
+        InsertInto(retry, root(), static_cast<uint32_t>(i));
+      }
+      rep.serial_fallback = true;
+    } else {
+      std::vector<Node> old = std::move(nodes_);
+      nodes_.clear();
+      nodes_.resize(static_cast<size_t>(next_global));
+      std::vector<char> in_subtree(old.size(), 0);
+      for (const SubtreeBuild& st : subs) {
+        for (uint32_t gid : st.orig_ids) in_subtree[gid] = 1;
+      }
+      for (uint32_t id = 0; id < old.size(); ++id) {
+        if (in_subtree[id] == 0) nodes_[id] = std::move(old[id]);
+      }
+      for (size_t s = 0; s < num_subtrees; ++s) {
+        for (size_t l = 0; l < subs[s].nodes.size(); ++l) {
+          Node node = std::move(subs[s].nodes[l]);
+          if (!node.is_leaf) {
+            for (auto& child : node.children) child = remap[s][child];
+          }
+          nodes_[remap[s][l]] = std::move(node);
+        }
+      }
+      nonleaf_count_ = running_nonleaf;
+    }
+  }
+
+  if (stats_ != nullptr && !rep.serial_fallback) {
+    for (const Stats& shard : route_shards) stats_->MergeFrom(shard);
+    for (const SubtreeBuild& st : subs) stats_->MergeFrom(st.stats);
+  }
+  if (report != nullptr) *report = rep;
+  return Status::OK();
+}
+
+Status UVIndex::Finalize() { return FinalizeWith(nullptr, 1); }
+
+Status UVIndex::FinalizeWith(ThreadPool* pool, int threads) {
   if (finalized_) return Status::OK();
-  std::vector<rtree::LeafEntry> tuples;
-  std::vector<uint8_t> buf;
-  for (Node& node : nodes_) {
-    if (!node.is_leaf) continue;
-    tuples.clear();
-    tuples.reserve(node.member_slots.size());
+  const size_t per_page = static_cast<size_t>(options_.leaf_fanout);
+
+  // Encodes one leaf's resident tuples onto its (already assigned) pages.
+  const auto write_leaf = [&](Node& node, std::vector<rtree::LeafEntry>* tuples,
+                              std::vector<uint8_t>* buf) -> Status {
+    tuples->clear();
+    tuples->reserve(node.member_slots.size());
     for (uint32_t slot : node.member_slots) {
       const Member& m = members_[slot];
-      tuples.push_back({m.id, m.region, m.ptr});
+      tuples->push_back({m.id, m.region, m.ptr});
     }
-    const size_t per_page = static_cast<size_t>(options_.leaf_fanout);
-    UVD_DCHECK_LE(tuples.size(), LeafCapacity(node));
-    node.pages.reserve(node.num_pages);
+    UVD_DCHECK_LE(tuples->size(), LeafCapacity(node));
     for (size_t p = 0; p < node.num_pages; ++p) {
       const size_t begin = p * per_page;
       const size_t count =
-          begin >= tuples.size() ? 0 : std::min(per_page, tuples.size() - begin);
-      buf.clear();
-      rtree::EncodeLeafEntries(tuples.data() + begin, count, &buf);
-      const storage::PageId page = pm_->Allocate();
-      UVD_RETURN_NOT_OK(pm_->Write(page, buf));
-      node.pages.push_back(page);
+          begin >= tuples->size() ? 0 : std::min(per_page, tuples->size() - begin);
+      buf->clear();
+      rtree::EncodeLeafEntries(tuples->data() + begin, count, buf);
+      UVD_RETURN_NOT_OK(pm_->Write(node.pages[p], *buf));
     }
+    return Status::OK();
+  };
+
+  if (pool == nullptr || threads <= 1) {
+    // Serial path: allocate-then-write one leaf at a time, in node order.
+    std::vector<rtree::LeafEntry> tuples;
+    std::vector<uint8_t> buf;
+    for (Node& node : nodes_) {
+      if (!node.is_leaf) continue;
+      node.pages.reserve(node.num_pages);
+      for (size_t p = 0; p < node.num_pages; ++p) node.pages.push_back(pm_->Allocate());
+      UVD_RETURN_NOT_OK(write_leaf(node, &tuples, &buf));
+    }
+  } else {
+    // Parallel path: pre-assign the exact page ids the serial loop's
+    // per-leaf Allocate calls would produce (one contiguous run, handed
+    // out in node order), then fan the encoding out. Writes target
+    // distinct pre-allocated pages, which PageManager permits
+    // concurrently; the resulting page layout is bitwise-identical to the
+    // serial path for every thread count.
+    std::vector<uint32_t> leaves;
+    size_t total_pages = 0;
+    for (uint32_t idx = 0; idx < nodes_.size(); ++idx) {
+      if (!nodes_[idx].is_leaf) continue;
+      leaves.push_back(idx);
+      total_pages += nodes_[idx].num_pages;
+    }
+    storage::PageId next_page = pm_->AllocateRun(total_pages);
+    for (uint32_t leaf : leaves) {
+      Node& node = nodes_[leaf];
+      node.pages.reserve(node.num_pages);
+      for (size_t p = 0; p < node.num_pages; ++p) node.pages.push_back(next_page++);
+    }
+    std::atomic<size_t> cursor{0};
+    std::vector<Status> worker_status(static_cast<size_t>(threads));
+    RunWorkers(pool, threads, [&](int w) {
+      std::vector<rtree::LeafEntry> tuples;
+      std::vector<uint8_t> buf;
+      for (;;) {
+        const size_t li = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (li >= leaves.size()) return;
+        const Status s = write_leaf(nodes_[leaves[li]], &tuples, &buf);
+        if (!s.ok()) {
+          worker_status[static_cast<size_t>(w)] = s;
+          return;
+        }
+      }
+    });
+    for (const Status& s : worker_status) UVD_RETURN_NOT_OK(s);
   }
+
   // Drop the construction caches; ids/regions stay for pattern analysis.
   for (Member& m : members_) {
     m.cr_regions.clear();

@@ -16,6 +16,7 @@
 
 #include "common/result.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "core/uv_edge.h"
 #include "geom/box.h"
 #include "geom/circle.h"
@@ -73,9 +74,100 @@ class UVIndex {
   Status InsertObject(const geom::Circle& region, int id, uncertain::ObjectPtr ptr,
                       std::vector<geom::Circle> cr_regions);
 
+  /// One object of a bulk insertion: the exact argument tuple InsertObject
+  /// takes, materialized so stage 2 can be replayed out of order.
+  struct BulkInsertItem {
+    geom::Circle region;
+    int id = 0;
+    uncertain::ObjectPtr ptr = 0;
+    std::vector<geom::Circle> cr_regions;
+  };
+
+  /// Domain-partitioned parallel stage 2 (see InsertObjectsPartitioned).
+  struct PartitionedInsertOptions {
+    /// Subtree insertion workers drawn from the caller's pool. 1 (or a
+    /// null pool) degrades to the plain serial insertion loop.
+    int threads = 1;
+    /// Partition frontier depth cap below the root (clamped to [1, 3]):
+    /// up to 4^max_depth insertion domains.
+    int max_depth = 2;
+    /// Stop growing the serial prefix once the frontier reaches this many
+    /// subtrees. <= 0: min(64, max(4, 2 * threads)).
+    int target_subtrees = 0;
+    /// Hard cap on the serial prefix length (objects inserted before the
+    /// fan-out, scaffold permitting). <= 0: 16 * leaf_fanout.
+    size_t prefix_cap = 0;
+  };
+
+  /// Diagnostics from one partitioned insertion.
+  struct PartitionedInsertReport {
+    size_t total_objects = 0;
+    size_t prefix_objects = 0;   ///< Inserted serially before the fan-out.
+    int subtrees = 0;            ///< Parallel insertion domains (frontier size).
+    size_t parallel_splits = 0;  ///< Split events replayed by the stitch.
+    bool serial_fallback = false;  ///< max_nonleaf bound: rebuilt serially.
+    double member_seconds = 0.0;   ///< Member/envelope materialization.
+    double prefix_seconds = 0.0;   ///< Serial prefix insertion.
+    double route_seconds = 0.0;    ///< Ancestor overlap routing.
+    double subtree_seconds = 0.0;  ///< Parallel subtree insertion.
+    double stitch_seconds = 0.0;   ///< Event merge + canonical renumbering.
+  };
+
+  /// Inserts `items` (in order) with stage 2 fanned out per quad-tree
+  /// subtree, producing a tree — and, after Finalize, a serialized index —
+  /// BITWISE-IDENTICAL to calling InsertObject(items[0]), ...,
+  /// InsertObject(items[n-1]) on a fresh index.
+  ///
+  /// How the serial bytes are reproduced (the determinism contract):
+  ///   1. Serial prefix: items are inserted one at a time by the exact
+  ///      serial algorithm until every node above the partition frontier
+  ///      has split (the scaffold). From then on an ancestor can never
+  ///      split again, so the frontier subtrees evolve independently.
+  ///   2. Route: each remaining item is tested against the scaffold with
+  ///      the same CheckOverlap descent the serial build would run, and
+  ///      assigned to every frontier subtree it reaches (the same
+  ///      replication rule shard borders use, one level down).
+  ///   3. Per-subtree build: each subtree inserts its items in order into
+  ///      a private node arena (its own id namespace), logging every
+  ///      split event keyed by the item position that triggered it. The
+  ///      global max_nonleaf budget is optimistically ignored here.
+  ///   4. Canonical stitch: the per-subtree event logs are merged by
+  ///      (item position, subtree rank in root-DFS order) — exactly the
+  ///      order the serial build creates nodes — and the arena nodes are
+  ///      renumbered into the main node vector in that order. Page ids
+  ///      are then assigned by Finalize in node order as always, so the
+  ///      whole serialized image matches the serial build byte for byte.
+  ///      If replaying the merged events would exhaust max_nonleaf (the
+  ///      one piece of global state splits share), the optimistic result
+  ///      is discarded and the build reruns serially — identical bytes,
+  ///      no speedup, reported via PartitionedInsertReport.
+  ///
+  /// Stats caveat: structure, pages and every query answer are exact, and
+  /// so are all tickers except kHyperbolaTests / kFourPointTests, whose
+  /// counts depend on the per-member pruner-scan order that the serial
+  /// descent threads through the whole tree but parallel subtrees restart
+  /// per domain (same decisions, different scan lengths).
+  ///
+  /// Requires a fresh index (no prior insertions). Items need not have
+  /// contiguous ids (shard replicas keep global ids); order is what
+  /// matters. `pool` may be shared; only `options.threads` tasks are in
+  /// flight at once.
+  Status InsertObjectsPartitioned(std::vector<BulkInsertItem> items,
+                                  ThreadPool* pool,
+                                  const PartitionedInsertOptions& options,
+                                  PartitionedInsertReport* report = nullptr);
+
   /// Writes every leaf's tuple list to disk pages. Required before queries;
   /// drops the cr-object construction cache.
   Status Finalize();
+
+  /// Finalize with the leaf-page encoding fanned out over `threads`
+  /// workers from `pool`. Page ids are pre-assigned in node order from one
+  /// contiguous PageManager run (storage::PageManager::AllocateRun), so
+  /// the page layout — ids and bytes — is identical to the serial
+  /// Finalize() for every thread count. Falls back to the serial path when
+  /// `pool` is null or `threads` <= 1.
+  Status FinalizeWith(ThreadPool* pool, int threads);
 
   /// Incremental insertion into a finalized index (paper Sec. VII future
   /// work). The grid structure is frozen — no splits — so the object is
@@ -170,15 +262,57 @@ class UVIndex {
 
   enum class SplitDecision { kNormal, kOverflow, kSplit };
 
-  /// Algorithm 5: does the UV-cell represented by the member's cr-objects
-  /// overlap `region`? Conservative: may answer true for a disjoint cell
-  /// (extra candidates filtered at query time), never false for an
-  /// overlapping one (Lemma 4).
+  /// One leaf split, logged by partitioned subtree builds so the stitch
+  /// can replay node creation in serial order. `order_key` is the position
+  /// (not id) of the item whose insertion triggered the split;
+  /// `first_child` is the arena-local index of quarter 0 (quarters occupy
+  /// four consecutive arena slots).
+  struct SplitEvent {
+    int order_key = 0;
+    uint32_t first_child = 0;
+  };
+
+  /// The mutable state one insertion domain operates on. The serial path
+  /// binds it to the index's own members (MainArena); partitioned subtree
+  /// builds bind private node vectors, split-event logs, Stats shards and
+  /// pruner-hint tables so concurrent domains share nothing but the
+  /// read-only member records.
+  struct BuildArena {
+    std::vector<Node>* nodes = nullptr;
+    int* nonleaf_count = nullptr;
+    /// False during optimistic subtree builds: the global max_nonleaf
+    /// budget is checked post hoc by the stitch's event replay instead.
+    bool enforce_budget = true;
+    std::vector<SplitEvent>* events = nullptr;  // null: no logging
+    Stats* stats = nullptr;
+    /// Per-arena CheckOverlap pruner memo, indexed by member slot; null
+    /// means use the member-resident `last_pruner` (serial path).
+    std::vector<uint32_t>* pruner_hints = nullptr;
+    int order_key = 0;  // stamps SplitEvents; item position being inserted
+  };
+
+  BuildArena MainArena();
+
+  /// Algorithm 5 core: does the UV-cell represented by the member's
+  /// cr-objects overlap `region`? Conservative: may answer true for a
+  /// disjoint cell (extra candidates filtered at query time), never false
+  /// for an overlapping one (Lemma 4). `last_pruner` memoizes the index of
+  /// the cr-object that pruned last; the answer never depends on it, only
+  /// the scan length does.
+  bool CheckOverlapWith(const Member& m, const geom::Box& region, Stats* stats,
+                        size_t* last_pruner) const;
+
+  /// CheckOverlap through the serial path's member-resident memo.
   bool CheckOverlap(const Member& m, const geom::Box& region) const;
+
+  /// CheckOverlap for one member slot through the arena's memo.
+  bool CheckOverlapArena(const BuildArena& a, uint32_t member_slot,
+                         const geom::Box& region) const;
 
   /// Algorithm 4. On kSplit, child_lists holds the redistributed members
   /// (including the incoming one).
-  SplitDecision CheckSplit(uint32_t node_idx, uint32_t incoming_slot,
+  SplitDecision CheckSplit(const BuildArena& a, uint32_t node_idx,
+                           uint32_t incoming_slot,
                            std::array<std::vector<uint32_t>, 4>* child_lists);
 
   /// Builds the construction-time member record; the cell envelope is only
@@ -187,12 +321,20 @@ class UVIndex {
                     std::vector<geom::Circle> cr_regions) const;
 
   /// Rebuilds the node's split cache from member_slots if invalid.
-  void EnsureSplitCache(uint32_t node_idx);
+  void EnsureSplitCache(const BuildArena& a, uint32_t node_idx);
 
   /// Appends one member's quarter distribution to a valid split cache.
-  void AddToSplitCache(uint32_t node_idx, uint32_t member_slot);
+  void AddToSplitCache(const BuildArena& a, uint32_t node_idx,
+                       uint32_t member_slot);
 
-  void InsertInto(uint32_t node_idx, uint32_t member_slot);
+  void InsertInto(const BuildArena& a, uint32_t node_idx, uint32_t member_slot);
+
+  /// Partition frontier for the parallel phase: the maximal nodes at depth
+  /// <= max_depth whose proper ancestors are all non-leaf, in root-DFS
+  /// (child 0..3) order — the order the serial descent visits them, which
+  /// is the tie-break rank of the stitch's event merge. {root} while the
+  /// root is still a leaf.
+  std::vector<uint32_t> ComputeFrontier(int max_depth) const;
 
   size_t LeafCapacity(const Node& node) const {
     return node.num_pages * static_cast<size_t>(options_.leaf_fanout);

@@ -1,6 +1,7 @@
 #include "query/query_cache.h"
 
 #include <algorithm>
+#include <iterator>
 
 namespace uvd {
 namespace query {
@@ -10,6 +11,15 @@ QueryCache::QueryCache(const QueryCacheOptions& options) {
   const size_t shards =
       std::min<size_t>(std::max(1, options.shards), capacity_);
   shard_capacity_ = std::max<size_t>(1, capacity_ / shards);
+  const double fraction =
+      std::min(1.0, std::max(0.0, options.protected_fraction));
+  // At least one probationary slot must survive: with the protected
+  // segment covering the whole shard, every miss would insert and
+  // immediately evict ITSELF, freezing the cache on its first promoted
+  // working set forever.
+  protected_capacity_ = std::min(
+      shard_capacity_ - 1,
+      static_cast<size_t>(fraction * static_cast<double>(shard_capacity_)));
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -25,8 +35,30 @@ Result<std::vector<rtree::LeafEntry>> QueryCache::GetOrLoad(uint32_t leaf,
     auto it = shard.map.find(leaf);
     if (it != shard.map.end()) {
       if (stats != nullptr) stats->Add(Ticker::kQueryCacheHits);
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      return it->second->tuples;  // copy: the caller consumes it
+      Slot& slot = it->second;
+      if (slot.is_protected) {
+        shard.protected_.splice(shard.protected_.begin(), shard.protected_,
+                                slot.it);
+      } else if (protected_capacity_ > 0) {
+        // First re-reference: promote into the protected segment. If the
+        // segment is full its LRU tail goes back to the probationary front
+        // (one more chance before the scan tail can reach it).
+        if (stats != nullptr) stats->Add(Ticker::kQueryCachePromotions);
+        shard.protected_.splice(shard.protected_.begin(), shard.probationary,
+                                slot.it);
+        slot.is_protected = true;
+        if (shard.protected_.size() > protected_capacity_) {
+          if (stats != nullptr) stats->Add(Ticker::kQueryCacheDemotions);
+          auto demoted = std::prev(shard.protected_.end());
+          shard.probationary.splice(shard.probationary.begin(),
+                                    shard.protected_, demoted);
+          shard.map[demoted->leaf].is_protected = false;
+        }
+      } else {
+        shard.probationary.splice(shard.probationary.begin(),
+                                  shard.probationary, slot.it);
+      }
+      return slot.it->tuples;  // copy: the caller consumes it
     }
   }
 
@@ -39,11 +71,14 @@ Result<std::vector<rtree::LeafEntry>> QueryCache::GetOrLoad(uint32_t leaf,
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(leaf);
     if (it == shard.map.end()) {  // a concurrent miss may have won the race
-      shard.lru.push_front(Entry{leaf, tuples});
-      shard.map[leaf] = shard.lru.begin();
+      shard.probationary.push_front(Entry{leaf, tuples});
+      shard.map[leaf] = Slot{shard.probationary.begin(), false};
       if (shard.map.size() > shard_capacity_) {
-        shard.map.erase(shard.lru.back().leaf);
-        shard.lru.pop_back();
+        // Evict the probationary LRU tail; the probationary list is
+        // non-empty (the incoming entry just joined it), so scan traffic
+        // never reaches the protected segment.
+        shard.map.erase(shard.probationary.back().leaf);
+        shard.probationary.pop_back();
       }
     }
   }
@@ -53,7 +88,8 @@ Result<std::vector<rtree::LeafEntry>> QueryCache::GetOrLoad(uint32_t leaf,
 void QueryCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    shard->lru.clear();
+    shard->probationary.clear();
+    shard->protected_.clear();
     shard->map.clear();
   }
 }
@@ -63,6 +99,15 @@ size_t QueryCache::size() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     n += shard->map.size();
+  }
+  return n;
+}
+
+size_t QueryCache::protected_size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->protected_.size();
   }
   return n;
 }

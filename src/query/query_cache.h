@@ -32,12 +32,34 @@ namespace query {
 struct QueryCacheOptions {
   size_t capacity = 1024;  ///< Max cached leaves across all shards.
   int shards = 8;          ///< Lock shards; <= 1 means one global lock.
+  /// Segmented-LRU admission (ROADMAP "cross-batch cache reuse"): the
+  /// fraction of each lock shard's capacity reserved for the PROTECTED
+  /// segment. New leaves enter probationary and are promoted on their
+  /// first re-reference; eviction always takes the probationary LRU tail
+  /// first, so a one-pass adversarial scan — whose leaves are never
+  /// re-referenced — can only churn the probationary segment and a hot
+  /// trajectory working set survives it. 0 disables the protected segment
+  /// (plain LRU). Promotions/demotions are billed as
+  /// kQueryCachePromotions / kQueryCacheDemotions.
+  double protected_fraction = 0.8;
 };
 
-/// \brief Bounded, sharded LRU map from leaf index to decoded leaf tuples.
+/// \brief Bounded, sharded segmented-LRU map from leaf index to decoded
+/// leaf tuples.
+///
+/// Admission policy (per lock shard): two LRU lists, probationary and
+/// protected. Misses insert at the probationary front; a hit on a
+/// probationary entry promotes it to the protected front; a hit on a
+/// protected entry refreshes it in place. When the protected segment
+/// outgrows its reservation its LRU tail is demoted back to the
+/// probationary front (one more chance), and when the shard outgrows its
+/// capacity the probationary LRU tail is evicted — so untouched-once scan
+/// traffic can never displace the protected set. With no re-references at
+/// all every entry sits in probationary and the policy degenerates to the
+/// plain LRU it replaced.
 ///
 /// Thread safety: every method is safe for concurrent callers. Each shard
-/// has its own mutex + LRU list; a leaf's shard is fixed (leaf % shards),
+/// has its own mutex + LRU lists; a leaf's shard is fixed (leaf % shards),
 /// so two workers only contend when their leaves collide on a shard. The
 /// loader runs outside the shard lock — two workers missing the same leaf
 /// simultaneously may both read it (duplicate I/O, identical bytes) rather
@@ -63,6 +85,9 @@ class QueryCache {
   /// writers are in flight).
   size_t size() const;
 
+  /// Current number of protected (re-referenced) leaves across shards.
+  size_t protected_size() const;
+
   size_t capacity() const { return capacity_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
@@ -71,16 +96,22 @@ class QueryCache {
     uint32_t leaf;
     std::vector<rtree::LeafEntry> tuples;
   };
+  struct Slot {
+    std::list<Entry>::iterator it;
+    bool is_protected;
+  };
   struct Shard {
     mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<uint32_t, std::list<Entry>::iterator> map;
+    std::list<Entry> probationary;  // front = most recently used
+    std::list<Entry> protected_;    // front = most recently used
+    std::unordered_map<uint32_t, Slot> map;
   };
 
   Shard& ShardFor(uint32_t leaf) { return *shards_[leaf % shards_.size()]; }
 
   size_t capacity_;            // total, across shards
   size_t shard_capacity_;      // per shard
+  size_t protected_capacity_;  // per shard, <= shard_capacity_
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

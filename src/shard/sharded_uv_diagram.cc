@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdint>
 #include <utility>
 
 #include "common/logging.h"
@@ -156,6 +158,15 @@ Result<ShardedUVDiagram> ShardedUVDiagram::Build(
   std::vector<Status> shard_status(boxes.size());
   std::vector<double> shard_seconds(boxes.size(), 0.0);
 
+  const int build_threads = d.options_.diagram.build_threads > 0
+                                ? d.options_.diagram.build_threads
+                                : ThreadPool::DefaultThreads();
+  const int workers = std::min<int>(build_threads, static_cast<int>(boxes.size()));
+  // Threads left over once every shard build has a worker go to each
+  // shard's own partitioned stage 2 (K=2 shards on 8 build threads: 2
+  // shard builds x 4 insertion workers each).
+  const int stage2_threads = std::max(1, build_threads / std::max(1, workers));
+
   const auto build_shard = [&](size_t s) {
     ScopedTimer timer(&shard_seconds[s]);
     Shard& sh = d.shards_[s];
@@ -184,6 +195,33 @@ Result<ShardedUVDiagram> ShardedUVDiagram::Build(
     index_options.accept_border_objects = true;  // replicas may center elsewhere
     sh.index = std::make_unique<core::UVIndex>(sh.box, sh.pm.get(), index_options,
                                                sh.stats.get());
+    if (stage2_threads > 1 &&
+        d.options_.diagram.stage2 != core::Stage2Mode::kInOrder) {
+      // Partitioned stage 2 within the shard: the leftover threads (K <
+      // build_threads leaves workers idle once every shard has one) fan
+      // the shard's own quad-tree insertion out per subtree. Identical
+      // bytes to the serial loop below — the canonical-stitch contract of
+      // InsertObjectsPartitioned — so sharded answers stay bitwise-equal
+      // to the unsharded build either way.
+      std::vector<core::UVIndex::BulkInsertItem> items(sh.object_ids.size());
+      for (size_t k = 0; k < sh.object_ids.size(); ++k) {
+        const size_t gid = static_cast<size_t>(sh.object_ids[k]);
+        items[k].region = d.objects_[gid].region();
+        items[k].id = sh.object_ids[k];
+        items[k].ptr = sh.ptrs[k];
+        items[k].cr_regions = cell_regions[gid];  // copy: shared across shards
+      }
+      core::UVIndex::PartitionedInsertOptions popts;
+      popts.threads = stage2_threads;
+      popts.max_depth = d.options_.diagram.stage2_max_depth;
+      popts.target_subtrees = d.options_.diagram.stage2_target_subtrees;
+      ThreadPool stage2_pool(stage2_threads);
+      shard_status[s] =
+          sh.index->InsertObjectsPartitioned(std::move(items), &stage2_pool, popts);
+      if (!shard_status[s].ok()) return;
+      shard_status[s] = sh.index->FinalizeWith(&stage2_pool, stage2_threads);
+      return;
+    }
     for (size_t k = 0; k < sh.object_ids.size(); ++k) {
       const size_t gid = static_cast<size_t>(sh.object_ids[k]);
       shard_status[s] = sh.index->InsertObject(d.objects_[gid].region(),
@@ -194,10 +232,6 @@ Result<ShardedUVDiagram> ShardedUVDiagram::Build(
     shard_status[s] = sh.index->Finalize();
   };
 
-  const int build_threads = d.options_.diagram.build_threads > 0
-                                ? d.options_.diagram.build_threads
-                                : ThreadPool::DefaultThreads();
-  const int workers = std::min<int>(build_threads, static_cast<int>(boxes.size()));
   if (workers <= 1) {
     for (size_t s = 0; s < boxes.size(); ++s) build_shard(s);
   } else {
@@ -275,6 +309,65 @@ query::DiagramView ShardedUVDiagram::ViewOfShard(size_t s) const {
 Stats ShardedUVDiagram::AggregateStats() const {
   Stats out(*stats_);
   for (const Shard& sh : shards_) out.MergeFrom(*sh.stats);
+  return out;
+}
+
+std::vector<ShardedUVDiagram::ShardBalance> ShardedUVDiagram::BalanceReport() const {
+  // Registration multiplicity per object: an object registered with more
+  // than one shard is a border replica in every shard that holds it.
+  std::vector<uint8_t> multiplicity(objects_.size(), 0);
+  for (const Shard& sh : shards_) {
+    for (int id : sh.object_ids) {
+      uint8_t& m = multiplicity[static_cast<size_t>(id)];
+      if (m < 0xFF) ++m;
+    }
+  }
+  std::vector<ShardBalance> report;
+  report.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& sh = shards_[s];
+    ShardBalance b;
+    b.shard = static_cast<int>(s);
+    b.objects = sh.object_ids.size();
+    for (int id : sh.object_ids) {
+      if (multiplicity[static_cast<size_t>(id)] > 1) ++b.replicas;
+    }
+    b.leaves = sh.index->num_leaves();
+    b.leaf_pages = sh.index->total_leaf_pages();
+    b.height = sh.index->height();
+    b.bytes_on_disk = sh.pm->bytes_on_disk();
+    report.push_back(b);
+  }
+  return report;
+}
+
+std::string ShardedUVDiagram::BalanceReportString() const {
+  const std::vector<ShardBalance> report = BalanceReport();
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%6s %10s %10s %8s %8s %7s %12s\n", "shard",
+                "objects", "replicas", "leaves", "pages", "height", "disk KiB");
+  out += line;
+  size_t min_objects = SIZE_MAX, max_objects = 0, total_objects = 0;
+  for (const ShardBalance& b : report) {
+    std::snprintf(line, sizeof(line), "%6d %10zu %10zu %8zu %8zu %7d %12.1f\n",
+                  b.shard, b.objects, b.replicas, b.leaves, b.leaf_pages, b.height,
+                  static_cast<double>(b.bytes_on_disk) / 1024.0);
+    out += line;
+    min_objects = std::min(min_objects, b.objects);
+    max_objects = std::max(max_objects, b.objects);
+    total_objects += b.objects;
+  }
+  const double mean =
+      report.empty() ? 0.0
+                     : static_cast<double>(total_objects) /
+                           static_cast<double>(report.size());
+  std::snprintf(line, sizeof(line),
+                "objects min/max/mean = %zu / %zu / %.1f, imbalance (max/mean) = "
+                "%.2f\n",
+                min_objects == SIZE_MAX ? 0 : min_objects, max_objects, mean,
+                mean > 0.0 ? static_cast<double>(max_objects) / mean : 0.0);
+  out += line;
   return out;
 }
 

@@ -22,7 +22,12 @@
 //      id order, with their global cell descriptions — into a UVIndex
 //      whose domain is the shard box. Shard builds fan out across the
 //      worker pool; each shard's storage and stats are private, so the
-//      builds share nothing but the read-only stage-1 output.
+//      builds share nothing but the read-only stage-1 output. When fewer
+//      shards than build threads exist, each shard's own stage 2 runs the
+//      domain-partitioned parallel insertion
+//      (core::UVIndex::InsertObjectsPartitioned) with its share of the
+//      leftover threads — the same bytes as the serial insertion loop,
+//      faster wall clock.
 //
 // Border-correctness guarantee (the reason replication is by cell, not by
 // position): for any query point q, the owning shard's leaf candidate list
@@ -43,6 +48,7 @@
 #define UVD_SHARD_SHARDED_UV_DIAGRAM_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -132,6 +138,27 @@ class ShardedUVDiagram {
   /// Global-phase Stats (stage-1 pruning, scratch R-tree I/O) merged with
   /// every shard's private Stats — the whole deployment's counters.
   Stats AggregateStats() const;
+
+  /// Per-shard load summary (ROADMAP data-adaptive-shards precursor):
+  /// count-blind grid/bisection cuts leave skewed datasets (Fig. 7(g)
+  /// clouds) with hot shards, and this is the report that shows them.
+  struct ShardBalance {
+    int shard = 0;
+    size_t objects = 0;   ///< Registered here (border replicas included).
+    size_t replicas = 0;  ///< Of those, also registered in another shard.
+    size_t leaves = 0;    ///< UV-index leaf count.
+    size_t leaf_pages = 0;
+    int height = 0;
+    uint64_t bytes_on_disk = 0;  ///< Private PageManager footprint.
+  };
+
+  /// One ShardBalance per shard, ascending.
+  std::vector<ShardBalance> BalanceReport() const;
+
+  /// The report as an aligned table with min/max/imbalance footer (the
+  /// object-count max/mean ratio — 1.0 is perfectly balanced), for benches
+  /// and ops tooling.
+  std::string BalanceReportString() const;
 
   /// Stage-1 timing/pruning diagnostics plus aggregate per-shard indexing
   /// seconds; total_seconds is the wall clock of the whole sharded build.

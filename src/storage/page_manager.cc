@@ -24,6 +24,12 @@ PageId PageManager::Allocate() {
   return static_cast<PageId>(pages_.size() - 1);
 }
 
+PageId PageManager::AllocateRun(size_t count) {
+  const PageId first = static_cast<PageId>(pages_.size());
+  pages_.resize(pages_.size() + count, std::vector<uint8_t>(page_size_, 0));
+  return first;
+}
+
 Status PageManager::Read(PageId id, std::vector<uint8_t>* out) const {
   if (id >= pages_.size()) {
     return Status::NotFound("page id out of range");

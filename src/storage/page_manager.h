@@ -29,12 +29,13 @@ constexpr size_t kDefaultPageSize = 4096;
 /// Ticker::kPageReads / kPageWrites, which benchmarks report as I/O counts.
 ///
 /// Thread safety: concurrent Read calls are safe (Stats tickers are
-/// atomic). Allocate/Write mutate the page table (Allocate can reallocate
-/// it) and must not run while ANY other thread reads or writes — a single
-/// writer racing concurrent readers is still a race. The parallel build
-/// pipeline honors this by performing no page writes at all until its
-/// fan-out stage has fully joined (UVIndex::Finalize runs after
-/// ThreadPool::Wait).
+/// atomic). Allocate mutates the page table (it can reallocate the backing
+/// vector) and must not run while ANY other thread reads or writes.
+/// Concurrent Write calls are safe iff they target DISTINCT, already
+/// allocated pages and no Allocate runs meanwhile — each write then touches
+/// only its own page's buffer. The parallel build pipeline relies on
+/// exactly that: UVIndex::FinalizeWith allocates every leaf page up front
+/// in one AllocateRun, then fans the page writes out across workers.
 class PageManager {
  public:
   explicit PageManager(size_t page_size = kDefaultPageSize, Stats* stats = nullptr)
@@ -47,6 +48,13 @@ class PageManager {
 
   /// Allocates a zero-filled page and returns its id.
   PageId Allocate();
+
+  /// Allocates `count` zero-filled pages with consecutive ids and returns
+  /// the first id — the same ids `count` Allocate() calls would hand out,
+  /// minus the per-call reallocation, and the arena under parallel
+  /// finalization: once the run is reserved, workers may Write its pages
+  /// concurrently. Returns the would-be next id when count == 0.
+  PageId AllocateRun(size_t count);
 
   /// Copies the page contents into *out (resized to page_size()).
   /// Virtual so tests can inject I/O faults (FaultInjectionPageManager).

@@ -19,13 +19,14 @@ namespace core {
 namespace {
 
 UVDiagram BuildDiagram(BuildMethod method, int threads, size_t n, uint64_t seed,
-                       Stats* stats) {
+                       Stats* stats, Stage2Mode stage2 = Stage2Mode::kAuto) {
   datagen::DatasetOptions opts;
   opts.count = n;
   opts.seed = seed;
   UVDiagramOptions options;
   options.method = method;
   options.build_threads = threads;
+  options.stage2 = stage2;
   auto diagram = UVDiagram::Build(datagen::GenerateUniform(opts),
                                   datagen::DomainFor(opts), options, stats);
   UVD_CHECK(diagram.ok()) << diagram.status().ToString();
@@ -62,10 +63,15 @@ TEST_P(BuildPipelineDeterminismTest, ParallelMatchesSerial) {
   const size_t n = method == BuildMethod::kBasic ? 250 : 700;
   const uint64_t seed = 23;
 
+  // The in-order mode is the one whose contract covers EVERY ticker
+  // (stage 2 replays the serial scan order exactly); the partitioned
+  // mode's digest + ticker-subset contract is covered by
+  // stage2_partition_test.
   Stats serial_stats;
   Stats parallel_stats;
   const UVDiagram serial = BuildDiagram(method, 1, n, seed, &serial_stats);
-  const UVDiagram parallel = BuildDiagram(method, 4, n, seed, &parallel_stats);
+  const UVDiagram parallel =
+      BuildDiagram(method, 4, n, seed, &parallel_stats, Stage2Mode::kInOrder);
 
   // Byte-identical index: same quad-tree, same leaf tuples, same pages.
   EXPECT_EQ(Serialized(serial), Serialized(parallel));
@@ -122,6 +128,7 @@ TEST(BuildPipelineTest, TinyQueueWindowIsClampedAndDeterministic) {
     BuildPipelineOptions options;
     options.method = BuildMethod::kIC;
     options.build_threads = threads;
+    options.stage2 = Stage2Mode::kInOrder;  // the mode with a queue to clamp
     options.queue_window = window;  // below the worker count: clamped
     UVD_CHECK_OK(
         RunBuildPipeline(objects, ptrs, tree, domain, options, &index, nullptr, &stats));

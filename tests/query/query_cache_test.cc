@@ -87,6 +87,103 @@ TEST(QueryCacheTest, LoaderErrorsAreNotCached) {
   EXPECT_EQ(calls, 2);
 }
 
+TEST(QueryCacheTest, ScanCannotEvictProtectedWorkingSet) {
+  // Segmented-LRU admission: a hot set that has been re-referenced lives
+  // in the protected segment, and a one-pass adversarial scan — all
+  // misses, never re-referenced — can only churn probationary slots.
+  QueryCacheOptions opts;
+  opts.capacity = 8;
+  opts.shards = 1;
+  opts.protected_fraction = 0.5;
+  QueryCache cache(opts);
+  Stats stats;
+  for (uint32_t leaf = 0; leaf < 4; ++leaf) {
+    ASSERT_TRUE(cache.GetOrLoad(leaf, LoaderFor(static_cast<int>(leaf)), &stats).ok());
+    ASSERT_TRUE(cache.GetOrLoad(leaf, LoaderFor(static_cast<int>(leaf)), &stats).ok());
+  }
+  EXPECT_EQ(cache.protected_size(), 4u);
+  EXPECT_EQ(stats.Get(Ticker::kQueryCachePromotions), 4u);
+
+  // 64 distinct cold leaves sweep through: 8x the capacity.
+  for (uint32_t leaf = 100; leaf < 164; ++leaf) {
+    ASSERT_TRUE(cache.GetOrLoad(leaf, LoaderFor(static_cast<int>(leaf)), &stats).ok());
+  }
+
+  // The hot set is still resident — no loader call on re-access.
+  int calls = 0;
+  for (uint32_t leaf = 0; leaf < 4; ++leaf) {
+    ASSERT_TRUE(cache.GetOrLoad(leaf, LoaderFor(static_cast<int>(leaf), &calls), &stats)
+                    .ok());
+  }
+  EXPECT_EQ(calls, 0);
+  EXPECT_LE(cache.size(), 8u);
+}
+
+TEST(QueryCacheTest, ProtectedOverflowDemotesLru) {
+  QueryCacheOptions opts;
+  opts.capacity = 8;
+  opts.shards = 1;
+  opts.protected_fraction = 0.25;  // protected segment holds 2
+  QueryCache cache(opts);
+  Stats stats;
+  for (uint32_t leaf = 0; leaf < 3; ++leaf) {
+    ASSERT_TRUE(cache.GetOrLoad(leaf, LoaderFor(static_cast<int>(leaf)), &stats).ok());
+    ASSERT_TRUE(cache.GetOrLoad(leaf, LoaderFor(static_cast<int>(leaf)), &stats).ok());
+  }
+  // Third promotion overflowed the 2-slot protected segment: leaf 0 (the
+  // protected LRU) went back to probationary with its entry intact.
+  EXPECT_EQ(stats.Get(Ticker::kQueryCachePromotions), 3u);
+  EXPECT_EQ(stats.Get(Ticker::kQueryCacheDemotions), 1u);
+  EXPECT_EQ(cache.protected_size(), 2u);
+  int calls = 0;
+  ASSERT_TRUE(cache.GetOrLoad(0, LoaderFor(0, &calls), &stats).ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(QueryCacheTest, FullProtectedFractionKeepsOneProbationarySlot) {
+  // protected_fraction = 1.0 must not freeze the cache: a probationary
+  // slot always survives, so new leaves can still be admitted and
+  // promoted after the first working set fills the protected segment.
+  QueryCacheOptions opts;
+  opts.capacity = 4;
+  opts.shards = 1;
+  opts.protected_fraction = 1.0;
+  QueryCache cache(opts);
+  Stats stats;
+  for (uint32_t leaf = 0; leaf < 4; ++leaf) {
+    ASSERT_TRUE(cache.GetOrLoad(leaf, LoaderFor(static_cast<int>(leaf)), &stats).ok());
+    ASSERT_TRUE(cache.GetOrLoad(leaf, LoaderFor(static_cast<int>(leaf)), &stats).ok());
+  }
+  EXPECT_LE(cache.protected_size(), 3u);
+  // A shifted working set can still be admitted and promoted.
+  int calls = 0;
+  ASSERT_TRUE(cache.GetOrLoad(99, LoaderFor(99, &calls), &stats).ok());
+  ASSERT_TRUE(cache.GetOrLoad(99, LoaderFor(99, &calls), &stats).ok());
+  EXPECT_EQ(calls, 1);  // second access is a hit, not a self-evicted miss
+}
+
+TEST(QueryCacheTest, ZeroProtectedFractionIsPlainLru) {
+  QueryCacheOptions opts;
+  opts.capacity = 4;
+  opts.shards = 1;
+  opts.protected_fraction = 0.0;
+  QueryCache cache(opts);
+  Stats stats;
+  for (uint32_t leaf = 0; leaf < 4; ++leaf) {
+    ASSERT_TRUE(cache.GetOrLoad(leaf, LoaderFor(static_cast<int>(leaf)), &stats).ok());
+    ASSERT_TRUE(cache.GetOrLoad(leaf, LoaderFor(static_cast<int>(leaf)), &stats).ok());
+  }
+  EXPECT_EQ(stats.Get(Ticker::kQueryCachePromotions), 0u);
+  EXPECT_EQ(cache.protected_size(), 0u);
+  // Plain LRU: a scan now evicts the re-referenced set too.
+  for (uint32_t leaf = 100; leaf < 104; ++leaf) {
+    ASSERT_TRUE(cache.GetOrLoad(leaf, LoaderFor(static_cast<int>(leaf)), &stats).ok());
+  }
+  int calls = 0;
+  ASSERT_TRUE(cache.GetOrLoad(0, LoaderFor(0, &calls), &stats).ok());
+  EXPECT_EQ(calls, 1);
+}
+
 TEST(QueryCacheTest, ConcurrentMixedLookupsAreSafe) {
   QueryCacheOptions opts;
   opts.capacity = 64;
