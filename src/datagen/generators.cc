@@ -1,6 +1,7 @@
 #include "datagen/generators.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -50,6 +51,49 @@ std::vector<uncertain::UncertainObject> GenerateGaussianCloud(
     const double x = std::clamp(rng.Gaussian(mid, sigma), 0.0, options.domain_size);
     const double y = std::clamp(rng.Gaussian(mid, sigma), 0.0, options.domain_size);
     centers.push_back({x, y});
+  }
+  return ObjectsFromCenters(centers, options);
+}
+
+std::vector<uncertain::UncertainObject> GenerateClusters(
+    const DatasetOptions& options, const std::vector<ClusterSpec>& clusters) {
+  UVD_CHECK(!clusters.empty());
+  double total_weight = 0.0;
+  for (const ClusterSpec& c : clusters) {
+    UVD_CHECK_GT(c.sigma, 0.0);
+    UVD_CHECK_GT(c.weight, 0.0);
+    total_weight += c.weight;
+  }
+
+  // Largest-remainder apportionment: floor every proportional share, then
+  // hand the leftover objects to the clusters with the biggest fractional
+  // parts (ties to the earlier cluster) — deterministic for a fixed spec.
+  std::vector<size_t> counts(clusters.size(), 0);
+  std::vector<std::pair<double, size_t>> remainders;  // (-fraction, index)
+  size_t assigned = 0;
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    const double share =
+        static_cast<double>(options.count) * clusters[c].weight / total_weight;
+    counts[c] = static_cast<size_t>(share);
+    assigned += counts[c];
+    remainders.emplace_back(-(share - static_cast<double>(counts[c])), c);
+  }
+  std::sort(remainders.begin(), remainders.end());
+  for (size_t k = 0; assigned < options.count; ++k, ++assigned) {
+    ++counts[remainders[k % remainders.size()].second];
+  }
+
+  Rng rng(options.seed);
+  std::vector<geom::Point> centers;
+  centers.reserve(options.count);
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    for (size_t i = 0; i < counts[c]; ++i) {
+      const double x = std::clamp(rng.Gaussian(clusters[c].center.x, clusters[c].sigma),
+                                  0.0, options.domain_size);
+      const double y = std::clamp(rng.Gaussian(clusters[c].center.y, clusters[c].sigma),
+                                  0.0, options.domain_size);
+      centers.push_back({x, y});
+    }
   }
   return ObjectsFromCenters(centers, options);
 }

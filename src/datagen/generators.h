@@ -39,6 +39,23 @@ std::vector<uncertain::UncertainObject> GenerateUniform(const DatasetOptions& op
 std::vector<uncertain::UncertainObject> GenerateGaussianCloud(
     const DatasetOptions& options, double sigma);
 
+/// One component of a Gaussian-mixture skew dataset.
+struct ClusterSpec {
+  geom::Point center;    ///< Cluster mean.
+  double sigma = 500.0;  ///< Isotropic standard deviation.
+  double weight = 1.0;   ///< Relative share of the objects (any positive scale).
+};
+
+/// Mixture-of-Gaussians skew generator: Fig. 7(g)'s single central cloud
+/// generalized to multiple clusters with unequal weights, the
+/// hot-shard-inducing workloads data-adaptive partitioning targets (e.g. a
+/// 10:1 two-cluster spec). Per-cluster counts are assigned
+/// deterministically by largest remainder (ties to the earlier cluster)
+/// and centers are drawn cluster by cluster from one seeded rng, clamped
+/// to the domain; ids are 0..n-1 in draw order.
+std::vector<uncertain::UncertainObject> GenerateClusters(
+    const DatasetOptions& options, const std::vector<ClusterSpec>& clusters);
+
 /// Helper shared by all generators: wraps centers into uncertain objects
 /// with ids 0..n-1 and the configured pdf.
 std::vector<uncertain::UncertainObject> ObjectsFromCenters(

@@ -33,6 +33,14 @@
 // (worker_stats()) is mutex-guarded. The engine must not run concurrently
 // with diagram mutation (UVDiagram::InsertObject); after an insert, call
 // InvalidateCache() before the next batch.
+//
+// In a sharded deployment (src/shard/) one engine serves each shard's
+// DiagramView behind the ShardRouter — whatever the shard boxes came from
+// (grid, bisection, or the data-adaptive median cuts), the engine is
+// partitioning-agnostic. docs/ARCHITECTURE.md has the subsystem map, the
+// batch data flow through the sharded path, and the determinism
+// guarantees table; docs/TUNING.md covers the knobs (threads,
+// protected_fraction, cache sizing) with measured trade-offs.
 #ifndef UVD_QUERY_QUERY_ENGINE_H_
 #define UVD_QUERY_QUERY_ENGINE_H_
 

@@ -1,0 +1,90 @@
+#include "shard/rebalance_advisor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace uvd {
+namespace shard {
+
+namespace {
+
+double Imbalance(const std::vector<size_t>& counts) {
+  if (counts.empty()) return 1.0;
+  size_t total = 0, max_count = 0;
+  for (const size_t c : counts) {
+    total += c;
+    max_count = std::max(max_count, c);
+  }
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(counts.size());
+  return mean > 0.0 ? static_cast<double>(max_count) / mean : 1.0;
+}
+
+}  // namespace
+
+std::string RebalanceAdvice::ToString() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "imbalance (max/mean objects): current %.2f, predicted under "
+                "median cuts %.2f\n",
+                current_imbalance, predicted_imbalance);
+  out += line;
+  for (size_t s = 0; s < proposed_boxes.size(); ++s) {
+    std::snprintf(line, sizeof(line),
+                  "  proposed shard %zu: [%.1f, %.1f] x [%.1f, %.1f], ~%zu "
+                  "objects\n",
+                  s, proposed_boxes[s].lo.x, proposed_boxes[s].hi.x,
+                  proposed_boxes[s].lo.y, proposed_boxes[s].hi.y,
+                  s < predicted_objects.size() ? predicted_objects[s] : 0);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "rebalance recommended: %s\n",
+                rebalance_recommended ? "yes (rebuild with kMedian)" : "no");
+  out += line;
+  return out;
+}
+
+RebalanceAdvice RebalanceAdvisor::Advise(const ShardedUVDiagram& diagram,
+                                         const RebalanceAdvisorOptions& options) {
+  RebalanceAdvice advice;
+
+  std::vector<size_t> current;
+  current.reserve(diagram.num_shards());
+  for (const auto& b : diagram.BalanceReport()) current.push_back(b.objects);
+  advice.current_imbalance = Imbalance(current);
+
+  advice.proposed_boxes =
+      PartitionDomain(diagram.domain(), static_cast<int>(diagram.num_shards()),
+                      ShardPartitioning::kMedian, diagram.object_extents());
+
+  // Predicted registrations: extent-box vs shard-box intersection — the
+  // same weighting the median cuts optimized, approximating the
+  // conservative UvCellMayOverlap registration a rebuild would perform.
+  advice.predicted_objects.assign(advice.proposed_boxes.size(), 0);
+  for (const ObjectExtent& e : diagram.object_extents()) {
+    for (size_t s = 0; s < advice.proposed_boxes.size(); ++s) {
+      if (e.bounds.Intersects(advice.proposed_boxes[s])) {
+        ++advice.predicted_objects[s];
+      }
+    }
+  }
+  advice.predicted_imbalance = Imbalance(advice.predicted_objects);
+
+  advice.rebalance_recommended =
+      advice.current_imbalance > options.imbalance_threshold &&
+      advice.predicted_imbalance <
+          advice.current_imbalance * (1.0 - options.min_relative_gain);
+  return advice;
+}
+
+Result<ShardedUVDiagram> RebalanceAdvisor::ApplyRebalance(
+    const ShardedUVDiagram& diagram, Stats* stats) {
+  ShardedUVDiagramOptions options = diagram.options();
+  options.partitioning = ShardPartitioning::kMedian;
+  return ShardedUVDiagram::Build(diagram.objects(), diagram.domain(), options,
+                                 stats);
+}
+
+}  // namespace shard
+}  // namespace uvd

@@ -1,0 +1,85 @@
+// RebalanceAdvisor: turns ShardedUVDiagram::BalanceReport() measurements
+// into an actionable re-partitioning proposal (ROADMAP "data-adaptive
+// shard boundaries", the PR-4 balance report's consumer).
+//
+// A deployment built with count-blind grid/bisection cuts over a skewed
+// dataset (the Fig. 7(g) Gaussian clouds) carries hot shards; the balance
+// report makes them measurable, and the advisor closes the loop:
+//
+//   1. Advise() reads the current per-shard object counts, computes the
+//      extent-weighted median cuts kMedian would choose for the SAME
+//      dataset (ShardedUVDiagram keeps its stage-1-derived ObjectExtents,
+//      so no stage-1 re-run is needed to propose), and predicts each
+//      proposed shard's registration count from those extents.
+//   2. The advice compares current vs predicted max/mean imbalance and
+//      recommends a rebalance only when the current imbalance exceeds the
+//      threshold AND the prediction improves on it by the configured
+//      relative margin.
+//   3. ApplyRebalance() — the opt-in "do it" path, typically gated behind
+//      an operator flag — rebuilds the deployment with
+//      ShardPartitioning::kMedian. A rebuild re-runs stage 1, so applied
+//      cuts are computed from fresh extents; by the partitioning-agnostic
+//      border-replication and ownership rules, the rebuilt deployment's
+//      PNN/answer-id results remain bitwise-identical to the unsharded
+//      baseline (and hence to the pre-rebalance deployment's).
+//
+// Predictions are heuristic (extent-box intersection approximates the
+// conservative UvCellMayOverlap registration test); the post-rebuild
+// BalanceReport() is the ground truth. See docs/ARCHITECTURE.md.
+#ifndef UVD_SHARD_REBALANCE_ADVISOR_H_
+#define UVD_SHARD_REBALANCE_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/box.h"
+#include "shard/sharded_uv_diagram.h"
+
+namespace uvd {
+namespace shard {
+
+struct RebalanceAdvisorOptions {
+  /// Current max/mean object imbalance at or below this is considered
+  /// healthy: no recommendation, whatever the prediction says.
+  double imbalance_threshold = 1.25;
+  /// Required relative improvement: recommend only when the predicted
+  /// imbalance is below current * (1 - min_relative_gain), so a rebuild
+  /// is never advised for noise-level gains.
+  double min_relative_gain = 0.05;
+};
+
+/// The advisor's verdict: measured load, proposed cuts, predicted load.
+struct RebalanceAdvice {
+  double current_imbalance = 1.0;    ///< Measured max/mean shard objects.
+  double predicted_imbalance = 1.0;  ///< Predicted under `proposed_boxes`.
+  /// The extent-weighted median cuts for the current dataset (same shard
+  /// count as the deployment).
+  std::vector<geom::Box> proposed_boxes;
+  /// Predicted registrations per proposed box (border replicas included).
+  std::vector<size_t> predicted_objects;
+  bool rebalance_recommended = false;
+
+  /// Human-readable summary for benches, examples and ops tooling.
+  std::string ToString() const;
+};
+
+class RebalanceAdvisor {
+ public:
+  /// Measures the deployment, proposes median cuts, predicts their load.
+  /// Pure read: never mutates or rebuilds.
+  static RebalanceAdvice Advise(const ShardedUVDiagram& diagram,
+                                const RebalanceAdvisorOptions& options = {});
+
+  /// Rebuilds the deployment with ShardPartitioning::kMedian (same shard
+  /// count and diagram options). Full rebuild including stage 1 — callers
+  /// gate this behind their own flag and usually behind
+  /// Advise().rebalance_recommended.
+  static Result<ShardedUVDiagram> ApplyRebalance(
+      const ShardedUVDiagram& diagram, Stats* stats = nullptr);
+};
+
+}  // namespace shard
+}  // namespace uvd
+
+#endif  // UVD_SHARD_REBALANCE_ADVISOR_H_

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdint>
+#include <limits>
+#include <numeric>
 #include <utility>
 
 #include "common/logging.h"
@@ -45,14 +48,124 @@ bool OwnsAxis(double v, double lo, double hi, double domain_hi) {
   return v == hi && hi == domain_hi;
 }
 
+/// One split of the extent-weighted median partitioner: the cut along
+/// [axis_lo, axis_hi] minimizing the predicted worst per-shard share
+/// max(n_lower/kl, n_upper/kr), where n_lower(c) = #{spans with lo <= c}
+/// and n_upper(c) = #{spans with hi >= c} — an extent straddling c counts
+/// toward both sides, exactly the replica the cut would create. `spans`
+/// are per-object extent intervals along the axis, already clamped to
+/// [axis_lo, axis_hi]. Both counts change only at span endpoints, so the
+/// candidates are every distinct endpoint plus the midpoints between
+/// consecutive distinct endpoints; ties break toward the geometric
+/// proportional cut, then toward the smaller coordinate (deterministic).
+/// Falls back to the geometric cut when no candidate is strictly interior.
+double MedianCut(const std::vector<std::pair<double, double>>& spans, int kl,
+                 int kr, double axis_lo, double axis_hi) {
+  const double geometric =
+      axis_lo + (axis_hi - axis_lo) *
+                    (static_cast<double>(kl) / static_cast<double>(kl + kr));
+  std::vector<double> los, his, endpoints;
+  los.reserve(spans.size());
+  his.reserve(spans.size());
+  endpoints.reserve(spans.size() * 2);
+  for (const auto& span : spans) {
+    los.push_back(span.first);
+    his.push_back(span.second);
+    endpoints.push_back(span.first);
+    endpoints.push_back(span.second);
+  }
+  std::sort(los.begin(), los.end());
+  std::sort(his.begin(), his.end());
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()), endpoints.end());
+
+  std::vector<double> candidates;
+  candidates.reserve(endpoints.size() * 2);
+  for (size_t i = 0; i < endpoints.size(); ++i) {
+    candidates.push_back(endpoints[i]);
+    if (i + 1 < endpoints.size()) {
+      candidates.push_back(0.5 * (endpoints[i] + endpoints[i + 1]));
+    }
+  }
+
+  double best_cut = geometric;
+  double best_share = std::numeric_limits<double>::infinity();
+  double best_geo_dist = std::numeric_limits<double>::infinity();
+  for (const double c : candidates) {
+    if (!(c > axis_lo && c < axis_hi)) continue;  // sub-boxes must have area
+    const auto n_lower = static_cast<double>(
+        std::upper_bound(los.begin(), los.end(), c) - los.begin());
+    const auto n_upper = static_cast<double>(
+        his.end() - std::lower_bound(his.begin(), his.end(), c));
+    const double share = std::max(n_lower / kl, n_upper / kr);
+    const double geo_dist = std::abs(c - geometric);
+    if (share < best_share ||
+        (share == best_share &&
+         (geo_dist < best_geo_dist || (geo_dist == best_geo_dist && c < best_cut)))) {
+      best_cut = c;
+      best_share = share;
+      best_geo_dist = geo_dist;
+    }
+  }
+  return best_cut;
+}
+
+/// Recursive kMedian partitioner. `ids` are the objects whose extent boxes
+/// touch `box` (straddlers of an ancestor cut appear on both sides, so the
+/// recursion sees the same replica-inflated loads the shards will carry).
+/// The cut double is computed once and shared by both halves — adjacent
+/// boxes agree bitwise on their common edge, as the half-open router
+/// requires.
+void MedianSplit(const geom::Box& box, int k,
+                 const std::vector<ObjectExtent>& extents,
+                 const std::vector<uint32_t>& ids, std::vector<geom::Box>* out) {
+  if (k <= 1) {
+    out->push_back(box);
+    return;
+  }
+  const int kl = (k + 1) / 2;
+  const int kr = k - kl;
+  const bool cut_x = box.Width() >= box.Height();
+  const double axis_lo = cut_x ? box.lo.x : box.lo.y;
+  const double axis_hi = cut_x ? box.hi.x : box.hi.y;
+
+  std::vector<std::pair<double, double>> spans;
+  spans.reserve(ids.size());
+  for (const uint32_t id : ids) {
+    const geom::Box& b = extents[id].bounds;
+    spans.emplace_back(std::max(cut_x ? b.lo.x : b.lo.y, axis_lo),
+                       std::min(cut_x ? b.hi.x : b.hi.y, axis_hi));
+  }
+  const double cut = MedianCut(spans, kl, kr, axis_lo, axis_hi);
+
+  std::vector<uint32_t> lower_ids, upper_ids;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (spans[i].first <= cut) lower_ids.push_back(ids[i]);
+    if (spans[i].second >= cut) upper_ids.push_back(ids[i]);
+  }
+  if (cut_x) {
+    MedianSplit(geom::Box(box.lo, {cut, box.hi.y}), kl, extents, lower_ids, out);
+    MedianSplit(geom::Box({cut, box.lo.y}, box.hi), kr, extents, upper_ids, out);
+  } else {
+    MedianSplit(geom::Box(box.lo, {box.hi.x, cut}), kl, extents, lower_ids, out);
+    MedianSplit(geom::Box({box.lo.x, cut}, box.hi), kr, extents, upper_ids, out);
+  }
+}
+
 }  // namespace
 
 std::vector<geom::Box> PartitionDomain(const geom::Box& domain, int num_shards,
                                        ShardPartitioning partitioning) {
   const int k = std::max(1, num_shards);
+  // K = 1: no cuts to compute — the single shard is the closed global
+  // domain box itself (computing a degenerate "cut" here would hand the
+  // sole shard a half-open max edge and drop boundary probes).
+  if (k == 1) return {domain};
   std::vector<geom::Box> boxes;
   boxes.reserve(static_cast<size_t>(k));
-  if (partitioning == ShardPartitioning::kBisection) {
+  if (partitioning != ShardPartitioning::kGrid) {
+    // kBisection, and kMedian's data-blind degradation (no extents to
+    // weight the cuts with — see the ObjectExtent overload).
     Bisect(domain, k, &boxes);
     return boxes;
   }
@@ -87,6 +200,64 @@ std::vector<geom::Box> PartitionDomain(const geom::Box& domain, int num_shards,
   }
   return boxes;
 }
+
+std::vector<geom::Box> PartitionDomain(const geom::Box& domain, int num_shards,
+                                       ShardPartitioning partitioning,
+                                       const std::vector<ObjectExtent>& extents) {
+  const int k = std::max(1, num_shards);
+  if (k == 1) return {domain};  // same K=1 contract as the blind overload
+  if (partitioning != ShardPartitioning::kMedian || extents.empty()) {
+    return PartitionDomain(domain, k, partitioning);
+  }
+  std::vector<uint32_t> ids(extents.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::vector<geom::Box> boxes;
+  boxes.reserve(static_cast<size_t>(k));
+  MedianSplit(domain, k, extents, ids, &boxes);
+  return boxes;
+}
+
+namespace {
+
+/// Derives the per-object partitioning extents (see ObjectExtent) from the
+/// stage-1 candidate lists, in id order — deterministic for a fixed
+/// dataset, so the median cuts are too.
+std::vector<ObjectExtent> PredictObjectExtents(
+    const std::vector<uncertain::UncertainObject>& objects,
+    const std::vector<std::vector<geom::Circle>>& cell_regions,
+    const geom::Box& domain) {
+  std::vector<ObjectExtent> extents;
+  extents.reserve(objects.size());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const geom::Point c = objects[i].center();
+    const double r = objects[i].region().radius;
+    // The cell's reach toward cr-object j ends where j's UV-edge crosses
+    // the inter-center segment, at (dist + r_i + r_j) / 2 from c_i; the
+    // nearest constrainer gives the tightest such bound. Applied
+    // symmetrically it is a heuristic (cells reach farther away from
+    // their neighbors), which is fine: extents only weight the median
+    // cuts, registration stays with UvCellMayOverlap.
+    double reach = std::numeric_limits<double>::infinity();
+    for (const geom::Circle& cr : cell_regions[i]) {
+      const double dist = geom::Distance(c, cr.center);
+      if (dist <= 0.0) continue;  // self or coincident center
+      reach = std::min(reach, 0.5 * (dist + r + cr.radius));
+    }
+    if (!std::isfinite(reach)) {
+      reach = std::max(domain.Width(), domain.Height());  // unconstrained cell
+    }
+    reach = std::max(reach, r);
+    geom::Box bounds({c.x - reach, c.y - reach}, {c.x + reach, c.y + reach});
+    bounds.lo.x = std::max(bounds.lo.x, domain.lo.x);
+    bounds.lo.y = std::max(bounds.lo.y, domain.lo.y);
+    bounds.hi.x = std::min(bounds.hi.x, domain.hi.x);
+    bounds.hi.y = std::min(bounds.hi.y, domain.hi.y);
+    extents.push_back({c, bounds});
+  }
+  return extents;
+}
+
+}  // namespace
 
 Result<ShardedUVDiagram> ShardedUVDiagram::Build(
     std::vector<uncertain::UncertainObject> objects, const geom::Box& domain,
@@ -148,12 +319,15 @@ Result<ShardedUVDiagram> ShardedUVDiagram::Build(
     index_ids[i].clear();
     index_ids[i].shrink_to_fit();
   }
+  // Partitioning extents ride the same stage-1 output (no extra pass) and
+  // are retained for RebalanceAdvisor re-cut proposals.
+  d.extents_ = PredictObjectExtents(d.objects_, cell_regions, domain);
 
   // Stage 2, K ways: register + bulk-load + insert + finalize one shard.
   // Shards share only the read-only dataset and stage-1 output; storage,
   // index and Stats are private per shard, so the builds are independent.
-  const std::vector<geom::Box> boxes =
-      PartitionDomain(domain, d.options_.num_shards, d.options_.partitioning);
+  const std::vector<geom::Box> boxes = PartitionDomain(
+      domain, d.options_.num_shards, d.options_.partitioning, d.extents_);
   d.shards_.resize(boxes.size());
   std::vector<Status> shard_status(boxes.size());
   std::vector<double> shard_seconds(boxes.size(), 0.0);

@@ -44,6 +44,22 @@
 // domain's max edge, which clamps to the max-edge shard so boundary probes
 // are never dropped. Every point of the closed domain is owned by exactly
 // one shard: no drops, no double-answers.
+//
+// Shard boxes come from PartitionDomain in one of three modes: the
+// count-blind kGrid / kBisection geometric cuts, or kMedian — a k-d-style
+// recursive partitioner that splits the longest axis at the object-count
+// median, weighted by each object's predicted UV-cell extent (ObjectExtent,
+// derived from the same stage-1 output) so border replicas are anticipated
+// when choosing cuts. Skewed datasets (the Fig. 7(g) Gaussian clouds) that
+// leave hot shards under geometric cuts balance to near-uniform per-shard
+// load under kMedian; BalanceReport() measures the result either way, and
+// RebalanceAdvisor (rebalance_advisor.h) turns a report into a concrete
+// re-cut proposal. Because only the boxes change — replication and the
+// half-open ownership rule are partitioning-agnostic — PNN/answer-id
+// results stay bitwise-identical to the unsharded build in every mode.
+//
+// See docs/ARCHITECTURE.md for the subsystem map, the determinism
+// guarantees table and the sharded query data flow.
 #ifndef UVD_SHARD_SHARDED_UV_DIAGRAM_H_
 #define UVD_SHARD_SHARDED_UV_DIAGRAM_H_
 
@@ -74,6 +90,28 @@ enum class ShardPartitioning {
   /// Recursive longest-axis bisection; shard counts need not be composite
   /// or powers of two (an odd count splits ceil/floor).
   kBisection,
+  /// Data-adaptive k-d cuts: recursive longest-axis splits at the
+  /// object-count median, weighted by predicted UV-cell extents so an
+  /// object straddling a candidate cut is counted toward BOTH sides (the
+  /// replica the cut would create). Requires the ObjectExtent overload of
+  /// PartitionDomain (ShardedUVDiagram::Build supplies it from stage 1);
+  /// the data-blind overload degrades to kBisection.
+  kMedian,
+};
+
+/// Per-object input to the data-aware partitioner: the center plus a
+/// conservative-in-spirit bounding box of where the object's UV-cell (and
+/// hence border replication) is predicted to reach. ShardedUVDiagram::Build
+/// derives it from the stage-1 candidate lists: the cell's reach toward its
+/// nearest constraining cr-object is (dist + r_i + r_j) / 2 — where that
+/// neighbor's UV-edge crosses the inter-center segment — applied
+/// symmetrically and clamped to the domain. A load-prediction heuristic
+/// only: shard registration still uses the exact conservative
+/// core::UvCellMayOverlap test, so partition quality never affects
+/// correctness.
+struct ObjectExtent {
+  geom::Point center;
+  geom::Box bounds;
 };
 
 struct ShardedUVDiagramOptions {
@@ -115,6 +153,11 @@ class ShardedUVDiagram {
   const geom::Box& domain() const { return domain_; }
   const std::vector<uncertain::UncertainObject>& objects() const { return objects_; }
   const ShardedUVDiagramOptions& options() const { return options_; }
+
+  /// Per-object partitioning extents derived from the stage-1 pass (one
+  /// entry per object, id order). Kept after the build so RebalanceAdvisor
+  /// can propose data-aware re-cuts without re-running stage 1.
+  const std::vector<ObjectExtent>& object_extents() const { return extents_; }
 
   /// The shard owning `p` exclusively: half-open [min, max) ownership at
   /// interior cut lines (upper/right shard wins), clamped to the max-edge
@@ -173,15 +216,35 @@ class ShardedUVDiagram {
   Stats* stats_ = nullptr;  // external or owned_stats_.get(); global phases
   std::unique_ptr<Stats> owned_stats_;
   std::vector<Shard> shards_;
+  std::vector<ObjectExtent> extents_;
   core::BuildStats build_stats_;
 };
 
 /// Partitions `domain` into exactly `num_shards` boxes that tile it with
 /// bitwise-shared cut coordinates (adjacent boxes reuse the same double for
 /// their common edge, so half-open ownership tests are exact). Exposed for
-/// tests and tooling.
+/// tests and tooling. `num_shards <= 1` returns the closed domain box
+/// itself, with no cut computation. kMedian needs object data and degrades
+/// to kBisection here — use the ObjectExtent overload below for real
+/// median cuts.
 std::vector<geom::Box> PartitionDomain(const geom::Box& domain, int num_shards,
                                        ShardPartitioning partitioning);
+
+/// Data-aware overload: for kMedian, recursive longest-axis cuts at the
+/// extent-weighted object-count median. At every split of k shards into
+/// ceil/floor halves (kl, kr), the cut c minimizing
+/// max(n_lower(c)/kl, n_upper(c)/kr) is chosen, where an object counts
+/// toward a side whenever its extent box touches that side — a straddler
+/// counts toward both, anticipating the border replica the cut creates.
+/// Candidate cuts are every distinct extent endpoint and the midpoints
+/// between consecutive endpoints (the only places the counts change); ties
+/// break toward the geometric proportional cut, then toward the smaller
+/// coordinate, so cuts are deterministic for a fixed dataset. Grid and
+/// bisection ignore `extents`; an empty `extents` degrades kMedian to
+/// kBisection. `num_shards <= 1` returns the closed domain box unchanged.
+std::vector<geom::Box> PartitionDomain(const geom::Box& domain, int num_shards,
+                                       ShardPartitioning partitioning,
+                                       const std::vector<ObjectExtent>& extents);
 
 }  // namespace shard
 }  // namespace uvd
