@@ -70,6 +70,72 @@ void PrintBanner(const std::string& title, const std::string& paper_ref) {
   std::printf("==============================================================\n");
 }
 
+std::string ParseJsonPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.compare(0, 7, "--json=") == 0) return arg.substr(7);
+    if (arg == "--json" && i + 1 < argc) return argv[i + 1];
+  }
+  return "";
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonReport::JsonReport(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void JsonReport::BeginRecord() { records_.emplace_back(); }
+
+void JsonReport::Add(const std::string& key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  records_.back().emplace_back(key, buf);
+}
+
+void JsonReport::Add(const std::string& key, int64_t value) {
+  records_.back().emplace_back(key, std::to_string(value));
+}
+
+void JsonReport::Add(const std::string& key, const std::string& value) {
+  records_.back().emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+bool JsonReport::WriteTo(const std::string& path) const {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write JSON report to %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": %.6g,\n  \"records\": [",
+               JsonEscape(bench_name_).c_str(), Scale());
+  for (size_t r = 0; r < records_.size(); ++r) {
+    std::fprintf(f, "%s\n    {", r == 0 ? "" : ",");
+    for (size_t k = 0; k < records_[r].size(); ++k) {
+      std::fprintf(f, "%s\"%s\": %s", k == 0 ? "" : ", ",
+                   JsonEscape(records_[r][k].first).c_str(),
+                   records_[r][k].second.c_str());
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("JSON report written to %s\n", path.c_str());
+  return true;
+}
+
 core::UVDiagram BuildDiagram(std::vector<uncertain::UncertainObject> objects,
                              const geom::Box& domain, core::UVDiagramOptions options,
                              Stats* stats) {

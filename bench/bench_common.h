@@ -8,8 +8,10 @@
 #ifndef UVD_BENCH_BENCH_COMMON_H_
 #define UVD_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/uv_diagram.h"
@@ -58,6 +60,35 @@ QueryBenchFlags ParseQueryBenchFlags(int argc, char** argv);
 
 /// Prints the standard bench banner (title + scale + paper reference).
 void PrintBanner(const std::string& title, const std::string& paper_ref);
+
+/// Parses a `--json <path>` / `--json=<path>` argument so benches can
+/// persist machine-readable history next to the human tables. Returns the
+/// empty string when the flag is absent.
+std::string ParseJsonPath(int argc, char** argv);
+
+/// Accumulates flat records and writes them as a JSON document:
+///   {"bench": "...", "scale": S, "records": [{...}, ...]}
+/// Values are numbers or strings; no nesting — bench history files are
+/// meant to be diffed and plotted, not parsed by the library.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name);
+
+  /// Starts a new record; subsequent Add calls fill it.
+  void BeginRecord();
+  void Add(const std::string& key, double value);
+  void Add(const std::string& key, int64_t value);
+  void Add(const std::string& key, const std::string& value);
+
+  /// Writes the document to `path`; a no-op when `path` is empty.
+  /// Returns false (after printing a warning) if the file can't be written.
+  bool WriteTo(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  // Each record is a list of (key, pre-rendered JSON value) pairs.
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
 
 /// Builds a UVDiagram over the given objects with external stats, aborting
 /// on error (bench context).

@@ -1,19 +1,25 @@
-// Parallel staged build pipeline: construction time vs worker count for
-// Basic / ICR / IC on the Fig. 7(a) workload, comparing the two parallel
-// stage-2 strategies:
+// Staged build pipeline: construction time vs worker count and stage-1
+// kernel implementation for Basic / ICR / IC on the Fig. 7(a) workload.
 //
-//   in-order     — PR 1: stage 1 fans out, stage 2 (quad-tree insertion)
-//                  stays on one consumer thread. Speedup is bounded by the
-//                  stage-2 fraction (Amdahl).
-//   partitioned  — stage 2 itself fans out per quad-tree subtree with a
-//                  canonical stitch (core/uv_index.h), removing the serial
-//                  remainder. Same bytes, better wall clock.
+// Two axes:
 //
-// Every row builds a byte-identical index; `--determinism-check` proves it
-// by building the example index at several thread counts / frontier depths
-// and diffing the serialized digests against the serial build (the CI
-// cross-check step and a ctest smoke run exactly that; exits non-zero on
-// any mismatch).
+//   threads      — stage 1 fans out per object; stage 2 (quad-tree
+//                  insertion) runs domain-partitioned with a canonical
+//                  stitch (core/uv_index.h).
+//   kernel_mode  — scalar: the reference per-candidate loops;
+//                  batch: the SoA kernels of geom/batch/ (envelope
+//                  prefilter, squared-distance C-pruning, batched 4-point
+//                  test), optionally SIMD (UVD_ENABLE_SIMD).
+//
+// Every cell builds a byte-identical index; `--determinism-check` proves
+// it by building the example index across thread counts, stage-2 shapes
+// AND kernel modes, diffing serialized digests against the serial build
+// (the CI cross-check step and a ctest smoke run exactly that; exits
+// non-zero on any mismatch).
+//
+// `--json <path>` additionally writes every measured cell as a flat JSON
+// record (method, threads, kernel, stage wall clocks, speedups) for bench
+// history tracking — see BENCH_stage1.json at the repo root.
 #include "bench_common.h"
 
 #include <cstring>
@@ -37,9 +43,9 @@ std::vector<uint8_t> SerializedIndex(const uvd::core::UVDiagram& d) {
   return bytes;
 }
 
-/// Builds the example dataset at every (threads, mode, depth) combination
-/// and compares serialized digests against the serial build. Returns the
-/// number of mismatches (0 = deterministic).
+/// Builds the example dataset at every (threads, mode, depth, kernel)
+/// combination and compares serialized digests against the serial build.
+/// Returns the number of mismatches (0 = deterministic).
 int RunDeterminismCheck() {
   using namespace uvd;
   datagen::DatasetOptions opts;
@@ -50,29 +56,40 @@ int RunDeterminismCheck() {
 
   core::UVDiagramOptions serial_options;
   serial_options.build_threads = 1;
+  serial_options.kernel_mode = geom::KernelMode::kScalar;
   const auto serial =
       core::UVDiagram::Build(objects, domain, serial_options).ValueOrDie();
   const uint64_t serial_digest = Fnv1a(SerializedIndex(serial));
-  std::printf("serial                      digest %016llx\n",
+  std::printf("serial scalar                             digest %016llx\n",
               static_cast<unsigned long long>(serial_digest));
 
   int mismatches = 0;
-  const auto check = [&](int threads, core::Stage2Mode mode, int depth) {
+  const auto check = [&](int threads, core::Stage2Mode mode, int depth,
+                         geom::KernelMode kernel) {
     core::UVDiagramOptions options;
     options.build_threads = threads;
     options.stage2 = mode;
     options.stage2_max_depth = depth;
+    options.kernel_mode = kernel;
     const auto d = core::UVDiagram::Build(objects, domain, options).ValueOrDie();
     const uint64_t digest = Fnv1a(SerializedIndex(d));
     const bool ok = digest == serial_digest;
-    std::printf("threads=%d %-11s depth=%d digest %016llx  %s\n", threads,
-                core::Stage2ModeName(mode), depth,
+    std::printf("threads=%d %-11s depth=%d kernel=%-6s digest %016llx  %s\n",
+                threads, core::Stage2ModeName(mode), depth,
+                geom::KernelModeName(kernel),
                 static_cast<unsigned long long>(digest), ok ? "OK" : "MISMATCH");
     if (!ok) ++mismatches;
   };
   for (int threads : {2, 4, 8}) {
-    check(threads, core::Stage2Mode::kInOrder, 2);
-    for (int depth : {1, 2, 3}) check(threads, core::Stage2Mode::kPartitioned, depth);
+    for (geom::KernelMode kernel :
+         {geom::KernelMode::kScalar, geom::KernelMode::kBatch}) {
+      check(threads, core::Stage2Mode::kInOrder, 2, kernel);
+      check(threads, core::Stage2Mode::kPartitioned, 2, kernel);
+    }
+    for (int depth : {1, 3}) {
+      check(threads, core::Stage2Mode::kPartitioned, depth,
+            geom::KernelMode::kBatch);
+    }
   }
   if (mismatches == 0) {
     std::printf("determinism check PASSED: every build serialized identically\n");
@@ -88,15 +105,19 @@ int main(int argc, char** argv) {
   using namespace uvd;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--determinism-check") == 0) {
-      bench::PrintBanner("Stage-2 determinism cross-check",
+      bench::PrintBanner("Stage-2 + kernel determinism cross-check",
                          "serialized-index digest equality across builds");
       return RunDeterminismCheck() == 0 ? 0 : 1;
     }
   }
+  const std::string json_path = bench::ParseJsonPath(argc, argv);
+  bench::JsonReport report("parallel_construction_kernel_sweep");
 
-  bench::PrintBanner("Parallel construction: T_c vs build_threads",
+  bench::PrintBanner("Parallel construction: T_c vs build_threads and kernel",
                      "staged pipeline over the Fig. 7(a) workload");
-  std::printf("hardware concurrency: %d\n\n", ThreadPool::DefaultThreads());
+  std::printf("hardware concurrency: %d\n", ThreadPool::DefaultThreads());
+  std::printf("batch kernels: %s (SIMD %s)\n\n", geom::batch::SimdIsa(),
+              geom::batch::SimdEnabled() ? "on" : "off");
 
   const int thread_sweep[] = {1, 2, 4, 8};
   const core::BuildMethod methods[] = {core::BuildMethod::kBasic,
@@ -111,39 +132,52 @@ int main(int argc, char** argv) {
                      ? bench::ScaledCount(2000)
                      : bench::ScaledCount(10000);
     opts.seed = 42;
-    std::printf("%s (|O| = %zu)\n", core::BuildMethodName(method), opts.count);
-    std::printf("%8s | %12s %8s | %12s %8s %11s %11s\n", "threads",
-                "in-order(s)", "speedup", "partit.(s)", "speedup", "s1 wall(s)",
-                "s2 wall(s)");
-    double serial_seconds = 0.0;
+    std::printf("%s (|O| = %zu, partitioned stage 2)\n",
+                core::BuildMethodName(method), opts.count);
+    std::printf("%8s | %10s %10s %8s | %10s %10s %8s\n", "threads",
+                "scal s1(s)", "batch s1(s)", "s1 spdup", "scal T_c(s)",
+                "batch T_c(s)", "T_c spdup");
     for (int threads : thread_sweep) {
-      double mode_seconds[2] = {0.0, 0.0};
-      core::BuildStats part_stats;
-      const core::Stage2Mode modes[2] = {core::Stage2Mode::kInOrder,
-                                         core::Stage2Mode::kPartitioned};
-      for (int m = 0; m < 2; ++m) {
+      double s1_wall[2] = {0.0, 0.0};
+      double total[2] = {0.0, 0.0};
+      const geom::KernelMode kernels[2] = {geom::KernelMode::kScalar,
+                                           geom::KernelMode::kBatch};
+      for (int k = 0; k < 2; ++k) {
         Stats stats;
         core::UVDiagramOptions options;
         options.method = method;
         options.build_threads = threads;
-        options.stage2 = modes[m];
+        options.kernel_mode = kernels[k];
         auto diagram = bench::BuildDiagram(datagen::GenerateUniform(opts),
                                            datagen::DomainFor(opts), options, &stats);
-        mode_seconds[m] = diagram.build_stats().total_seconds;
-        if (m == 1) part_stats = diagram.build_stats();
-        if (threads == 1 && m == 0) serial_seconds = mode_seconds[m];
+        const core::BuildStats& bs = diagram.build_stats();
+        s1_wall[k] = bs.stage1_wall_seconds;
+        total[k] = bs.total_seconds;
+        report.BeginRecord();
+        report.Add("method", core::BuildMethodName(method));
+        report.Add("objects", static_cast<int64_t>(opts.count));
+        report.Add("threads", static_cast<int64_t>(threads));
+        report.Add("kernel", geom::KernelModeName(kernels[k]));
+        report.Add("simd", geom::batch::SimdEnabled() &&
+                                   kernels[k] == geom::KernelMode::kBatch
+                               ? geom::batch::SimdIsa()
+                               : "none");
+        report.Add("stage1_wall_s", bs.stage1_wall_seconds);
+        report.Add("stage2_wall_s", bs.stage2_wall_seconds);
+        report.Add("total_s", bs.total_seconds);
       }
-      std::printf("%8d | %12.2f %7.2fx | %12.2f %7.2fx %11.2f %11.2f\n", threads,
-                  mode_seconds[0], serial_seconds / mode_seconds[0],
-                  mode_seconds[1], serial_seconds / mode_seconds[1],
-                  part_stats.stage1_wall_seconds, part_stats.stage2_wall_seconds);
+      std::printf("%8d | %10.2f %10.2f %7.2fx | %10.2f %11.2f %8.2fx\n",
+                  threads, s1_wall[0], s1_wall[1], s1_wall[0] / s1_wall[1],
+                  total[0], total[1], total[0] / total[1]);
     }
     std::printf("\n");
   }
   std::printf(
-      "Every cell builds a byte-identical index (core/build_pipeline.h);\n"
-      "run with --determinism-check to verify digests across thread counts\n"
-      "and partition depths. The partitioned column removes the stage-2\n"
-      "Amdahl remainder the in-order column is bounded by.\n");
+      "Every cell builds a byte-identical index (geom/batch/kernels.h);\n"
+      "run with --determinism-check to verify digests across thread counts,\n"
+      "stage-2 shapes and kernel modes. The batch columns run the SoA\n"
+      "stage-1 kernels (envelope prefilter, squared-distance C-pruning,\n"
+      "batched 4-point test) with the scalar columns as their oracle.\n");
+  report.WriteTo(json_path);
   return 0;
 }

@@ -40,6 +40,8 @@ const char* TickerName(Ticker t) {
       return "query.cache.promotions";
     case Ticker::kQueryCacheDemotions:
       return "query.cache.demotions";
+    case Ticker::kQueryCacheWarmInserts:
+      return "query.cache.warm.inserts";
     case Ticker::kNumTickers:
       break;
   }

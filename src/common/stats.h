@@ -30,6 +30,7 @@ enum class Ticker : uint32_t {
   kQueryCacheMisses,    ///< Leaf page-list lookups that read through to disk.
   kQueryCachePromotions,  ///< Probationary entries promoted on re-reference.
   kQueryCacheDemotions,   ///< Protected entries demoted on segment overflow.
+  kQueryCacheWarmInserts, ///< Leaves pre-populated from UV-partition results.
   kNumTickers,  // must be last
 };
 

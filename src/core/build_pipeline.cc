@@ -41,6 +41,13 @@ const char* Stage2ModeName(Stage2Mode m) {
 
 namespace {
 
+/// Finder options with the pipeline's kernel_mode knob applied.
+CrFinderOptions FinderOptions(const BuildPipelineOptions& options) {
+  CrFinderOptions cr = options.cr;
+  cr.kernel_mode = options.kernel_mode;
+  return cr;
+}
+
 std::vector<geom::Circle> RegionsOf(const std::vector<uncertain::UncertainObject>& objects,
                                     const std::vector<int>& ids) {
   std::vector<geom::Circle> regions;
@@ -72,12 +79,13 @@ struct StageResult {
 StageResult RunObjectStage(const std::vector<uncertain::UncertainObject>& objects,
                            const CrObjectFinder& finder, size_t i,
                            const geom::Box& domain, BuildMethod method,
-                           double denom, Stats* stats) {
+                           double denom, geom::KernelMode kernel_mode,
+                           Stats* stats) {
   StageResult r;
   switch (method) {
     case BuildMethod::kBasic: {
       ScopedTimer t(&r.robject_seconds);
-      const UVCell cell = BuildExactUvCell(objects, i, domain, stats);
+      const UVCell cell = BuildExactUvCell(objects, i, domain, stats, kernel_mode);
       r.index_ids = cell.RObjects();
       r.r_count = static_cast<double>(r.index_ids.size());
       break;
@@ -92,8 +100,8 @@ StageResult RunObjectStage(const std::vector<uncertain::UncertainObject>& object
       {
         // Refinement: exact r-objects from the candidates.
         ScopedTimer t(&r.robject_seconds);
-        const UVCell cell =
-            BuildUvCellFromCandidates(objects, i, cr.cr_objects, domain, stats);
+        const UVCell cell = BuildUvCellFromCandidates(objects, i, cr.cr_objects,
+                                                      domain, stats, kernel_mode);
         r.index_ids = cell.RObjects();
       }
       r.r_count = static_cast<double>(r.index_ids.size());
@@ -139,12 +147,12 @@ Status RunSerial(const std::vector<uncertain::UncertainObject>& objects,
                  const rtree::RTree& tree, const geom::Box& domain,
                  const BuildPipelineOptions& options, UVIndex* index,
                  BuildStats* local, Stats* stats) {
-  const CrObjectFinder finder(objects, tree, domain, options.cr, stats);
+  const CrObjectFinder finder(objects, tree, domain, FinderOptions(options), stats);
   const size_t n = objects.size();
   const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
   for (size_t i = 0; i < n; ++i) {
-    const StageResult r =
-        RunObjectStage(objects, finder, i, domain, options.method, denom, stats);
+    const StageResult r = RunObjectStage(objects, finder, i, domain, options.method,
+                                         denom, options.kernel_mode, stats);
     Accumulate(r, local);
     UVD_RETURN_NOT_OK(InsertResult(objects, ptrs, i, r, index, local));
   }
@@ -165,10 +173,10 @@ void RunStage1Materialized(const std::vector<uncertain::UncertainObject>& object
   const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
   results->resize(n);
   if (workers <= 1 || pool == nullptr) {
-    const CrObjectFinder finder(objects, tree, domain, options.cr, stats);
+    const CrObjectFinder finder(objects, tree, domain, FinderOptions(options), stats);
     for (size_t i = 0; i < n; ++i) {
-      (*results)[i] =
-          RunObjectStage(objects, finder, i, domain, options.method, denom, stats);
+      (*results)[i] = RunObjectStage(objects, finder, i, domain, options.method,
+                                     denom, options.kernel_mode, stats);
     }
     return;
   }
@@ -178,12 +186,12 @@ void RunStage1Materialized(const std::vector<uncertain::UncertainObject>& object
   for (int w = 0; w < workers; ++w) {
     pool->Submit([&, w, done] {
       Stats* shard = stats != nullptr ? &shards[static_cast<size_t>(w)] : nullptr;
-      const CrObjectFinder finder(objects, tree, domain, options.cr, shard);
+      const CrObjectFinder finder(objects, tree, domain, FinderOptions(options), shard);
       for (;;) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) break;
-        (*results)[i] =
-            RunObjectStage(objects, finder, i, domain, options.method, denom, shard);
+        (*results)[i] = RunObjectStage(objects, finder, i, domain, options.method,
+                                       denom, options.kernel_mode, shard);
       }
       done->Done();
     });
@@ -279,7 +287,7 @@ Status RunParallel(const std::vector<uncertain::UncertainObject>& objects,
   for (int w = 0; w < workers; ++w) {
     pool.Submit([&, w] {
       Stats* shard = stats != nullptr ? &shards[static_cast<size_t>(w)] : nullptr;
-      const CrObjectFinder finder(objects, tree, domain, options.cr, shard);
+      const CrObjectFinder finder(objects, tree, domain, FinderOptions(options), shard);
       for (;;) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) {
@@ -297,8 +305,8 @@ Status RunParallel(const std::vector<uncertain::UncertainObject>& objects,
           cv_space.wait(lock, [&] { return abort || i < consumed + window; });
           if (abort) return;
         }
-        StageResult r =
-            RunObjectStage(objects, finder, i, domain, options.method, denom, shard);
+        StageResult r = RunObjectStage(objects, finder, i, domain, options.method,
+                                       denom, options.kernel_mode, shard);
         {
           std::lock_guard<std::mutex> lock(mu);
           Slot& slot = ring[i % window];

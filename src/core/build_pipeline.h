@@ -138,6 +138,11 @@ struct BuildPipelineOptions {
   /// Frontier size the serial prefix aims for. <= 0: 2 * workers,
   /// clamped to [4, 64].
   int stage2_target_subtrees = 0;
+  /// Stage-1 candidate-kernel implementation (geom/batch/kernels.h),
+  /// applied to C-pruning, seed-region widening and exact-cell refinement.
+  /// Overrides cr.kernel_mode. Both modes build bitwise-identical indexes;
+  /// kScalar is the determinism oracle, kBatch the SoA/SIMD block path.
+  geom::KernelMode kernel_mode = geom::KernelMode::kBatch;
 };
 
 /// Runs the staged pipeline: stage-1 fan-out, in-order stage-2 insertion,

@@ -12,6 +12,8 @@ Status BuildUvIndex(const std::vector<uncertain::UncertainObject>& objects,
   BuildPipelineOptions options;
   options.method = method;
   options.cr = cr_options;
+  // The pipeline knob overrides cr.kernel_mode; honor the caller's choice.
+  options.kernel_mode = cr_options.kernel_mode;
   options.build_threads = build_threads;
   return RunBuildPipeline(objects, ptrs, tree, domain, options, index, build_stats,
                           stats);

@@ -72,9 +72,22 @@ UVCell CrObjectFinder::BuildSeedRegion(size_t index, std::vector<int>* seed_ids)
   }
   if (options_.adaptive_seed_widening &&
       region.MaxDistanceFromCenter() > knn_radius) {
-    for (const rtree::LeafEntry& e : knn) {
-      if (e.id == anchor.id()) continue;
-      region.SubtractOutsideRegion(e.mbc, e.id);
+    if (options_.kernel_mode == geom::KernelMode::kBatch) {
+      std::vector<geom::Circle> regions;
+      std::vector<int> ids;
+      regions.reserve(knn.size());
+      ids.reserve(knn.size());
+      for (const rtree::LeafEntry& e : knn) {
+        if (e.id == anchor.id()) continue;
+        regions.push_back(e.mbc);
+        ids.push_back(e.id);
+      }
+      region.SubtractOutsideRegions(regions.data(), ids.data(), regions.size());
+    } else {
+      for (const rtree::LeafEntry& e : knn) {
+        if (e.id == anchor.id()) continue;
+        region.SubtractOutsideRegion(e.mbc, e.id);
+      }
     }
   }
   if (seed_ids != nullptr) *seed_ids = seeds;
@@ -112,23 +125,41 @@ CrResult CrObjectFinder::Find(size_t index) const {
 
   // Step 3: C-pruning (Lemma 3). d-bounds at the convex hull vertices of
   // P_i: O_j survives iff c_j is inside some Cir(v_m, dist(v_m, c_i)).
+  // Squared distances on both sides — same decision, no per-candidate sqrt.
   const std::vector<geom::Point> hull = geom::ConvexHull(region.Vertices());
-  std::vector<double> hull_dist;
-  hull_dist.reserve(hull.size());
+  std::vector<double> hull_dist2;
+  hull_dist2.reserve(hull.size());
   for (const geom::Point& v : hull) {
-    hull_dist.push_back(geom::Distance(v, anchor.center()));
+    hull_dist2.push_back(geom::DistanceSquared(v, anchor.center()));
   }
 
   result.cr_objects.reserve(candidates.size());
-  for (const rtree::LeafEntry& e : candidates) {
-    bool keep = hull.empty();  // degenerate region: keep everything
-    for (size_t m = 0; m < hull.size(); ++m) {
-      if (geom::Distance(e.mbc.center, hull[m]) <= hull_dist[m]) {
-        keep = true;
-        break;
-      }
+  if (options_.kernel_mode == geom::KernelMode::kBatch && !hull.empty()) {
+    std::vector<double> xs, ys;
+    xs.reserve(candidates.size());
+    ys.reserve(candidates.size());
+    for (const rtree::LeafEntry& e : candidates) {
+      xs.push_back(e.mbc.center.x);
+      ys.push_back(e.mbc.center.y);
     }
-    if (keep) result.cr_objects.push_back(e.id);
+    std::vector<uint8_t> keep(candidates.size());
+    geom::batch::AnyHullCircleContains(xs.data(), ys.data(), xs.size(),
+                                       hull.data(), hull_dist2.data(),
+                                       hull.size(), keep.data());
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      if (keep[k]) result.cr_objects.push_back(candidates[k].id);
+    }
+  } else {
+    for (const rtree::LeafEntry& e : candidates) {
+      bool keep = hull.empty();  // degenerate region: keep everything
+      for (size_t m = 0; m < hull.size(); ++m) {
+        if (geom::DistanceSquared(e.mbc.center, hull[m]) <= hull_dist2[m]) {
+          keep = true;
+          break;
+        }
+      }
+      if (keep) result.cr_objects.push_back(e.id);
+    }
   }
   std::sort(result.cr_objects.begin(), result.cr_objects.end());
   return result;

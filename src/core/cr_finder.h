@@ -34,6 +34,10 @@ struct CrFinderOptions {
   /// 2-3 stay valid; see DESIGN.md. Disable to reproduce plain Sec. IV-B
   /// behaviour (ablation: bench_ablation_seeds).
   bool adaptive_seed_widening = true;
+  /// Candidate-kernel implementation for C-pruning and the widening
+  /// subtraction loop (geom/batch/kernels.h). Both modes produce identical
+  /// C_i sets; kScalar is the determinism oracle.
+  geom::KernelMode kernel_mode = geom::KernelMode::kBatch;
 };
 
 /// Output of Algorithm 2 for one object, plus pruning diagnostics used by

@@ -20,6 +20,7 @@ std::vector<UvPartition> RetrieveUvPartitions(const UVIndex& index,
     if (node.is_leaf) {
       UvPartition p;
       p.region = node.region;
+      p.leaf = idx;
       p.object_count = index.LeafObjectCount(idx);
       const double area = node.region.Area();
       p.density = area > 0 ? static_cast<double>(p.object_count) / area : 0.0;

@@ -21,6 +21,7 @@ struct UvPartition {
   geom::Box region;
   size_t object_count = 0;
   double density = 0.0;  ///< object_count / region area
+  uint32_t leaf = 0;     ///< Index of the leaf node (for cache warm-up).
 };
 
 /// Sec. V-C query 2: leaf regions intersecting `range`, with densities

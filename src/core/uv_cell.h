@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "geom/batch/kernels.h"
 #include "geom/box.h"
 #include "geom/circle.h"
 #include "geom/envelope.h"
@@ -32,6 +33,15 @@ class UVCell {
   bool SubtractOutsideRegion(const geom::Circle& other, int other_id) {
     return envelope_.Insert(geom::RadialConstraint::ForObjects(anchor_, other, other_id));
   }
+
+  /// Batch form of the subtraction loop (KernelMode::kBatch): subtracts
+  /// others[0..n) in order, precomputing a SoA prefilter over the whole
+  /// block and skipping constraints that provably cannot shrink the
+  /// envelope (batch::PrefilterSkips — RadialEnvelope::Insert would return
+  /// false and leave the envelope bitwise unchanged). The resulting cell is
+  /// bitwise-identical to calling SubtractOutsideRegion per element; only
+  /// the kEnvelopeInsertions ticker (skipped calls) differs.
+  void SubtractOutsideRegions(const geom::Circle* others, const int* ids, size_t n);
 
   int anchor_id() const { return anchor_id_; }
   const geom::Circle& anchor_region() const { return anchor_; }
@@ -66,14 +76,18 @@ class UVCell {
 
 /// Algorithm 1 in full: the exact UV-cell of objects[index] against every
 /// other object. O(n) envelope insertions — the "Basic" construction cost.
+/// The cell is bitwise-identical for both kernel modes (the scalar loop is
+/// the oracle; kBatch only skips provably no-op insertions).
 UVCell BuildExactUvCell(const std::vector<uncertain::UncertainObject>& objects,
-                        size_t index, const geom::Box& domain, Stats* stats = nullptr);
+                        size_t index, const geom::Box& domain, Stats* stats = nullptr,
+                        geom::KernelMode kernel_mode = geom::KernelMode::kScalar);
 
 /// The exact UV-cell built only from the given candidate ids (cr-objects):
 /// used by ICR to refine cr-objects into exact r-objects.
 UVCell BuildUvCellFromCandidates(const std::vector<uncertain::UncertainObject>& objects,
                                  size_t index, const std::vector<int>& candidate_ids,
-                                 const geom::Box& domain, Stats* stats = nullptr);
+                                 const geom::Box& domain, Stats* stats = nullptr,
+                                 geom::KernelMode kernel_mode = geom::KernelMode::kScalar);
 
 }  // namespace core
 }  // namespace uvd

@@ -22,6 +22,10 @@ Result<UVDiagram> UVDiagram::Build(std::vector<uncertain::UncertainObject> objec
   d.objects_ = std::move(objects);
   d.domain_ = domain;
   d.options_ = options;
+  // One knob drives every construction kernel: the sub-option structs the
+  // finder and index read are aligned here so callers only set kernel_mode.
+  d.options_.cr.kernel_mode = options.kernel_mode;
+  d.options_.index.kernel_mode = options.kernel_mode;
   if (stats != nullptr) {
     d.stats_ = stats;
   } else {
@@ -38,14 +42,15 @@ Result<UVDiagram> UVDiagram::Build(std::vector<uncertain::UncertainObject> objec
       rtree::RTree::BulkLoad(d.objects_, d.ptrs_, d.pm_.get(), options.rtree, d.stats_));
   d.rtree_ = std::make_unique<rtree::RTree>(std::move(tree));
 
-  d.index_ = std::make_unique<UVIndex>(domain, d.pm_.get(), options.index, d.stats_);
+  d.index_ = std::make_unique<UVIndex>(domain, d.pm_.get(), d.options_.index, d.stats_);
   BuildPipelineOptions pipeline;
   pipeline.method = options.method;
-  pipeline.cr = options.cr;
+  pipeline.cr = d.options_.cr;
   pipeline.build_threads = options.build_threads;
   pipeline.stage2 = options.stage2;
   pipeline.stage2_max_depth = options.stage2_max_depth;
   pipeline.stage2_target_subtrees = options.stage2_target_subtrees;
+  pipeline.kernel_mode = options.kernel_mode;
   UVD_RETURN_NOT_OK(RunBuildPipeline(d.objects_, d.ptrs_, *d.rtree_, domain, pipeline,
                                      d.index_.get(), &d.build_stats_, d.stats_));
   return d;

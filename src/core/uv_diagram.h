@@ -47,6 +47,10 @@ struct UVDiagramOptions {
   Stage2Mode stage2 = Stage2Mode::kAuto;
   int stage2_max_depth = 2;
   int stage2_target_subtrees = 0;
+  /// Construction kernel implementation for both stages (see
+  /// core/build_pipeline.h and geom/batch/kernels.h). Applied to cr,
+  /// index and the pipeline; the index is byte-identical either way.
+  geom::KernelMode kernel_mode = geom::KernelMode::kBatch;
 };
 
 /// \brief An indexed UV-diagram over a set of uncertain objects.

@@ -74,6 +74,31 @@ bool UVIndex::CheckOverlapWith(const Member& m, const geom::Box& region,
   // scan below would certainly answer "overlap". Identical decision, O(1)
   // amortized instead of O(|C_i|).
   if (m.cell != nullptr && m.cell->ContainsBox(region)) return true;
+  // Batch 4-point kernel: the per-lane comparisons are exactly the scalar
+  // scan's dist_min > dist_max tests, and "some outside region contains the
+  // box" does not depend on scan order, so the decision is bitwise
+  // identical; only the scan-length tickers and the pruner memo differ.
+  if (options_.kernel_mode == geom::KernelMode::kBatch && !m.cr_soa.empty()) {
+    const auto corners = region.Corners();
+    double cx[4], cy[4], cdmin[4];
+    for (int c = 0; c < 4; ++c) {
+      cx[c] = corners[static_cast<size_t>(c)].x;
+      cy[c] = corners[static_cast<size_t>(c)].y;
+      cdmin[c] = m.region.DistMin(corners[static_cast<size_t>(c)]);
+    }
+    size_t evaluated = 0;
+    const ptrdiff_t hit = geom::batch::FindContainingOutsideRegion(
+        m.cr_soa, cx, cy, cdmin, &evaluated);
+    if (stats != nullptr) {
+      stats->Add(Ticker::kFourPointTests, evaluated);
+      stats->Add(Ticker::kHyperbolaTests, 4 * evaluated);
+    }
+    if (hit >= 0) {
+      *last_pruner = static_cast<size_t>(hit);
+      return false;
+    }
+    return true;
+  }
   // Scan, trying the cr-object that pruned last time first: consecutive
   // checks cover adjacent regions, so it usually prunes again.
   if (*last_pruner < n) {
@@ -258,7 +283,10 @@ Status UVIndex::InsertObject(const geom::Circle& region, int id,
 UVIndex::Member UVIndex::MakeMember(const geom::Circle& region, int id,
                                     uncertain::ObjectPtr ptr,
                                     std::vector<geom::Circle> cr_regions) const {
-  Member member{region, id, ptr, std::move(cr_regions), nullptr, 0};
+  Member member{region, id, ptr, std::move(cr_regions), nullptr, 0, {}};
+  if (options_.kernel_mode == geom::KernelMode::kBatch) {
+    member.cr_soa.Assign(member.cr_regions);
+  }
   // The interior fast path (envelope containment) only pays off when the
   // cr-object scan it replaces is long; small sets are cheaper to scan
   // directly than to summarize. RadialEnvelope anchors must lie inside the

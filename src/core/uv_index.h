@@ -18,6 +18,7 @@
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "core/uv_edge.h"
+#include "geom/batch/kernels.h"
 #include "geom/box.h"
 #include "geom/circle.h"
 #include "geom/envelope.h"
@@ -40,6 +41,14 @@ struct UVIndexOptions {
   /// placement gate. Off by default: for a whole-domain index an external
   /// center is a caller bug worth rejecting.
   bool accept_border_objects = false;
+  /// CheckOverlap (Algorithm 5) implementation: kBatch evaluates the
+  /// 4-point test over SoA blocks of cr-objects (geom/batch/kernels.h);
+  /// kScalar is the original per-edge loop and the determinism oracle. The
+  /// tree, pages and serialized image are bitwise-identical either way;
+  /// only the kFourPointTests / kHyperbolaTests scan-length tickers differ
+  /// (block early exits round up, the pruner-hint scan order changes).
+  /// Construction-time only: not serialized, irrelevant after Finalize().
+  geom::KernelMode kernel_mode = geom::KernelMode::kBatch;
 };
 
 /// \brief Adaptive grid index over UV-cells.
@@ -258,6 +267,10 @@ class UVIndex {
     /// quad-tree descends spatially coherent regions, so the same
     /// outside region usually prunes again.
     mutable size_t last_pruner = 0;
+    /// SoA mirror of cr_regions for the batch 4-point kernel; filled by
+    /// MakeMember iff options_.kernel_mode == kBatch, dropped with the
+    /// member records at Finalize().
+    geom::batch::CircleSoA cr_soa;
   };
 
   enum class SplitDecision { kNormal, kOverflow, kSplit };

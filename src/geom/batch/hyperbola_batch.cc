@@ -1,0 +1,76 @@
+#include "geom/batch/hyperbola_batch.h"
+
+namespace uvd {
+namespace geom {
+namespace batch {
+
+void HyperbolaBatch::Clear() {
+  fcx_.clear();
+  fcy_.clear();
+  cos_t_.clear();
+  sin_t_.clear();
+  a2_.clear();
+  b2_.clear();
+}
+
+void HyperbolaBatch::Reserve(size_t n) {
+  fcx_.reserve(n);
+  fcy_.reserve(n);
+  cos_t_.reserve(n);
+  sin_t_.reserve(n);
+  a2_.reserve(n);
+  b2_.reserve(n);
+}
+
+size_t HyperbolaBatch::Add(const Hyperbola& h) {
+  fcx_.push_back(h.focal_center().x);
+  fcy_.push_back(h.focal_center().y);
+  cos_t_.push_back(h.cos_theta());
+  sin_t_.push_back(h.sin_theta());
+  a2_.push_back(h.a() * h.a());
+  b2_.push_back(h.b() * h.b());
+  return fcx_.size() - 1;
+}
+
+namespace {
+
+// One lane of Hyperbola::InOutsideRegion: focal-frame transform followed by
+// the implicit-value sign test, same operations in the same order.
+inline uint8_t InOutsideLane(double px, double py, double fcx, double fcy,
+                             double cos_t, double sin_t, double a2,
+                             double b2) {
+  const double dx = px - fcx;
+  const double dy = py - fcy;
+  const double fx = dx * cos_t + dy * sin_t;
+  const double fy = -dx * sin_t + dy * cos_t;
+  const double implicit = (fx * fx) / a2 - (fy * fy) / b2 - 1.0;
+  return static_cast<uint8_t>(fx > 0.0 && implicit > 0.0 ? 1 : 0);
+}
+
+}  // namespace
+
+void HyperbolaBatch::InOutsideRegionAll(const Point& p, uint8_t* mask) const {
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) {
+    mask[i] = InOutsideLane(p.x, p.y, fcx_[i], fcy_[i], cos_t_[i], sin_t_[i],
+                            a2_[i], b2_[i]);
+  }
+}
+
+void HyperbolaBatch::InOutsideRegionMany(size_t lane, const double* xs,
+                                         const double* ys, size_t n,
+                                         uint8_t* out_mask) const {
+  const double fcx = fcx_[lane];
+  const double fcy = fcy_[lane];
+  const double cos_t = cos_t_[lane];
+  const double sin_t = sin_t_[lane];
+  const double a2 = a2_[lane];
+  const double b2 = b2_[lane];
+  for (size_t k = 0; k < n; ++k) {
+    out_mask[k] = InOutsideLane(xs[k], ys[k], fcx, fcy, cos_t, sin_t, a2, b2);
+  }
+}
+
+}  // namespace batch
+}  // namespace geom
+}  // namespace uvd

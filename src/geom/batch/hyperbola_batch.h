@@ -1,0 +1,50 @@
+// Struct-of-arrays batch of UV-edge conics (Eq. 5) for block-evaluating
+// Hyperbola::InOutsideRegion over many points or many conics at once.
+// Per-lane arithmetic mirrors Hyperbola::ToFocalFrame / ImplicitValue
+// operation-for-operation (see kernels.h for the determinism contract),
+// using the cos/sin(theta) values the scalar class caches at construction.
+#ifndef UVD_GEOM_BATCH_HYPERBOLA_BATCH_H_
+#define UVD_GEOM_BATCH_HYPERBOLA_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geom/hyperbola.h"
+#include "geom/point.h"
+
+namespace uvd {
+namespace geom {
+namespace batch {
+
+/// SoA view of N hyperbolas: focal center, rotation, squared semi-axes.
+class HyperbolaBatch {
+ public:
+  void Clear();
+  void Reserve(size_t n);
+  /// Appends one conic; returns its lane index.
+  size_t Add(const Hyperbola& h);
+
+  size_t size() const { return fcx_.size(); }
+  bool empty() const { return fcx_.empty(); }
+
+  /// mask[i] = 1 iff conic i's outside region strictly contains p
+  /// (Hyperbola::InOutsideRegion, bitwise). mask must hold size() bytes.
+  void InOutsideRegionAll(const Point& p, uint8_t* mask) const;
+
+  /// out_mask[k] = 1 iff conic `lane`'s outside region strictly contains
+  /// (xs[k], ys[k]). out_mask must hold n bytes.
+  void InOutsideRegionMany(size_t lane, const double* xs, const double* ys,
+                           size_t n, uint8_t* out_mask) const;
+
+ private:
+  std::vector<double> fcx_, fcy_;      // focal centers
+  std::vector<double> cos_t_, sin_t_;  // cached rotation
+  std::vector<double> a2_, b2_;        // squared semi-axes
+};
+
+}  // namespace batch
+}  // namespace geom
+}  // namespace uvd
+
+#endif  // UVD_GEOM_BATCH_HYPERBOLA_BATCH_H_

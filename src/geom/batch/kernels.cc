@@ -1,0 +1,226 @@
+#include "geom/batch/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+// The explicit intrinsics path. This translation unit is compiled with
+// -mavx2 when the UVD_ENABLE_SIMD build option is on and the toolchain
+// supports it (see CMakeLists.txt); NEON is unconditionally available on
+// aarch64. Both paths use only individually-rounded sub/mul/add/sqrt/cmp
+// operations — no FMA — so lane results are bitwise identical to the
+// scalar fallback.
+#if defined(UVD_ENABLE_SIMD) && defined(__AVX2__)
+#include <immintrin.h>
+#define UVD_SIMD_AVX2 1
+#elif defined(UVD_ENABLE_SIMD) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#define UVD_SIMD_NEON 1
+#endif
+
+namespace uvd {
+namespace geom {
+
+const char* KernelModeName(KernelMode m) {
+  switch (m) {
+    case KernelMode::kScalar:
+      return "scalar";
+    case KernelMode::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+namespace batch {
+
+bool SimdEnabled() {
+#if defined(UVD_SIMD_AVX2) || defined(UVD_SIMD_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+const char* SimdIsa() {
+#if defined(UVD_SIMD_AVX2)
+  return "avx2";
+#elif defined(UVD_SIMD_NEON)
+  return "neon";
+#else
+  return "blocks";
+#endif
+}
+
+void CircleSoA::Clear() {
+  xs.clear();
+  ys.clear();
+  rs.clear();
+}
+
+void CircleSoA::Assign(const Circle* circles, size_t n) {
+  xs.resize(n);
+  ys.resize(n);
+  rs.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    xs[i] = circles[i].center.x;
+    ys[i] = circles[i].center.y;
+    rs[i] = circles[i].radius;
+  }
+}
+
+void AnyHullCircleContains(const double* xs, const double* ys, size_t n,
+                           const Point* hull, const double* hull_dist2,
+                           size_t hull_size, uint8_t* keep) {
+  std::fill(keep, keep + n, uint8_t{0});
+#if defined(UVD_SIMD_AVX2)
+  for (size_t m = 0; m < hull_size; ++m) {
+    const __m256d hx = _mm256_set1_pd(hull[m].x);
+    const __m256d hy = _mm256_set1_pd(hull[m].y);
+    const __m256d hd2 = _mm256_set1_pd(hull_dist2[m]);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(xs + i), hx);
+      const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(ys + i), hy);
+      const __m256d d2 =
+          _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+      const int mask = _mm256_movemask_pd(_mm256_cmp_pd(d2, hd2, _CMP_LE_OQ));
+      if (mask & 1) keep[i + 0] = 1;
+      if (mask & 2) keep[i + 1] = 1;
+      if (mask & 4) keep[i + 2] = 1;
+      if (mask & 8) keep[i + 3] = 1;
+    }
+    for (; i < n; ++i) {
+      const double dx = xs[i] - hull[m].x;
+      const double dy = ys[i] - hull[m].y;
+      if (dx * dx + dy * dy <= hull_dist2[m]) keep[i] = 1;
+    }
+  }
+#else
+  // Hull-outer / candidate-inner keeps the inner loop a pure independent-
+  // lane map that -O3 (or NEON below a wider sweep) vectorizes.
+  for (size_t m = 0; m < hull_size; ++m) {
+    const double hx = hull[m].x;
+    const double hy = hull[m].y;
+    const double hd2 = hull_dist2[m];
+    for (size_t i = 0; i < n; ++i) {
+      const double dx = xs[i] - hx;
+      const double dy = ys[i] - hy;
+      if (dx * dx + dy * dy <= hd2) keep[i] = 1;
+    }
+  }
+#endif
+}
+
+namespace {
+
+/// Scalar tail for FindContainingOutsideRegion: exactly the per-corner
+/// comparison of UVEdge::InOutsideRegion.
+inline bool OutsideRegionContainsBox(double cx, double cy, double r,
+                                     const double* corner_x,
+                                     const double* corner_y,
+                                     const double* corner_dmin) {
+  for (int c = 0; c < 4; ++c) {
+    const double dx = corner_x[c] - cx;
+    const double dy = corner_y[c] - cy;
+    const double dist_max = std::sqrt(dx * dx + dy * dy) + r;
+    if (!(corner_dmin[c] > dist_max)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ptrdiff_t FindContainingOutsideRegion(const CircleSoA& candidates,
+                                      const double* corner_x,
+                                      const double* corner_y,
+                                      const double* corner_dmin,
+                                      size_t* evaluated) {
+  const size_t n = candidates.size();
+  const double* xs = candidates.xs.data();
+  const double* ys = candidates.ys.data();
+  const double* rs = candidates.rs.data();
+  size_t seen = 0;
+  size_t i = 0;
+#if defined(UVD_SIMD_AVX2)
+  for (; i + 4 <= n; i += 4) {
+    seen += 4;
+    const __m256d vx = _mm256_loadu_pd(xs + i);
+    const __m256d vy = _mm256_loadu_pd(ys + i);
+    const __m256d vr = _mm256_loadu_pd(rs + i);
+    int alive = 0xf;
+    for (int c = 0; c < 4 && alive != 0; ++c) {
+      const __m256d dx = _mm256_sub_pd(_mm256_set1_pd(corner_x[c]), vx);
+      const __m256d dy = _mm256_sub_pd(_mm256_set1_pd(corner_y[c]), vy);
+      const __m256d d2 =
+          _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+      const __m256d dist_max = _mm256_add_pd(_mm256_sqrt_pd(d2), vr);
+      alive &= _mm256_movemask_pd(
+          _mm256_cmp_pd(_mm256_set1_pd(corner_dmin[c]), dist_max, _CMP_GT_OQ));
+    }
+    if (alive != 0) {
+      if (evaluated != nullptr) *evaluated = seen;
+      // Lowest surviving lane = first candidate in scan order.
+      for (int lane = 0; lane < 4; ++lane) {
+        if (alive & (1 << lane)) return static_cast<ptrdiff_t>(i) + lane;
+      }
+    }
+  }
+#else
+  for (; i + kLanes <= n; i += kLanes) {
+    seen += kLanes;
+    uint8_t alive[kLanes];
+    // Corner-outer over a fixed-width block: each corner pass is an
+    // independent-lane map (sub/mul/add/sqrt/cmp) that autovectorizes.
+    for (size_t l = 0; l < kLanes; ++l) alive[l] = 1;
+    for (int c = 0; c < 4; ++c) {
+      const double px = corner_x[c];
+      const double py = corner_y[c];
+      const double dmin = corner_dmin[c];
+      for (size_t l = 0; l < kLanes; ++l) {
+        const double dx = px - xs[i + l];
+        const double dy = py - ys[i + l];
+        const double dist_max = std::sqrt(dx * dx + dy * dy) + rs[i + l];
+        alive[l] = static_cast<uint8_t>(alive[l] & (dmin > dist_max ? 1 : 0));
+      }
+    }
+    for (size_t l = 0; l < kLanes; ++l) {
+      if (alive[l]) {
+        if (evaluated != nullptr) *evaluated = seen;
+        return static_cast<ptrdiff_t>(i + l);
+      }
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    ++seen;
+    if (OutsideRegionContainsBox(xs[i], ys[i], rs[i], corner_x, corner_y,
+                                 corner_dmin)) {
+      if (evaluated != nullptr) *evaluated = seen;
+      return static_cast<ptrdiff_t>(i);
+    }
+  }
+  if (evaluated != nullptr) *evaluated = seen;
+  return -1;
+}
+
+void BuildConstraintPrefilter(const Circle& anchor, const Circle* others,
+                              size_t n, ConstraintPrefilter* out) {
+  out->min_rho.resize(n);
+  out->vacuous.resize(n);
+  const double ax = anchor.center.x;
+  const double ay = anchor.center.y;
+  const double ar = anchor.radius;
+  double* min_rho = out->min_rho.data();
+  uint8_t* vacuous = out->vacuous.data();
+  for (size_t j = 0; j < n; ++j) {
+    const double wx = others[j].center.x - ax;
+    const double wy = others[j].center.y - ay;
+    const double s = ar + others[j].radius;
+    const double n2 = wx * wx + wy * wy;
+    vacuous[j] = n2 <= s * s ? 1 : 0;
+    min_rho[j] = 0.5 * (std::sqrt(n2) + s);
+  }
+}
+
+}  // namespace batch
+}  // namespace geom
+}  // namespace uvd

@@ -23,14 +23,16 @@ Result<Hyperbola> Hyperbola::FromObjects(const Circle& oi, const Circle& oj) {
   h.focal_center_ = {(oi.center.x + oj.center.x) / 2.0,
                      (oi.center.y + oj.center.y) / 2.0};
   h.theta_ = std::atan2(oj.center.y - oi.center.y, oj.center.x - oi.center.x);
+  h.cos_theta_ = std::cos(h.theta_);
+  h.sin_theta_ = std::sin(h.theta_);
   h.focus_i_ = oi.center;
   h.focus_j_ = oj.center;
   return h;
 }
 
 Point Hyperbola::ToFocalFrame(const Point& p) const {
-  const double cos_t = std::cos(theta_);
-  const double sin_t = std::sin(theta_);
+  const double cos_t = cos_theta_;
+  const double sin_t = sin_theta_;
   const double dx = p.x - focal_center_.x;
   const double dy = p.y - focal_center_.y;
   // Matches Eq. 5: x_theta along the focal axis, y_theta perpendicular.
@@ -52,8 +54,8 @@ bool Hyperbola::InOutsideRegion(const Point& p) const {
 Point Hyperbola::PointAt(double t) const {
   const double x_theta = a_ * std::cosh(t);
   const double y_theta = b_ * std::sinh(t);
-  const double cos_t = std::cos(theta_);
-  const double sin_t = std::sin(theta_);
+  const double cos_t = cos_theta_;
+  const double sin_t = sin_theta_;
   return {focal_center_.x + x_theta * cos_t - y_theta * sin_t,
           focal_center_.y + x_theta * sin_t + y_theta * cos_t};
 }

@@ -38,6 +38,9 @@ class Hyperbola {
   Point focal_center() const { return focal_center_; }
   /// Rotation angle of the focal axis (anti-clockwise, radians).
   double theta() const { return theta_; }
+  /// Cached cos(theta()) / sin(theta()), fixed at construction.
+  double cos_theta() const { return cos_theta_; }
+  double sin_theta() const { return sin_theta_; }
   /// Focus belonging to O_i (the pruned object).
   Point focus_i() const { return focus_i_; }
   /// Focus belonging to O_j (the dominating object).
@@ -64,6 +67,7 @@ class Hyperbola {
   Hyperbola() = default;
 
   double a_ = 0, b_ = 0, c_ = 0, theta_ = 0;
+  double cos_theta_ = 1, sin_theta_ = 0;
   Point focal_center_;
   Point focus_i_, focus_j_;
 };

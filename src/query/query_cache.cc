@@ -85,6 +85,30 @@ Result<std::vector<rtree::LeafEntry>> QueryCache::GetOrLoad(uint32_t leaf,
   return tuples;
 }
 
+Status QueryCache::WarmInsert(uint32_t leaf, const Loader& loader, Stats* stats) {
+  Shard& shard = ShardFor(leaf);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.find(leaf) != shard.map.end()) return Status::OK();
+  }
+  auto loaded = loader();
+  if (!loaded.ok()) return loaded.status();
+  std::vector<rtree::LeafEntry> tuples = std::move(loaded).value();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(leaf);
+    if (it != shard.map.end()) return Status::OK();  // lost the race: keep theirs
+    if (stats != nullptr) stats->Add(Ticker::kQueryCacheWarmInserts);
+    shard.probationary.push_front(Entry{leaf, std::move(tuples)});
+    shard.map[leaf] = Slot{shard.probationary.begin(), false};
+    if (shard.map.size() > shard_capacity_) {
+      shard.map.erase(shard.probationary.back().leaf);
+      shard.probationary.pop_back();
+    }
+  }
+  return Status::OK();
+}
+
 void QueryCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

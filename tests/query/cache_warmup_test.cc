@@ -1,0 +1,126 @@
+// Cache warm-up from UV-partition results: with
+// warm_cache_from_partitions set, a kUvPartitions query pre-populates the
+// QueryCache probationary segment with every leaf it enumerated, so the
+// point probes that follow into the same region hit without leaf I/O.
+// Answers must be bitwise-identical with warming on or off.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/generators.h"
+#include "query/query_engine.h"
+#include "query/result_digest.h"
+
+namespace uvd {
+namespace query {
+namespace {
+
+core::UVDiagram BuildDiagram(size_t n, uint64_t seed) {
+  datagen::DatasetOptions opts;
+  opts.count = n;
+  opts.seed = seed;
+  auto objects = datagen::GenerateUniform(opts);
+  return core::UVDiagram::Build(std::move(objects), datagen::DomainFor(opts))
+      .ValueOrDie();
+}
+
+geom::Box CenterRange(const core::UVDiagram& d, double fraction) {
+  const geom::Box& domain = d.domain();
+  const geom::Point c = (domain.lo + domain.hi) * 0.5;
+  const geom::Vec2 half = (domain.hi - domain.lo) * (fraction * 0.5);
+  return geom::Box(c - half, c + half);
+}
+
+TEST(CacheWarmupTest, PartitionsQuerySeedsProbationarySegment) {
+  const auto diagram = BuildDiagram(400, 7);
+  QueryEngineOptions options;
+  options.threads = 1;
+  options.warm_cache_from_partitions = true;
+  QueryEngine engine(diagram, options);
+  ASSERT_NE(engine.cache(), nullptr);
+  EXPECT_EQ(engine.cache()->size(), 0u);
+
+  const auto results =
+      engine.ExecuteBatch({Query::UvPartitions(CenterRange(diagram, 0.5))});
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].status.ok());
+  ASSERT_FALSE(results[0].partitions.empty());
+
+  // Every enumerated leaf is cached, all of it probationary — warming must
+  // never promote (the leaf has not been re-referenced yet).
+  EXPECT_EQ(engine.cache()->size(), results[0].partitions.size());
+  EXPECT_EQ(engine.cache()->protected_size(), 0u);
+  const auto shards = engine.worker_stats();
+  uint64_t warm = 0;
+  for (const Stats& s : shards) warm += s.Get(Ticker::kQueryCacheWarmInserts);
+  EXPECT_EQ(warm, results[0].partitions.size());
+}
+
+TEST(CacheWarmupTest, WarmedLeavesServeFollowupProbesWithoutMisses) {
+  const auto diagram = BuildDiagram(400, 7);
+  const geom::Box range = CenterRange(diagram, 0.5);
+
+  QueryEngineOptions options;
+  options.threads = 1;
+  options.warm_cache_from_partitions = true;
+  QueryEngine engine(diagram, options);
+  ASSERT_TRUE(engine.ExecuteBatch({Query::UvPartitions(range)})[0].status.ok());
+
+  // Probe points inside the warmed range: every leaf lookup must hit.
+  Rng rng(11);
+  QueryBatch probes;
+  for (int i = 0; i < 30; ++i) {
+    const geom::Point p{rng.Uniform(range.lo.x, range.hi.x),
+                        rng.Uniform(range.lo.y, range.hi.y)};
+    probes.push_back(Query::Pnn(p));
+  }
+  const auto results = engine.ExecuteBatch(probes);
+  for (const QueryResult& r : results) EXPECT_TRUE(r.status.ok());
+  uint64_t hits = 0, misses = 0;
+  for (const Stats& s : engine.worker_stats()) {
+    hits += s.Get(Ticker::kQueryCacheHits);
+    misses += s.Get(Ticker::kQueryCacheMisses);
+  }
+  EXPECT_EQ(hits, probes.size());
+  EXPECT_EQ(misses, 0u);
+
+  // Identical answers from a cold engine without warming.
+  QueryEngineOptions cold_options;
+  cold_options.threads = 1;
+  QueryEngine cold(diagram, cold_options);
+  EXPECT_EQ(DigestPointAnswers(results), DigestPointAnswers(cold.ExecuteBatch(probes)));
+}
+
+TEST(CacheWarmupTest, WarmingIsOffByDefaultAndNeverRefreshesExistingEntries) {
+  const auto diagram = BuildDiagram(400, 7);
+  const geom::Box range = CenterRange(diagram, 0.5);
+
+  QueryEngineOptions options;
+  options.threads = 1;
+  QueryEngine engine(diagram, options);
+  ASSERT_TRUE(engine.ExecuteBatch({Query::UvPartitions(range)})[0].status.ok());
+  // Default: partition queries stay I/O-free and cache nothing.
+  EXPECT_EQ(engine.cache()->size(), 0u);
+
+  // With warming on, re-running the same partitions query is a no-op for
+  // already-cached leaves: no second round of warm inserts.
+  QueryEngineOptions warm_options;
+  warm_options.threads = 1;
+  warm_options.warm_cache_from_partitions = true;
+  QueryEngine warm(diagram, warm_options);
+  ASSERT_TRUE(warm.ExecuteBatch({Query::UvPartitions(range)})[0].status.ok());
+  const size_t size_after_first = warm.cache()->size();
+  ASSERT_TRUE(warm.ExecuteBatch({Query::UvPartitions(range)})[0].status.ok());
+  EXPECT_EQ(warm.cache()->size(), size_after_first);
+  uint64_t second_warm = 0;
+  for (const Stats& s : warm.worker_stats()) {
+    second_warm += s.Get(Ticker::kQueryCacheWarmInserts);
+  }
+  EXPECT_EQ(second_warm, 0u);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace uvd
