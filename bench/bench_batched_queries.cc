@@ -9,11 +9,19 @@
 // across every configuration (thread count and cache setting).
 //
 // Flags (see bench_common.h): --query_threads=N --batch_size=N --smoke
-// plus --sim_io_us=N (default 500) for the simulated per-read latency.
+// plus --sim_io_us=N (default 500) for the simulated per-read latency,
+// --json <path> to persist the sweep with an embedded MetricsRegistry
+// snapshot, and --overhead-check to assert the observability layer costs
+// < 5% throughput (obs fully on vs fully off, answers digest-checked
+// identical) instead of running the sweep.
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/timer.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "query/query_engine.h"
 #include "query/result_digest.h"
 
@@ -53,6 +61,60 @@ RunResult RunBatch(const core::UVDiagram& diagram, const query::QueryBatch& batc
   return r;
 }
 
+/// Observability overhead smoke: the same engine/batch with obs fully off
+/// (metrics + tracing disabled) vs fully on, interleaved min-of-N reps so
+/// thermal/scheduler noise hits both legs alike. Pure CPU (no simulated
+/// I/O — sleeps would mask any overhead). Asserts the on/off ratio stays
+/// under the contract's 5% and that answers are digest-identical.
+int RunOverheadCheck(const core::UVDiagram& diagram, const query::QueryBatch& batch,
+                     int threads) {
+  storage::PageManager::SetSimulatedReadLatencyUs(0);
+  query::QueryEngineOptions opts;
+  opts.threads = threads;
+  query::QueryEngine engine(diagram, opts);
+
+  const auto time_batch = [&] {
+    Timer timer;
+    const auto results = engine.ExecuteBatch(batch);
+    const double seconds = timer.ElapsedSeconds();
+    return std::make_pair(seconds, query::DigestPointAnswers(results));
+  };
+
+  // Warm-up: populate the leaf cache and fault in every page so both legs
+  // measure steady-state serving.
+  (void)time_batch();
+
+  constexpr int kReps = 7;
+  double off_min = 1e300, on_min = 1e300;
+  uint64_t off_hash = 0, on_hash = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    obs::SetMetricsEnabled(false);
+    obs::TraceRecorder::SetEnabled(false);
+    const auto off = time_batch();
+    off_min = std::min(off_min, off.first);
+    off_hash = off.second;
+
+    obs::SetMetricsEnabled(true);
+    obs::TraceRecorder::SetEnabled(true);
+    const auto on = time_batch();
+    on_min = std::min(on_min, on.first);
+    on_hash = on.second;
+  }
+  obs::SetMetricsEnabled(true);
+  obs::TraceRecorder::SetEnabled(false);
+  obs::TraceRecorder::Global().Clear();
+
+  const double ratio = off_min > 0 ? on_min / off_min : 1.0;
+  std::printf("overhead check: obs-off min %.3f ms, obs-on min %.3f ms, "
+              "ratio %.4f (budget 1.05)\n",
+              off_min * 1e3, on_min * 1e3, ratio);
+  std::printf("answers identical with obs on/off: %s\n",
+              off_hash == on_hash ? "yes" : "NO — DETERMINISM VIOLATION");
+  UVD_CHECK(off_hash == on_hash) << "obs toggling changed answers";
+  UVD_CHECK(ratio <= 1.05) << "observability overhead above 5%: ratio = " << ratio;
+  return 0;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace uvd
@@ -89,6 +151,18 @@ int main(int argc, char** argv) {
     return b;
   }();
 
+  const bool overhead_check = [&] {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--overhead-check") return true;
+    }
+    return false;
+  }();
+  if (overhead_check) {
+    const int threads =
+        flags.query_threads > 0 ? flags.query_threads : ThreadPool::DefaultThreads();
+    return RunOverheadCheck(diagram, batch, threads);
+  }
+
   std::printf("|O| = %zu, batch = %d trajectory PNN queries, sim read latency "
               "= %d us\n\n",
               data.count, batch_size, flags.sim_io_us);
@@ -98,6 +172,9 @@ int main(int argc, char** argv) {
   std::vector<int> thread_sweep =
       flags.smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
   if (flags.query_threads > 0) thread_sweep = {1, flags.query_threads};
+
+  const std::string json_path = ParseJsonPath(argc, argv);
+  JsonReport report("bench_batched_queries");
 
   std::printf("%8s %7s %12s %14s %10s\n", "threads", "cache", "queries/s",
               "leaf IO/query", "hit rate");
@@ -111,6 +188,14 @@ int main(int argc, char** argv) {
       std::printf("%8d %7s %12.1f %14.2f %9.1f%%\n", threads,
                   cache ? "on" : "off", r.qps, r.leaf_io_per_query,
                   100.0 * r.hit_rate);
+      if (!json_path.empty()) {
+        report.BeginRecord();
+        report.Add("threads", static_cast<int64_t>(threads));
+        report.Add("cache", std::string(cache ? "on" : "off"));
+        report.Add("qps", r.qps);
+        report.Add("leaf_io_per_query", r.leaf_io_per_query);
+        report.Add("hit_rate", r.hit_rate);
+      }
       if (first) {
         reference_hash = r.hash;
         first = false;
@@ -122,6 +207,25 @@ int main(int argc, char** argv) {
         if (threads == thread_sweep.back()) qps_max_t = r.qps;
       }
     }
+  }
+
+  if (!json_path.empty()) {
+    // One more instrumented run with everything registered, so the report
+    // embeds the unified MetricsRegistry snapshot (per-kind latency
+    // histograms, cache occupancy, page-read latency, tickers).
+    query::QueryEngineOptions opts;
+    opts.threads = thread_sweep.back();
+    query::QueryEngine engine(diagram, opts);
+    diagram.stats().Reset();
+    (void)engine.ExecuteBatch(batch);
+    obs::MetricsRegistry registry;
+    engine.RegisterMetrics(&registry, "engine");
+    registry.RegisterHistogram("storage.page.read.latency.us",
+                               &diagram.page_manager().read_latency_histogram());
+    report.BeginRecord();
+    report.Add("record", std::string("metrics_snapshot"));
+    report.AddRaw("metrics", registry.TakeSnapshot().ToJson());
+    report.WriteTo(json_path);
   }
   storage::PageManager::SetSimulatedReadLatencyUs(0);
 

@@ -112,6 +112,10 @@ void JsonReport::Add(const std::string& key, const std::string& value) {
   records_.back().emplace_back(key, "\"" + JsonEscape(value) + "\"");
 }
 
+void JsonReport::AddRaw(const std::string& key, const std::string& json_value) {
+  records_.back().emplace_back(key, json_value);
+}
+
 bool JsonReport::WriteTo(const std::string& path) const {
   if (path.empty()) return true;
   std::FILE* f = std::fopen(path.c_str(), "w");

@@ -79,6 +79,9 @@ class JsonReport {
   void Add(const std::string& key, double value);
   void Add(const std::string& key, int64_t value);
   void Add(const std::string& key, const std::string& value);
+  /// Embeds an already-rendered JSON value verbatim (the one sanctioned
+  /// nesting: a MetricsRegistry snapshot riding along with a record).
+  void AddRaw(const std::string& key, const std::string& json_value);
 
   /// Writes the document to `path`; a no-op when `path` is empty.
   /// Returns false (after printing a warning) if the file can't be written.

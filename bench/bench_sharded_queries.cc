@@ -12,15 +12,38 @@
 // border-correctness guarantee under load, cut-line probes included.
 //
 // Flags (see bench_common.h): --query_threads=N (per-shard engine workers,
-// default 1) --batch_size=N --sim_io_us=N --smoke
+// default 1) --batch_size=N --sim_io_us=N --smoke, plus --json <path> to
+// persist per-query latency percentiles through BOTH serving paths — the
+// unsharded QueryEngine and the ShardRouter per shard count (exact
+// cross-shard MergedKindLatency) — with the final configuration's full
+// MetricsRegistry snapshot embedded. BENCH_query_latency.json at the repo
+// root is this bench's committed output.
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/timer.h"
+#include "obs/metrics_registry.h"
 #include "query/query_engine.h"
 #include "query/result_digest.h"
 #include "shard/shard_router.h"
 #include "shard/sharded_uv_diagram.h"
+
+namespace {
+
+/// One percentile record from a latency histogram snapshot.
+void AddLatencyFields(uvd::bench::JsonReport* report,
+                      const uvd::obs::LatencyHistogram::Snapshot& snap) {
+  report->Add("count", static_cast<int64_t>(snap.count));
+  report->Add("mean_us", snap.mean);
+  report->Add("p50_us", static_cast<int64_t>(snap.p50));
+  report->Add("p90_us", static_cast<int64_t>(snap.p90));
+  report->Add("p99_us", static_cast<int64_t>(snap.p99));
+  report->Add("p999_us", static_cast<int64_t>(snap.p999));
+  report->Add("max_us", static_cast<int64_t>(snap.max));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace uvd;
@@ -74,6 +97,24 @@ int main(int argc, char** argv) {
   const uint64_t reference_hash =
       query::DigestPointAnswers(baseline_engine.ExecuteBatch(batch));
 
+  const std::string json_path = ParseJsonPath(argc, argv);
+  JsonReport report("bench_sharded_queries");
+  if (!json_path.empty()) {
+    // Unsharded QueryEngine latency record, measured under the same
+    // simulated disk latency the sharded sweep runs with.
+    baseline_engine.ResetMetrics();
+    storage::PageManager::SetSimulatedReadLatencyUs(
+        static_cast<uint32_t>(flags.sim_io_us));
+    (void)baseline_engine.ExecuteBatch(batch);
+    storage::PageManager::SetSimulatedReadLatencyUs(0);
+    report.BeginRecord();
+    report.Add("path", std::string("query_engine"));
+    report.Add("kind", std::string("pnn"));
+    AddLatencyFields(&report,
+                     baseline_engine.kind_latency(query::QueryKind::kPnn)
+                         .TakeSnapshot());
+  }
+
   std::printf("|O| = %zu, batch = %zu PNN queries from %d interleaved "
               "trajectories, sim read latency = %d us, per-shard engine "
               "threads = %d\n\n",
@@ -121,7 +162,30 @@ int main(int argc, char** argv) {
                 static_cast<double>(stats.Get(Ticker::kUvIndexLeafReads)) / n,
                 static_cast<double>(replicas) / static_cast<double>(data.count),
                 identical ? "yes" : "NO");
+
+    if (!json_path.empty()) {
+      // Deployment-wide per-query PNN latency: exact merge of every shard
+      // engine's histogram.
+      report.BeginRecord();
+      report.Add("path", std::string("shard_router"));
+      report.Add("shards", static_cast<int64_t>(k));
+      report.Add("qps", qps);
+      AddLatencyFields(
+          &report,
+          router.MergedKindLatency(query::QueryKind::kPnn).TakeSnapshot());
+      if (k == shard_sweep.back()) {
+        // The largest deployment also embeds the full unified snapshot —
+        // per-shard engines, routed latency, fan-out, imbalance, I/O.
+        obs::MetricsRegistry registry;
+        router.RegisterMetrics(&registry, "serving");
+        report.BeginRecord();
+        report.Add("record", std::string("metrics_snapshot"));
+        report.Add("shards", static_cast<int64_t>(k));
+        report.AddRaw("metrics", registry.TakeSnapshot().ToJson());
+      }
+    }
   }
+  if (!json_path.empty()) report.WriteTo(json_path);
 
   std::printf("\nspeedup (%d shards vs %d) = %.2fx\n", shard_sweep.back(),
               shard_sweep.front(), qps_1 > 0 ? qps_max / qps_1 : 0.0);

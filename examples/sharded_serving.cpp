@@ -2,7 +2,15 @@
 // a query batch through the ShardRouter, and show border correctness at a
 // cut line (src/shard/).
 //
-//   $ ./sharded_serving [--rebalance]
+//   $ ./sharded_serving [--rebalance] [--metrics] [--trace-out <file>]
+//                       [--prom-out <file>]
+//
+// --metrics prints the deployment's unified MetricsRegistry snapshot
+// (JSON) after serving; --trace-out records the batch with phase tracing
+// enabled and writes a Chrome trace-event file (open in Perfetto or
+// chrome://tracing); --prom-out writes the same snapshot in Prometheus
+// text exposition format. All three are passive: answers are identical
+// with or without them.
 //
 // Act one shows the three sharding ideas: per-shard builds from one global
 // pruning pass, border-object replication (an object whose UV-cell
@@ -17,9 +25,12 @@
 // either way; without the flag the proposal is only printed).
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "datagen/generators.h"
 #include "datagen/workload.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "query/query_engine.h"
 #include "shard/rebalance_advisor.h"
 #include "shard/shard_router.h"
@@ -28,9 +39,19 @@
 int main(int argc, char** argv) {
   using namespace uvd;
   bool apply_rebalance = false;
+  bool print_metrics = false;
+  std::string trace_out, prom_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rebalance") == 0) apply_rebalance = true;
+    if (std::strcmp(argv[i], "--metrics") == 0) print_metrics = true;
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--prom-out") == 0 && i + 1 < argc) {
+      prom_out = argv[++i];
+    }
   }
+  if (!trace_out.empty()) obs::TraceRecorder::SetEnabled(true);
 
   // The same synthetic city, served from a 2 x 2 shard grid.
   datagen::DatasetOptions data;
@@ -85,6 +106,39 @@ int main(int argc, char** argv) {
   std::printf("answers match the unsharded build bitwise: %s "
               "(%zu answer objects)\n\n",
               identical ? "yes" : "NO", got.size());
+
+  // Observability exports: one registry covers the whole deployment.
+  if (print_metrics || !prom_out.empty()) {
+    obs::MetricsRegistry registry;
+    router.RegisterMetrics(&registry, "serving");
+    const obs::MetricsRegistry::Snapshot snapshot = registry.TakeSnapshot();
+    if (print_metrics) {
+      std::printf("unified metrics snapshot (JSON):\n%s\n",
+                  snapshot.ToJson().c_str());
+    }
+    if (!prom_out.empty()) {
+      std::FILE* f = std::fopen(prom_out.c_str(), "w");
+      if (f != nullptr) {
+        const std::string text = snapshot.ToPrometheus();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::printf("Prometheus metrics written to %s\n", prom_out.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", prom_out.c_str());
+      }
+    }
+  }
+  if (!trace_out.empty()) {
+    obs::TraceRecorder::SetEnabled(false);
+    const Status st = obs::TraceRecorder::Global().WriteChromeTrace(trace_out);
+    if (st.ok()) {
+      std::printf("Chrome trace (%zu events) written to %s — open in "
+                  "Perfetto or chrome://tracing\n",
+                  obs::TraceRecorder::Global().event_count(), trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "trace write failed: %s\n", st.ToString().c_str());
+    }
+  }
 
   // Act two: the data-adaptive loop. A 10:1 clustered city under the same
   // grid cuts has a hot shard; the advisor measures it, proposes

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition format checker for the CI obs step.
+
+Validates the output of ``MetricsRegistry::Snapshot::ToPrometheus()``
+(stdlib only — CI never installs a Prometheus client):
+
+  * every non-comment line is ``name value`` or ``name{label="v",...} value``
+    with a metric name matching ``[a-zA-Z_:][a-zA-Z0-9_:]*`` and a value
+    that parses as a finite float (or +Inf/-Inf/NaN, which the format
+    allows);
+  * every ``# TYPE`` line names a known type (counter/gauge/summary/
+    histogram/untyped) and appears before any sample of that metric, at
+    most once per metric;
+  * every sample belongs to a declared metric family — for summaries the
+    base name, ``_sum`` and ``_count`` all attach to the base ``# TYPE``;
+  * within a family, samples are contiguous (Prometheus rejects
+    interleaved families);
+  * summary quantile labels parse as floats in [0, 1].
+
+Usage: check_prometheus.py FILE.prom [FILE.prom ...]
+Exits non-zero listing every violation.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: \d+)?$"  # optional timestamp
+)
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+KNOWN_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+SPECIAL_VALUES = {"+Inf", "-Inf", "NaN"}
+
+
+def family_of(name: str, declared: dict) -> str | None:
+    """Maps a sample name to its declared family (handles summary/histogram
+    suffixes like _sum, _count, _bucket)."""
+    if name in declared:
+        return name
+    for suffix in ("_sum", "_count", "_bucket"):
+        base = name.removesuffix(suffix)
+        if base != name and declared.get(base) in ("summary", "histogram"):
+            return base
+    return None
+
+
+def check_file(path: str) -> list:
+    errors = []
+    declared = {}  # family name -> type
+    sampled = set()  # families that have emitted at least one sample
+    current_family = None
+    closed_families = set()
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return [f"{path}: cannot read: {e}"]
+
+    for lineno, line in enumerate(lines, 1):
+        where = f"{path}:{lineno}"
+        if not line:
+            errors.append(f"{where}: blank line (exposition forbids them)")
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    errors.append(f"{where}: malformed TYPE line: {line!r}")
+                    continue
+                _, _, name, mtype = parts
+                if not NAME_RE.fullmatch(name):
+                    errors.append(f"{where}: bad metric name {name!r}")
+                if mtype not in KNOWN_TYPES:
+                    errors.append(f"{where}: unknown metric type {mtype!r}")
+                if name in declared:
+                    errors.append(f"{where}: duplicate TYPE for {name!r}")
+                if name in sampled:
+                    errors.append(
+                        f"{where}: TYPE for {name!r} after its samples"
+                    )
+                declared[name] = mtype
+            # Other comments (# HELP, free-form) are always legal.
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"{where}: unparseable sample line: {line!r}")
+            continue
+        name, labels, value = m.group("name"), m.group("labels"), m.group("value")
+
+        if value not in SPECIAL_VALUES:
+            try:
+                float(value)
+            except ValueError:
+                errors.append(f"{where}: non-numeric value {value!r}")
+
+        family = family_of(name, declared)
+        if family is None:
+            errors.append(f"{where}: sample {name!r} has no # TYPE declaration")
+            family = name  # still track contiguity under its own name
+        sampled.add(family)
+
+        if family != current_family:
+            if family in closed_families:
+                errors.append(
+                    f"{where}: family {family!r} interleaved with others"
+                )
+            if current_family is not None:
+                closed_families.add(current_family)
+            current_family = family
+
+        if labels is not None:
+            for pair in labels.split(","):
+                if not LABEL_RE.fullmatch(pair):
+                    errors.append(f"{where}: malformed label {pair!r}")
+                elif pair.startswith('quantile="'):
+                    q = pair[len('quantile="'):-1]
+                    try:
+                        if not 0.0 <= float(q) <= 1.0:
+                            errors.append(
+                                f"{where}: quantile {q!r} outside [0, 1]"
+                            )
+                    except ValueError:
+                        errors.append(f"{where}: non-numeric quantile {q!r}")
+
+    for name in declared:
+        if name not in sampled:
+            errors.append(f"{path}: # TYPE {name} declared but never sampled")
+    return errors
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    all_errors = []
+    for path in argv[1:]:
+        all_errors.extend(check_file(path))
+    for err in all_errors:
+        print(err, file=sys.stderr)
+    if not all_errors:
+        print(f"OK: {len(argv) - 1} file(s) pass the exposition-format check")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -48,13 +48,28 @@ const char* TickerName(Ticker t) {
   return "unknown";
 }
 
-std::string Stats::ToString() const {
+std::string Stats::ToString(bool include_zeros) const {
   std::ostringstream out;
   for (uint32_t i = 0; i < static_cast<uint32_t>(Ticker::kNumTickers); ++i) {
     const uint64_t value = Get(static_cast<Ticker>(i));
-    if (value == 0) continue;
+    if (value == 0 && !include_zeros) continue;
     out << TickerName(static_cast<Ticker>(i)) << " = " << value << "\n";
   }
+  return out.str();
+}
+
+std::string Stats::ToJson(bool include_zeros) const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (uint32_t i = 0; i < static_cast<uint32_t>(Ticker::kNumTickers); ++i) {
+    const uint64_t value = Get(static_cast<Ticker>(i));
+    if (value == 0 && !include_zeros) continue;
+    out << (first ? "" : ", ") << "\"" << TickerName(static_cast<Ticker>(i))
+        << "\": " << value;
+    first = false;
+  }
+  out << "}";
   return out.str();
 }
 

@@ -73,8 +73,15 @@ class Stats {
     }
   }
 
-  /// Multi-line human-readable dump of all non-zero counters.
-  std::string ToString() const;
+  /// Multi-line human-readable dump in enum (declaration) order. By
+  /// default only non-zero counters print; `include_zeros` emits every
+  /// ticker so two dumps always share a key set and diff line-by-line.
+  std::string ToString(bool include_zeros = false) const;
+
+  /// One JSON object {"ticker.name": value, ...} in enum order. Zero
+  /// counters are included by default for clean cross-run diffs; pass
+  /// false for a sparse document.
+  std::string ToJson(bool include_zeros = true) const;
 
  private:
   void CopyFrom(const Stats& other) {

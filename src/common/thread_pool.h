@@ -74,6 +74,13 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
+  /// Tasks submitted but not yet picked up by a worker — the obs layer's
+  /// queue-depth gauge. A momentary value, not a synchronization point.
+  size_t QueueDepth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
  private:
   void WorkerLoop() {
     for (;;) {
@@ -93,7 +100,7 @@ class ThreadPool {
     }
   }
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::queue<std::function<void()>> queue_;

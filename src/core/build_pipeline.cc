@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/uv_cell.h"
+#include "obs/trace_recorder.h"
 
 namespace uvd {
 namespace core {
@@ -147,6 +148,7 @@ Status RunSerial(const std::vector<uncertain::UncertainObject>& objects,
                  const rtree::RTree& tree, const geom::Box& domain,
                  const BuildPipelineOptions& options, UVIndex* index,
                  BuildStats* local, Stats* stats) {
+  UVD_TRACE_SPAN("build", "serial_build");
   const CrObjectFinder finder(objects, tree, domain, FinderOptions(options), stats);
   const size_t n = objects.size();
   const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
@@ -185,6 +187,7 @@ void RunStage1Materialized(const std::vector<uncertain::UncertainObject>& object
   auto done = std::make_shared<WaitGroup>(workers);
   for (int w = 0; w < workers; ++w) {
     pool->Submit([&, w, done] {
+      UVD_TRACE_SPAN("build", "stage1_worker");
       Stats* shard = stats != nullptr ? &shards[static_cast<size_t>(w)] : nullptr;
       const CrObjectFinder finder(objects, tree, domain, FinderOptions(options), shard);
       for (;;) {
@@ -216,6 +219,7 @@ Status RunPartitioned(const std::vector<uncertain::UncertainObject>& objects,
 
   std::vector<StageResult> results;
   {
+    UVD_TRACE_SPAN("build", "stage1");
     Timer stage1_timer;
     RunStage1Materialized(objects, tree, domain, options, workers, &pool, &results,
                           stats);
@@ -240,6 +244,7 @@ Status RunPartitioned(const std::vector<uncertain::UncertainObject>& objects,
   popts.max_depth = options.stage2_max_depth;
   popts.target_subtrees = options.stage2_target_subtrees;
   {
+    UVD_TRACE_SPAN("build", "stage2");
     ScopedTimer t(&local->indexing_seconds);
     UVD_RETURN_NOT_OK(index->InsertObjectsPartitioned(std::move(items), &pool, popts));
     UVD_RETURN_NOT_OK(index->FinalizeWith(&pool, workers));
@@ -286,6 +291,7 @@ Status RunParallel(const std::vector<uncertain::UncertainObject>& objects,
   ThreadPool pool(workers);
   for (int w = 0; w < workers; ++w) {
     pool.Submit([&, w] {
+      UVD_TRACE_SPAN("build", "stage1_worker");
       Stats* shard = stats != nullptr ? &shards[static_cast<size_t>(w)] : nullptr;
       const CrObjectFinder finder(objects, tree, domain, FinderOptions(options), shard);
       for (;;) {
@@ -321,6 +327,7 @@ Status RunParallel(const std::vector<uncertain::UncertainObject>& objects,
 
   // In-order consumer: object i is inserted only after 0..i-1, so the
   // index evolves exactly as in the serial build.
+  UVD_TRACE_SPAN("build", "stage2_consumer");
   Status status;
   for (size_t i = 0; i < n; ++i) {
     StageResult r;

@@ -100,6 +100,9 @@ class UVDiagram {
   const BuildStats& build_stats() const { return build_stats_; }
   Stats& stats() const { return *stats_; }
   const Options& options() const { return options_; }
+  /// The diagram's backing store — exposed so observability surfaces can
+  /// register its page-read latency histogram.
+  const storage::PageManager& page_manager() const { return *pm_; }
 
  private:
   UVDiagram() = default;

@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/trace_recorder.h"
 #include "rtree/leaf_codec.h"
 
 namespace uvd {
@@ -26,6 +27,7 @@ void RunWorkers(ThreadPool* pool, int workers, const std::function<void(int)>& f
   auto done = std::make_shared<WaitGroup>(workers);
   for (int w = 0; w < workers; ++w) {
     pool->Submit([fn, w, done] {
+      UVD_TRACE_SPAN("build", "stage2_worker");
       fn(w);
       done->Done();
     });

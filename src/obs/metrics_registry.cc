@@ -1,0 +1,153 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace uvd {
+namespace obs {
+
+void MetricsRegistry::RegisterStats(const std::string& prefix, const Stats* stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.emplace_back(prefix, stats);
+}
+
+void MetricsRegistry::RegisterHistogram(const std::string& name,
+                                        const LatencyHistogram* histogram) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_.emplace_back(name, histogram);
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name,
+                                    std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_.emplace_back(name, std::move(fn));
+}
+
+void MetricsRegistry::RegisterCounter(const std::string& name,
+                                      std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.emplace_back(name, std::move(fn));
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.clear();
+  histograms_.clear();
+  gauges_.clear();
+  counters_.clear();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot(
+    bool include_zero_counters) const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [prefix, stats] : stats_) {
+    for (uint32_t t = 0; t < static_cast<uint32_t>(Ticker::kNumTickers); ++t) {
+      const uint64_t value = stats->Get(static_cast<Ticker>(t));
+      if (value == 0 && !include_zero_counters) continue;
+      snap.counters.emplace_back(prefix + "." + TickerName(static_cast<Ticker>(t)),
+                                 value);
+    }
+  }
+  for (const auto& [name, fn] : counters_) {
+    const uint64_t value = fn();
+    if (value == 0 && !include_zero_counters) continue;
+    snap.counters.emplace_back(name, value);
+  }
+  for (const auto& [name, fn] : gauges_) snap.gauges.emplace_back(name, fn());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace_back(name, histogram->TakeSnapshot());
+  }
+  const auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*. Registered names use
+/// dots; sanitize every other character to '_' and prefix the project
+/// namespace.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "uvd_";
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::Snapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << JsonEscape(counters[i].first)
+        << "\": " << counters[i].second;
+  }
+  out << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << JsonEscape(gauges[i].first)
+        << "\": " << FormatDouble(gauges[i].second);
+  }
+  out << (gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const LatencyHistogram::Snapshot& h = histograms[i].second;
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << JsonEscape(histograms[i].first)
+        << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"min\": " << h.min << ", \"max\": " << h.max
+        << ", \"mean\": " << FormatDouble(h.mean) << ", \"p50\": " << h.p50
+        << ", \"p90\": " << h.p90 << ", \"p99\": " << h.p99
+        << ", \"p999\": " << h.p999 << "}";
+  }
+  out << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+std::string MetricsRegistry::Snapshot::ToPrometheus() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    const std::string p = PrometheusName(name);
+    out << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string p = PrometheusName(name);
+    out << "# TYPE " << p << " gauge\n" << p << " " << FormatDouble(value) << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string p = PrometheusName(name);
+    out << "# TYPE " << p << " summary\n";
+    out << p << "{quantile=\"0.5\"} " << h.p50 << "\n";
+    out << p << "{quantile=\"0.9\"} " << h.p90 << "\n";
+    out << p << "{quantile=\"0.99\"} " << h.p99 << "\n";
+    out << p << "{quantile=\"0.999\"} " << h.p999 << "\n";
+    out << p << "_sum " << h.sum << "\n";
+    out << p << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace uvd

@@ -1,0 +1,95 @@
+// One snapshot for the whole deployment: Stats tickers, latency
+// histograms and gauges from every registered layer, exported as JSON or
+// Prometheus text format. The per-figure benches each print their own
+// slice of the paper's evaluation; the registry is the unified,
+// machine-readable view — a serving process registers its engines,
+// router, caches and page managers once and scrapes one endpoint-shaped
+// document (docs/OBSERVABILITY.md shows both formats).
+//
+// Sources are registered by pointer / callable and sampled lazily at
+// TakeSnapshot time, so registration costs nothing on any hot path.
+// Every registered source must outlive the registry's last snapshot.
+// Snapshot output is sorted by metric name, so two snapshots of the same
+// deployment state diff cleanly (the same determinism discipline as
+// Stats::ToJson).
+#ifndef UVD_OBS_METRICS_REGISTRY_H_
+#define UVD_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "obs/latency_histogram.h"
+
+namespace uvd {
+namespace obs {
+
+/// \brief Name -> metric-source registry with JSON / Prometheus export.
+///
+/// Thread safety: registration and TakeSnapshot are mutex-guarded against
+/// each other; the sampled sources themselves are relaxed atomics (Stats,
+/// LatencyHistogram) or caller-supplied callables, so snapshots taken
+/// while work is in flight are per-metric exact but not a consistent cut
+/// — the usual Stats contract.
+class MetricsRegistry {
+ public:
+  /// Registers every ticker of `stats` as a counter named
+  /// "<prefix>.<ticker name>" (e.g. "shard0.query.cache.hits").
+  void RegisterStats(const std::string& prefix, const Stats* stats);
+
+  /// Registers a single histogram under `name` (suffix the unit, e.g.
+  /// "query.pnn.latency.us").
+  void RegisterHistogram(const std::string& name, const LatencyHistogram* histogram);
+
+  /// Registers a gauge sampled by calling `fn` (cache occupancy, shard
+  /// imbalance, pool queue depth, ...).
+  void RegisterGauge(const std::string& name, std::function<double()> fn);
+
+  /// Registers a monotonic counter sampled by calling `fn` (for counters
+  /// that are not Stats tickers, e.g. per-shard routed-query counts).
+  void RegisterCounter(const std::string& name, std::function<uint64_t()> fn);
+
+  /// Drops every registration.
+  void Clear();
+
+  /// The sampled state of every registered source, each section sorted by
+  /// name.
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, LatencyHistogram::Snapshot>> histograms;
+
+    /// Deterministic pretty-printed JSON document:
+    ///   {"counters": {...}, "gauges": {...}, "histograms": {name:
+    ///    {count, sum, min, max, mean, p50, p90, p99, p999}}}
+    std::string ToJson() const;
+
+    /// Prometheus text exposition format: counters and gauges as single
+    /// samples, histograms as summaries (quantile-labeled samples plus
+    /// _sum/_count). Metric names are sanitized ([a-zA-Z0-9_] with an
+    /// "uvd_" prefix), e.g. "query.pnn.latency.us" ->
+    /// "uvd_query_pnn_latency_us".
+    std::string ToPrometheus() const;
+  };
+
+  /// Samples every source. `include_zero_counters` keeps zero-valued
+  /// counters in the snapshot (on by default so snapshots of different
+  /// runs always have identical key sets and diff cleanly).
+  Snapshot TakeSnapshot(bool include_zero_counters = true) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, const Stats*>> stats_;
+  std::vector<std::pair<std::string, const LatencyHistogram*>> histograms_;
+  std::vector<std::pair<std::string, std::function<double()>>> gauges_;
+  std::vector<std::pair<std::string, std::function<uint64_t()>>> counters_;
+};
+
+}  // namespace obs
+}  // namespace uvd
+
+#endif  // UVD_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,154 @@
+#include "obs/trace_recorder.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/latency_histogram.h"
+
+namespace uvd {
+namespace obs {
+
+std::atomic<bool> TraceRecorder::enabled_{false};
+
+namespace {
+// Fast path for the GLOBAL recorder only: that instance is never
+// destroyed, so the cached pointers cannot dangle. Private recorders
+// (tests) resolve their ring by thread id under the registry mutex — a
+// destroyed-and-reallocated private recorder must never match a stale
+// thread-local.
+thread_local void* tls_global_ring = nullptr;
+}  // namespace
+
+TraceRecorder::TraceRecorder(size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity) {}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+uint64_t TraceSpan::NowMicrosForTrace() { return NowMicros(); }
+
+TraceRecorder::Ring* TraceRecorder::RingForThisThread() {
+  const bool is_global = this == &Global();
+  if (is_global && tls_global_ring != nullptr) {
+    return static_cast<Ring*>(tls_global_ring);
+  }
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const std::thread::id me = std::this_thread::get_id();
+  for (const auto& existing : rings_) {
+    if (existing->owner == me) {
+      if (is_global) tls_global_ring = existing.get();
+      return existing.get();
+    }
+  }
+  auto ring = std::make_unique<Ring>();
+  ring->tid = static_cast<uint32_t>(rings_.size());
+  ring->owner = me;
+  ring->events.resize(ring_capacity_);
+  Ring* raw = ring.get();
+  rings_.push_back(std::move(ring));
+  if (is_global) tls_global_ring = raw;
+  return raw;
+}
+
+void TraceRecorder::Record(const char* category, const char* name,
+                           uint64_t start_us, uint64_t duration_us) {
+  Ring* ring = RingForThisThread();
+  std::lock_guard<std::mutex> lock(ring->mu);
+  ring->events[ring->next] = TraceEvent{category, name, start_us, duration_us};
+  ring->next = (ring->next + 1) % ring->events.size();
+  if (ring->size < ring->events.size()) {
+    ++ring->size;
+  } else {
+    ++ring->dropped;
+  }
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->next = 0;
+    ring->size = 0;
+    ring->dropped = 0;
+  }
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  size_t total = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += ring->size;
+  }
+  return total;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+size_t TraceRecorder::thread_count() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return rings_.size();
+}
+
+namespace {
+void AppendJsonEscaped(std::ostringstream& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out << '\\';
+    out << *s;
+  }
+}
+}  // namespace
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    // Oldest event first: the ring holds `size` events ending at `next`.
+    const size_t cap = ring->events.size();
+    const size_t start = (ring->next + cap - ring->size) % cap;
+    for (size_t k = 0; k < ring->size; ++k) {
+      const TraceEvent& e = ring->events[(start + k) % cap];
+      out << (first ? "\n" : ",\n");
+      first = false;
+      out << "{\"name\": \"";
+      AppendJsonEscaped(out, e.name);
+      out << "\", \"cat\": \"";
+      AppendJsonEscaped(out, e.category);
+      out << "\", \"ph\": \"X\", \"ts\": " << e.start_us
+          << ", \"dur\": " << e.duration_us << ", \"pid\": 0, \"tid\": "
+          << ring->tid << "}";
+    }
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  const std::string doc = ToChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace output file: " + path);
+  }
+  const size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  if (written != doc.size()) {
+    return Status::IOError("short write to trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace uvd

@@ -24,6 +24,24 @@ enum class QueryKind {
   kCellSummary,  ///< UVDiagram::QueryUvCellSummary (pattern query, Sec. V-C)
 };
 
+constexpr int kNumQueryKinds = 4;
+
+/// Stable lower_snake name for metrics ("query.<kind>.latency.us") and
+/// trace categories.
+inline const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kPnn:
+      return "pnn";
+    case QueryKind::kAnswerIds:
+      return "answer_ids";
+    case QueryKind::kUvPartitions:
+      return "uv_partitions";
+    case QueryKind::kCellSummary:
+      return "cell_summary";
+  }
+  return "unknown";
+}
+
 /// One query of any kind. Use the factory helpers; only the fields of the
 /// active kind are meaningful.
 struct Query {

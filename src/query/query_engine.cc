@@ -7,6 +7,7 @@
 
 #include "core/pattern_queries.h"
 #include "core/pnn.h"
+#include "obs/trace_recorder.h"
 
 namespace uvd {
 namespace query {
@@ -53,11 +54,22 @@ std::vector<Stats> QueryEngine::worker_stats() const {
 Result<std::vector<rtree::LeafEntry>> QueryEngine::CandidatesFor(
     const geom::Point& p, Stats* shard) const {
   const core::UVIndex& index = *view_.index;
-  UVD_ASSIGN_OR_RETURN(const uint32_t leaf, index.LocateLeafChecked(p));
-  if (cache_ != nullptr) {
-    return cache_->GetOrLoad(
-        leaf, [&index, leaf] { return index.ReadLeafEntries(leaf); }, shard);
+  uint32_t leaf = 0;
+  {
+    UVD_TRACE_SPAN("query", "locate_leaf");
+    UVD_ASSIGN_OR_RETURN(leaf, index.LocateLeafChecked(p));
   }
+  if (cache_ != nullptr) {
+    UVD_TRACE_SPAN("query", "cache_lookup");
+    return cache_->GetOrLoad(
+        leaf,
+        [&index, leaf] {
+          UVD_TRACE_SPAN("query", "read_leaf");
+          return index.ReadLeafEntries(leaf);
+        },
+        shard);
+  }
+  UVD_TRACE_SPAN("query", "read_leaf");
   return index.ReadLeafEntries(leaf);
 }
 
@@ -70,9 +82,12 @@ QueryResult QueryEngine::ExecuteOne(const Query& q, Stats* shard) const {
         result.status = candidates.status();
         break;
       }
-      auto answers = core::EvaluatePnnFromCandidates(
-          std::move(candidates).value(), *view_.store, q.point,
-          view_.qualification, shard);
+      auto answers = [&] {
+        UVD_TRACE_SPAN("query", "qualification");
+        return core::EvaluatePnnFromCandidates(std::move(candidates).value(),
+                                               *view_.store, q.point,
+                                               view_.qualification, shard);
+      }();
       if (!answers.ok()) {
         result.status = answers.status();
         break;
@@ -123,6 +138,7 @@ QueryResult QueryEngine::ExecuteOne(const Query& q, Stats* shard) const {
 }
 
 std::vector<QueryResult> QueryEngine::ExecuteBatch(const QueryBatch& batch) {
+  UVD_TRACE_SPAN("query", "execute_batch");
   std::vector<QueryResult> results(batch.size());
   const int workers =
       static_cast<int>(std::min<size_t>(static_cast<size_t>(threads_), batch.size()));
@@ -132,11 +148,26 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(const QueryBatch& batch) {
   // counters. The member copy below exists only for worker_stats()
   // observability and is the one cross-call write, hence the mutex.
   std::vector<Stats> shards;
+  // Latency shards follow the same call-local story; merged into
+  // kind_latency_ at the end (MergeFrom is atomic-safe for concurrent
+  // callers). `timed` is sampled once so a mid-batch toggle cannot split
+  // a query between recorded and unrecorded halves.
+  const bool timed = obs::MetricsEnabled();
+  using KindLatencyShard = std::array<obs::LatencyHistogram, kNumQueryKinds>;
+  std::vector<KindLatencyShard> latency_shards;
 
   if (pool_ == nullptr || workers <= 1) {
     shards.assign(1, Stats());
+    latency_shards.resize(1);
     for (size_t i = 0; i < batch.size(); ++i) {
-      results[i] = ExecuteOne(batch[i], &shards[0]);
+      if (timed) {
+        const uint64_t t0 = obs::NowMicros();
+        results[i] = ExecuteOne(batch[i], &shards[0]);
+        latency_shards[0][static_cast<size_t>(batch[i].kind)].Record(
+            obs::NowMicros() - t0);
+      } else {
+        results[i] = ExecuteOne(batch[i], &shards[0]);
+      }
     }
   } else {
     // Fan-out: workers claim slots through the cursor; results are written
@@ -145,15 +176,25 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(const QueryBatch& batch) {
     // which would couple this caller's latency to every overlapping
     // batch's drain.
     shards.assign(static_cast<size_t>(workers), Stats());
+    latency_shards.resize(static_cast<size_t>(workers));
     std::atomic<size_t> next{0};
     auto done = std::make_shared<WaitGroup>(workers);
     for (int w = 0; w < workers; ++w) {
       Stats* shard = &shards[static_cast<size_t>(w)];
-      pool_->Submit([this, &batch, &results, &next, done, shard] {
+      KindLatencyShard* latency = &latency_shards[static_cast<size_t>(w)];
+      pool_->Submit([this, &batch, &results, &next, done, shard, latency, timed] {
+        UVD_TRACE_SPAN("query", "batch_worker");
         for (;;) {
           const size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= batch.size()) break;
-          results[i] = ExecuteOne(batch[i], shard);
+          if (timed) {
+            const uint64_t t0 = obs::NowMicros();
+            results[i] = ExecuteOne(batch[i], shard);
+            (*latency)[static_cast<size_t>(batch[i].kind)].Record(
+                obs::NowMicros() - t0);
+          } else {
+            results[i] = ExecuteOne(batch[i], shard);
+          }
         }
         done->Done();
       });
@@ -164,11 +205,50 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(const QueryBatch& batch) {
   if (view_.stats != nullptr) {
     for (const Stats& shard : shards) view_.stats->MergeFrom(shard);
   }
+  if (timed) {
+    for (const KindLatencyShard& shard : latency_shards) {
+      for (size_t k = 0; k < static_cast<size_t>(kNumQueryKinds); ++k) {
+        kind_latency_[k].MergeFrom(shard[k]);
+      }
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     worker_stats_ = std::move(shards);
   }
   return results;
+}
+
+void QueryEngine::ResetMetrics() {
+  for (auto& h : kind_latency_) h.Reset();
+}
+
+void QueryEngine::RegisterMetrics(obs::MetricsRegistry* registry,
+                                  const std::string& prefix) const {
+  for (int k = 0; k < kNumQueryKinds; ++k) {
+    const QueryKind kind = static_cast<QueryKind>(k);
+    registry->RegisterHistogram(
+        prefix + ".query." + QueryKindName(kind) + ".latency.us",
+        &kind_latency_[static_cast<size_t>(k)]);
+  }
+  if (cache_ != nullptr) {
+    const QueryCache* cache = cache_.get();
+    registry->RegisterGauge(prefix + ".cache.size", [cache] {
+      return static_cast<double>(cache->size());
+    });
+    registry->RegisterGauge(prefix + ".cache.protected_size", [cache] {
+      return static_cast<double>(cache->protected_size());
+    });
+  }
+  if (pool_ != nullptr) {
+    const ThreadPool* pool = pool_.get();
+    registry->RegisterGauge(prefix + ".pool.queue_depth", [pool] {
+      return static_cast<double>(pool->QueueDepth());
+    });
+  }
+  if (view_.stats != nullptr) {
+    registry->RegisterStats(prefix, view_.stats);
+  }
 }
 
 }  // namespace query

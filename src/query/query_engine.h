@@ -44,13 +44,17 @@
 #ifndef UVD_QUERY_QUERY_ENGINE_H_
 #define UVD_QUERY_QUERY_ENGINE_H_
 
+#include <array>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "core/uv_diagram.h"
+#include "obs/latency_histogram.h"
+#include "obs/metrics_registry.h"
 #include "query/query_batch.h"
 #include "query/query_cache.h"
 
@@ -114,6 +118,27 @@ class QueryEngine {
   /// Drops every cached leaf; required after UVDiagram::InsertObject.
   void InvalidateCache();
 
+  /// Per-query-kind latency distribution in microseconds, accumulated
+  /// across every ExecuteBatch on this engine. Recorded into call-local
+  /// per-worker shards and merged (exact MergeFrom) after each batch, the
+  /// same story as the Stats shards; empty while obs::MetricsEnabled() is
+  /// off. Purely observational — answers are identical either way.
+  const obs::LatencyHistogram& kind_latency(QueryKind kind) const {
+    return kind_latency_[static_cast<size_t>(kind)];
+  }
+
+  /// Zeroes the per-kind latency histograms (e.g. between bench phases).
+  void ResetMetrics();
+
+  /// Registers this engine's observables on `registry` under `prefix`:
+  /// "<prefix>.query.<kind>.latency.us" histograms, cache occupancy
+  /// gauges ("<prefix>.cache.size" / ".cache.protected_size"), the pool
+  /// queue depth ("<prefix>.pool.queue_depth") and — when the view carries
+  /// a Stats — every ticker as "<prefix>.<ticker>". The engine must
+  /// outlive the registry's last snapshot.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const;
+
   /// Null when the cache is disabled.
   QueryCache* cache() { return cache_.get(); }
 
@@ -135,6 +160,10 @@ class QueryEngine {
   std::unique_ptr<ThreadPool> pool_;     // null if threads_ == 1
   mutable std::mutex stats_mu_;          // guards worker_stats_
   std::vector<Stats> worker_stats_;      // last batch's shards (snapshot)
+  // Cumulative per-kind query latency (us); merged from call-local worker
+  // shards after each batch, so concurrent callers never contend on it
+  // mid-batch.
+  std::array<obs::LatencyHistogram, kNumQueryKinds> kind_latency_;
 };
 
 }  // namespace query

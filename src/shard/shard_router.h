@@ -42,10 +42,15 @@
 #ifndef UVD_SHARD_SHARD_ROUTER_H_
 #define UVD_SHARD_SHARD_ROUTER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/latency_histogram.h"
+#include "obs/metrics_registry.h"
 #include "query/query_batch.h"
 #include "query/query_engine.h"
 #include "shard/sharded_uv_diagram.h"
@@ -86,10 +91,55 @@ class ShardRouter {
   size_t num_shards() const { return engines_.size(); }
   const ShardRouterOptions& options() const { return options_; }
 
+  /// Router-side latency distribution of shard `s`'s routed sub-batches in
+  /// microseconds (queueing behind the router pool included — the number a
+  /// front-end actually waits on, as opposed to the engine's own per-query
+  /// kind_latency()). Empty while obs::MetricsEnabled() is off.
+  const obs::LatencyHistogram& shard_latency(size_t s) const {
+    return shard_obs_[s]->routed_latency_us;
+  }
+
+  /// Queries routed to shard `s` so far (multi-shard kinds count once per
+  /// target shard).
+  uint64_t routed_queries(size_t s) const {
+    return shard_obs_[s]->routed_queries.load(std::memory_order_relaxed);
+  }
+
+  /// Exact cross-shard merge of every engine's per-kind latency histogram
+  /// — the deployment-wide per-query distribution for `kind` (MergeFrom is
+  /// exact, so this equals one histogram fed every shard's stream).
+  obs::LatencyHistogram MergedKindLatency(query::QueryKind kind) const;
+
+  /// Zeroes the router's histograms/counters and every engine's metrics.
+  void ResetMetrics();
+
+  /// Registers the full sharded-serving surface on `registry`:
+  ///   "<prefix>.shard<s>.*"                per-engine metrics
+  ///                                        (QueryEngine::RegisterMetrics)
+  ///   "<prefix>.shard<s>.routed.latency.us" routed sub-batch latency
+  ///   "<prefix>.shard<s>.routed.queries"   routed query counter
+  ///   "<prefix>.router.fanout.total"       query->shard routing slots
+  ///   "<prefix>.router.multi_shard_queries" queries fanned to >1 shard
+  ///   "<prefix>.router.shard_imbalance"    object-count max/mean gauge
+  ///                                        (BalanceReport)
+  /// The router must outlive the registry's last snapshot.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const;
+
  private:
+  /// Histograms and atomics are non-movable; unique_ptr keeps the vector
+  /// regular while workers record through stable addresses.
+  struct ShardObs {
+    obs::LatencyHistogram routed_latency_us;
+    std::atomic<uint64_t> routed_queries{0};
+  };
+
   const ShardedUVDiagram& diagram_;
   ShardRouterOptions options_;
   std::vector<std::unique_ptr<query::QueryEngine>> engines_;
+  std::vector<std::unique_ptr<ShardObs>> shard_obs_;  // parallel to engines_
+  std::atomic<uint64_t> fanout_total_{0};
+  std::atomic<uint64_t> multi_shard_queries_{0};
   std::unique_ptr<ThreadPool> pool_;  // null when router_threads == 1
 };
 

@@ -13,6 +13,7 @@
 
 #include "common/stats.h"
 #include "common/status.h"
+#include "obs/latency_histogram.h"
 
 namespace uvd {
 namespace storage {
@@ -73,9 +74,18 @@ class PageManager {
   static void SetSimulatedReadLatencyUs(uint32_t us);
   static uint32_t SimulatedReadLatencyUs();
 
+  /// Per-manager page-read latency distribution in microseconds, simulated
+  /// disk latency included — the I/O histogram the metrics registry
+  /// unifies (register it as e.g. "shard0.storage.page.read.latency.us").
+  /// Recording is skipped while obs::MetricsEnabled() is off.
+  const obs::LatencyHistogram& read_latency_histogram() const {
+    return read_latency_us_;
+  }
+
  private:
   size_t page_size_;
   Stats* stats_;
+  mutable obs::LatencyHistogram read_latency_us_;  // recorded in const Read
   std::vector<std::vector<uint8_t>> pages_;
 };
 

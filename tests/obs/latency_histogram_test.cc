@@ -1,0 +1,208 @@
+// Unit tests for the log-bucketed latency histogram: exact bucket
+// boundaries (the HDR-style sub-bucket layout), percentile semantics, and
+// the exact/associative MergeFrom contract the per-worker shard story
+// rests on. Concurrent recording is exercised for the TSan job.
+#include "obs/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace uvd {
+namespace obs {
+namespace {
+
+TEST(LatencyHistogramTest, UnitBucketsAreExact) {
+  for (uint64_t v = 0; v < LatencyHistogram::kSubBucketCount; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketLowerBound(static_cast<uint32_t>(v)), v);
+    EXPECT_EQ(LatencyHistogram::BucketUpperBound(static_cast<uint32_t>(v)), v);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketBoundariesRoundTrip) {
+  // Every bucket's own bounds must map back to it, and each upper bound
+  // must be exactly one less than the next bucket's lower bound — the
+  // buckets tile [0, 2^64) with no gaps or overlaps.
+  for (uint32_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+    const uint64_t lo = LatencyHistogram::BucketLowerBound(b);
+    const uint64_t hi = LatencyHistogram::BucketUpperBound(b);
+    EXPECT_LE(lo, hi);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(lo), b) << "bucket " << b;
+    EXPECT_EQ(LatencyHistogram::BucketIndex(hi), b) << "bucket " << b;
+    if (b + 1 < LatencyHistogram::kNumBuckets) {
+      EXPECT_EQ(LatencyHistogram::BucketLowerBound(b + 1), hi + 1)
+          << "gap after bucket " << b;
+    } else {
+      EXPECT_EQ(hi, ~0ull);  // the last bucket absorbs everything above
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, KnownBoundaryValues) {
+  // First sub-bucketed octave starts at 16 (bucket 16) and runs to 31 in
+  // steps of 1; octave [32, 64) has width-2 sub-buckets.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(15), 15u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(16), 16u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(31), 31u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(32), 32u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(33), 32u);  // width-2 sub-bucket
+  EXPECT_EQ(LatencyHistogram::BucketIndex(34), 33u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(~0ull),
+            LatencyHistogram::kNumBuckets - 1);
+}
+
+TEST(LatencyHistogramTest, RelativeErrorBoundedBySubBucketWidth) {
+  // The reported (upper-bound) value overestimates by at most 1/16 — the
+  // quantization guarantee the header advertises.
+  for (uint64_t v : {17ull, 100ull, 999ull, 12345ull, 1ull << 20, 123456789ull}) {
+    const uint32_t b = LatencyHistogram::BucketIndex(v);
+    const uint64_t hi = LatencyHistogram::BucketUpperBound(b);
+    EXPECT_GE(hi, v);
+    EXPECT_LE(static_cast<double>(hi - v), static_cast<double>(v) / 16.0 + 1.0)
+        << "value " << v;
+  }
+}
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
+  EXPECT_EQ(h.MinValue(), 0u);
+  EXPECT_EQ(h.MaxValue(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.ValueAtPercentile(50), 0u);
+  EXPECT_EQ(h.ValueAtPercentile(99.9), 0u);
+}
+
+TEST(LatencyHistogramTest, SingleValueReportsExactly) {
+  LatencyHistogram h;
+  h.Record(12345);
+  EXPECT_EQ(h.TotalCount(), 1u);
+  EXPECT_EQ(h.Sum(), 12345u);
+  EXPECT_EQ(h.MinValue(), 12345u);
+  EXPECT_EQ(h.MaxValue(), 12345u);
+  // Percentiles clamp to [min, max]: a single-valued stream reports that
+  // value at every percentile despite bucket quantization.
+  EXPECT_EQ(h.ValueAtPercentile(0.1), 12345u);
+  EXPECT_EQ(h.ValueAtPercentile(50), 12345u);
+  EXPECT_EQ(h.ValueAtPercentile(99.9), 12345u);
+}
+
+TEST(LatencyHistogramTest, PercentilesOrderedAndConservative) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const uint64_t p50 = h.ValueAtPercentile(50);
+  const uint64_t p90 = h.ValueAtPercentile(90);
+  const uint64_t p99 = h.ValueAtPercentile(99);
+  const uint64_t p999 = h.ValueAtPercentile(99.9);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, p999);
+  // Conservative: never understates the true rank value, and overestimates
+  // by at most one sub-bucket (1/16).
+  EXPECT_GE(p50, 500u);
+  EXPECT_LE(p50, 500u + 500u / 16 + 1);
+  EXPECT_GE(p999, 999u);
+  EXPECT_LE(h.ValueAtPercentile(100), 1000u);
+}
+
+TEST(LatencyHistogramTest, RecordManyMatchesRepeatedRecord) {
+  LatencyHistogram a, b;
+  a.RecordMany(77, 1000);
+  for (int i = 0; i < 1000; ++i) b.Record(77);
+  EXPECT_EQ(a.TakeSnapshot(), b.TakeSnapshot());
+}
+
+TEST(LatencyHistogramTest, MergeIsExact) {
+  // Merging shards must be indistinguishable from one histogram fed both
+  // streams — counts, sum, min, max and every percentile.
+  LatencyHistogram shard1, shard2, reference;
+  for (uint64_t v = 0; v < 500; ++v) {
+    shard1.Record(v * 3);
+    reference.Record(v * 3);
+  }
+  for (uint64_t v = 0; v < 500; ++v) {
+    shard2.Record(v * 7 + 1);
+    reference.Record(v * 7 + 1);
+  }
+  LatencyHistogram merged;
+  merged.MergeFrom(shard1);
+  merged.MergeFrom(shard2);
+  EXPECT_EQ(merged.TakeSnapshot(), reference.TakeSnapshot());
+}
+
+TEST(LatencyHistogramTest, MergeIsAssociativeAndCommutative) {
+  LatencyHistogram a, b, c;
+  for (uint64_t v = 1; v < 300; ++v) a.Record(v);
+  for (uint64_t v = 100; v < 5000; v += 13) b.Record(v);
+  for (uint64_t v : {1ull << 20, 1ull << 30, 1ull << 40}) c.Record(v);
+
+  LatencyHistogram ab_c;  // (a + b) + c
+  ab_c.MergeFrom(a);
+  ab_c.MergeFrom(b);
+  ab_c.MergeFrom(c);
+  LatencyHistogram bc;  // a + (b + c)
+  bc.MergeFrom(b);
+  bc.MergeFrom(c);
+  LatencyHistogram a_bc;
+  a_bc.MergeFrom(a);
+  a_bc.MergeFrom(bc);
+  LatencyHistogram cba;  // reversed order
+  cba.MergeFrom(c);
+  cba.MergeFrom(b);
+  cba.MergeFrom(a);
+
+  EXPECT_EQ(ab_c.TakeSnapshot(), a_bc.TakeSnapshot());
+  EXPECT_EQ(ab_c.TakeSnapshot(), cba.TakeSnapshot());
+}
+
+TEST(LatencyHistogramTest, MergeEmptyIsIdentity) {
+  LatencyHistogram a, empty;
+  a.Record(42);
+  const auto before = a.TakeSnapshot();
+  a.MergeFrom(empty);
+  EXPECT_EQ(a.TakeSnapshot(), before);
+  // And min survives a merge INTO an empty histogram (the ~0 sentinel must
+  // not leak).
+  LatencyHistogram target;
+  target.MergeFrom(a);
+  EXPECT_EQ(target.MinValue(), 42u);
+  EXPECT_EQ(target.MaxValue(), 42u);
+}
+
+TEST(LatencyHistogramTest, ResetEmpties) {
+  LatencyHistogram h;
+  h.Record(9);
+  h.Reset();
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.MinValue(), 0u);
+  EXPECT_EQ(h.ValueAtPercentile(99), 0u);
+  h.Record(5);  // usable after reset
+  EXPECT_EQ(h.ValueAtPercentile(50), 5u);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordersAreExact) {
+  // Totals are exact under concurrent recording (relaxed atomics, no lost
+  // updates) — the shared-histogram half of the concurrency contract;
+  // runs under TSan in CI.
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 25000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t) * 1000 + (i % 97));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.TotalCount(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace uvd

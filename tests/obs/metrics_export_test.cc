@@ -1,0 +1,128 @@
+// Golden-file tests for the unified metrics surface: the registry's JSON
+// and Prometheus text exports are pinned byte for byte from a
+// hand-populated registry (deterministic inputs — no clocks), alongside
+// the Stats::ToJson determinism contract (enum order, zero filtering).
+#include "obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/stats.h"
+#include "obs/latency_histogram.h"
+
+namespace uvd {
+namespace obs {
+namespace {
+
+TEST(StatsToJsonTest, EnumOrderAndZeroFiltering) {
+  Stats stats;
+  stats.Add(Ticker::kPageWrites, 3);
+  stats.Add(Ticker::kPageReads, 7);
+  // include_zeros=false keeps only the set tickers, in enum order (reads
+  // before writes regardless of Add order).
+  EXPECT_EQ(stats.ToJson(/*include_zeros=*/false),
+            "{\"page.reads\": 7, \"page.writes\": 3}");
+  // The default (include_zeros=true) always emits every ticker, so two
+  // snapshots of any two runs have identical key sets.
+  const std::string full = stats.ToJson();
+  EXPECT_NE(full.find("\"page.reads\": 7"), std::string::npos);
+  EXPECT_NE(full.find("\"bufferpool.hits\": 0"), std::string::npos);
+  EXPECT_EQ(full, stats.ToJson());  // deterministic
+}
+
+/// A registry with two counters, one gauge and one histogram — registered
+/// deliberately out of name order to pin the sort.
+MetricsRegistry::Snapshot GoldenSnapshot() {
+  static LatencyHistogram histogram;  // static: must outlive the snapshot
+  histogram.Reset();
+  histogram.RecordMany(10, 98);
+  histogram.Record(100);
+  histogram.Record(1000);
+
+  MetricsRegistry registry;
+  registry.RegisterHistogram("query.pnn.latency.us", &histogram);
+  registry.RegisterCounter("router.fanout.total", [] { return uint64_t{42}; });
+  registry.RegisterCounter("cache.lookups", [] { return uint64_t{7}; });
+  registry.RegisterGauge("router.shard_imbalance", [] { return 1.25; });
+  return registry.TakeSnapshot();
+}
+
+TEST(MetricsExportTest, JsonGolden) {
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"cache.lookups\": 7,\n"
+      "    \"router.fanout.total\": 42\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"router.shard_imbalance\": 1.25\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"query.pnn.latency.us\": {\"count\": 100, \"sum\": 2080, "
+      "\"min\": 10, \"max\": 1000, \"mean\": 20.8, \"p50\": 10, \"p90\": 10, "
+      "\"p99\": 103, \"p999\": 1000}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(GoldenSnapshot().ToJson(), expected);
+}
+
+TEST(MetricsExportTest, PrometheusGolden) {
+  const std::string expected =
+      "# TYPE uvd_cache_lookups counter\n"
+      "uvd_cache_lookups 7\n"
+      "# TYPE uvd_router_fanout_total counter\n"
+      "uvd_router_fanout_total 42\n"
+      "# TYPE uvd_router_shard_imbalance gauge\n"
+      "uvd_router_shard_imbalance 1.25\n"
+      "# TYPE uvd_query_pnn_latency_us summary\n"
+      "uvd_query_pnn_latency_us{quantile=\"0.5\"} 10\n"
+      "uvd_query_pnn_latency_us{quantile=\"0.9\"} 10\n"
+      "uvd_query_pnn_latency_us{quantile=\"0.99\"} 103\n"
+      "uvd_query_pnn_latency_us{quantile=\"0.999\"} 1000\n"
+      "uvd_query_pnn_latency_us_sum 2080\n"
+      "uvd_query_pnn_latency_us_count 100\n";
+  EXPECT_EQ(GoldenSnapshot().ToPrometheus(), expected);
+}
+
+TEST(MetricsExportTest, EmptyRegistryExports) {
+  MetricsRegistry registry;
+  const auto snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.ToJson(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": "
+            "{}\n}\n");
+  EXPECT_EQ(snap.ToPrometheus(), "");
+}
+
+TEST(MetricsExportTest, StatsExpandToPrefixedCounters) {
+  Stats stats;
+  stats.Add(Ticker::kPageReads, 11);
+  MetricsRegistry registry;
+  registry.RegisterStats("shard0", &stats);
+  const auto snap = registry.TakeSnapshot(/*include_zero_counters=*/false);
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "shard0.page.reads");
+  EXPECT_EQ(snap.counters[0].second, 11u);
+  // With zeros included, every ticker appears under the prefix.
+  const auto full = registry.TakeSnapshot();
+  EXPECT_GT(full.counters.size(), 1u);
+  for (const auto& [name, value] : full.counters) {
+    EXPECT_EQ(name.rfind("shard0.", 0), 0u) << name;
+  }
+}
+
+TEST(MetricsExportTest, SnapshotsAreLazy) {
+  // Sources are sampled at TakeSnapshot time, not registration time.
+  uint64_t calls = 0;
+  MetricsRegistry registry;
+  registry.RegisterCounter("lazy.counter", [&calls] { return ++calls; });
+  EXPECT_EQ(calls, 0u);
+  const auto first = registry.TakeSnapshot();
+  const auto second = registry.TakeSnapshot();
+  EXPECT_EQ(first.counters[0].second, 1u);
+  EXPECT_EQ(second.counters[0].second, 2u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace uvd
