@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""Determinism linter: statically rejects source patterns that can break
+the repo's bitwise-determinism contract (docs/ARCHITECTURE.md,
+"Determinism guarantees"; rule catalog in docs/STATIC_ANALYSIS.md).
+
+The serving stack promises byte-identical serialized indexes and query
+answers across thread counts, kernel modes and shard layouts. TSan and the
+digest tests enforce that dynamically — but only for interleavings and
+configurations a test happens to reach. This linter bans the *sources* of
+nondeterminism at lint time, so a violation fails CI (and local ctest:
+`determinism_lint`) before any test needs to catch it misbehaving.
+
+Rules
+-----
+  unordered-iteration   Iterating a std::unordered_* container. Hash-map
+                        iteration order is implementation- and
+                        address-dependent; anything it feeds (serialization,
+                        digests, exports, even ticker evolution) loses
+                        determinism. Look-ups are fine; to iterate,
+                        materialize sorted keys first.
+  nondeterministic-rng  rand()/srand(), std::random_device, time()- or
+                        clock-seeded RNG anywhere outside src/datagen/.
+                        Library code must take explicit seeds
+                        (common/random.h); datagen may roll workload seeds.
+  address-keyed-map     std::map/set (or unordered) keyed on a pointer
+                        type: iteration order then follows allocation
+                        addresses, which vary run to run.
+  fast-math             -ffast-math / -Ofast / -funsafe-math-optimizations /
+                        -fassociative-math / -ffp-contract=fast in any
+                        CMake file. The kernel layer's scalar-oracle
+                        contract requires exact, ordered FP arithmetic.
+  raw-mutex             std::mutex / std::shared_mutex /
+                        std::condition_variable / std::lock_guard /
+                        std::unique_lock (or including their headers)
+                        outside common/thread_annotations.h. Lock-guarded
+                        state must use the annotated Mutex wrapper so the
+                        Clang thread-safety wall can check the discipline.
+
+Suppression: append `// uvd-lint: allow(<rule>) <justification>` to the
+flagged line (or the line directly above it). An empty justification is
+itself an error — suppressions must say why.
+
+Usage: check_determinism.py [--root REPO_ROOT] [--list-rules]
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import List, NamedTuple
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+RULES = (
+    "unordered-iteration",
+    "nondeterministic-rng",
+    "address-keyed-map",
+    "fast-math",
+    "raw-mutex",
+)
+
+_ALLOW_RE = re.compile(r"//\s*uvd-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
+
+# Variable/member declarations of unordered containers, e.g.
+#   std::unordered_map<uint32_t, Slot> map;
+_UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s+(\w+)\s*(?:;|=|\{|UVD_)"
+)
+# Range-for: captures the range expression.
+_RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;:()]*:\s*([^)]+)\)")
+# Iterator-loop over x.begin() / x->begin().
+_BEGIN_LOOP_RE = re.compile(r"\bfor\s*\([^;]*=\s*([\w.>\-]+?)(?:\.|->)begin\s*\(")
+
+_RNG_TOKENS = (
+    (re.compile(r"(?<!\w)(?:(?:std)?::)?s?rand\s*\("),
+     "rand()/srand() is seeded process state"),
+    (re.compile(r"\brandom_device\b"), "std::random_device is nondeterministic"),
+    (re.compile(r"\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"), "time()-seeded state"),
+)
+# A clock read feeding an RNG seed on the same line.
+_CLOCK_SEED_RE = re.compile(r"(?:mt19937|minstd|seed)\S*.*::now\s*\(\s*\)|::now\s*\(\s*\).*(?:mt19937|minstd|seed)")
+
+# map/set with a pointer-typed KEY (first template argument contains '*').
+_PTR_KEY_RE = re.compile(
+    r"\b(?:unordered_)?(?:map|multimap|set|multiset)\s*<\s*(?:const\s+)?[\w:<>]+\s*\*"
+)
+
+_FAST_MATH_RE = re.compile(
+    r"-ffast-math|-Ofast\b|-funsafe-math-optimizations|-fassociative-math"
+    r"|-ffp-contract=fast"
+)
+
+_RAW_MUTEX_RE = re.compile(
+    r"std::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b"
+    r"|std::condition_variable(?:_any)?\b"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>"
+)
+
+
+def _strip_line_comment(line: str) -> str:
+    """Removes // comments (string literals with // are rare enough in this
+    codebase that the simple cut is acceptable for a linter)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def _allowance(lines: List[str], idx: int) -> tuple:
+    """Returns (rule, justification) if line idx or the line above carries
+    an allow marker, else (None, None)."""
+    for probe in (idx, idx - 1):
+        if 0 <= probe < len(lines):
+            m = _ALLOW_RE.search(lines[probe])
+            if m:
+                return m.group(1), m.group(2).strip()
+    return None, None
+
+
+def _emit(findings: List[Finding], lines: List[str], path: str, idx: int,
+          rule: str, message: str) -> None:
+    allowed_rule, justification = _allowance(lines, idx)
+    if allowed_rule == rule:
+        if justification:
+            return  # suppressed with a reason
+        findings.append(Finding(path, idx + 1, rule,
+                                "suppression without justification: "
+                                "`uvd-lint: allow(...)` must state why"))
+        return
+    findings.append(Finding(path, idx + 1, rule, message))
+
+
+def lint_cc_source(path: str, text: str, *, allow_rng: bool = False,
+                   allow_raw_mutex: bool = False) -> List[Finding]:
+    """Lints one C++ source/header. `allow_rng` is set for src/datagen/;
+    `allow_raw_mutex` for common/thread_annotations.h itself."""
+    findings: List[Finding] = []
+    lines = text.splitlines()
+
+    unordered_names = set()
+    for line in lines:
+        for m in _UNORDERED_DECL_RE.finditer(_strip_line_comment(line)):
+            unordered_names.add(m.group(1))
+
+    for idx, raw_line in enumerate(lines):
+        line = _strip_line_comment(raw_line)
+
+        for m in _RANGE_FOR_RE.finditer(line):
+            range_expr = m.group(1).strip()
+            tail = re.split(r"\.|->", range_expr)[-1].strip().rstrip(")")
+            if "unordered_" in range_expr or tail in unordered_names:
+                _emit(findings, lines, path, idx, "unordered-iteration",
+                      f"range-for over unordered container `{range_expr}`: "
+                      "iteration order is nondeterministic; iterate a sorted "
+                      "materialization instead")
+        m = _BEGIN_LOOP_RE.search(line)
+        if m:
+            tail = re.split(r"\.|->", m.group(1))[-1]
+            if tail in unordered_names:
+                _emit(findings, lines, path, idx, "unordered-iteration",
+                      f"iterator loop over unordered container `{m.group(1)}`")
+
+        if not allow_rng:
+            for pattern, why in _RNG_TOKENS:
+                if pattern.search(line):
+                    _emit(findings, lines, path, idx, "nondeterministic-rng",
+                          f"{why}; take an explicit seed (common/random.h) — "
+                          "only src/datagen/ may roll seeds")
+            if _CLOCK_SEED_RE.search(line):
+                _emit(findings, lines, path, idx, "nondeterministic-rng",
+                      "clock-seeded RNG; take an explicit seed instead")
+
+        if _PTR_KEY_RE.search(line):
+            _emit(findings, lines, path, idx, "address-keyed-map",
+                  "container keyed on a pointer: iteration order follows "
+                  "allocation addresses; key on a stable id instead")
+
+        if not allow_raw_mutex and _RAW_MUTEX_RE.search(line):
+            _emit(findings, lines, path, idx, "raw-mutex",
+                  "raw <mutex>/<condition_variable> primitive: use the "
+                  "annotated uvd::Mutex/MutexLock/CondVar wrappers "
+                  "(common/thread_annotations.h) so the Clang thread-safety "
+                  "wall can check the lock discipline")
+
+    return findings
+
+
+def lint_cmake(path: str, text: str) -> List[Finding]:
+    findings: List[Finding] = []
+    lines = text.splitlines()
+    for idx, raw_line in enumerate(lines):
+        line = raw_line.split("#", 1)[0]
+        m = _FAST_MATH_RE.search(line)
+        if m:
+            _emit(findings, lines, path, idx, "fast-math",
+                  f"`{m.group(0)}` licenses FP reassociation/contraction; "
+                  "it breaks the scalar-oracle bitwise contract "
+                  "(src/geom/batch/)")
+    return findings
+
+
+def lint_tree(root: pathlib.Path) -> List[Finding]:
+    findings: List[Finding] = []
+    src = root / "src"
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        findings.extend(lint_cc_source(
+            rel, path.read_text(encoding="utf-8"),
+            allow_rng=rel.startswith("src/datagen/"),
+            allow_raw_mutex=(rel == "src/common/thread_annotations.h")))
+    cmake_files = [root / "CMakeLists.txt"]
+    for sub in ("src", "tests", "bench", "examples", "cmake"):
+        base = root / sub
+        if base.exists():
+            cmake_files.extend(base.rglob("CMakeLists.txt"))
+            cmake_files.extend(base.rglob("*.cmake"))
+    for path in sorted(set(cmake_files)):
+        if path.exists():
+            findings.extend(lint_cmake(path.relative_to(root).as_posix(),
+                                       path.read_text(encoding="utf-8")))
+    return findings
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root (default: parent of scripts/)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(rule)
+        return 0
+
+    if not (args.root / "src").is_dir():
+        print(f"error: {args.root} does not look like the repo root "
+              "(no src/)", file=sys.stderr)
+        return 2
+
+    findings = lint_tree(args.root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\ncheck_determinism: {len(findings)} finding(s). "
+              "See docs/STATIC_ANALYSIS.md for the rule catalog and the "
+              "suppression syntax.", file=sys.stderr)
+        return 1
+    print("check_determinism: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Self-test for the determinism linter (scripts/check_determinism.py):
+each bad_* fixture must trip exactly its rule, the good fixture must pass
+clean, and the suppression grammar must behave. Registered as the
+`determinism_lint_selftest` ctest — the linter gate is only trustworthy
+while this proves it still rejects every banned pattern."""
+
+import pathlib
+import sys
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import check_determinism as lint  # noqa: E402
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "testdata" / "determinism"
+
+
+def lint_fixture(name, **kwargs):
+    path = FIXTURES / name
+    return lint.lint_cc_source(name, path.read_text(encoding="utf-8"), **kwargs)
+
+
+class GoodFixtureTest(unittest.TestCase):
+    def test_clean_code_has_no_findings(self):
+        self.assertEqual(lint_fixture("good.cc"), [])
+
+
+class UnorderedIterationTest(unittest.TestCase):
+    def test_flags_range_for_and_iterator_loop(self):
+        findings = lint_fixture("bad_unordered_iteration.cc")
+        rules = [f.rule for f in findings]
+        self.assertEqual(rules, ["unordered-iteration"] * 2,
+                         msg=f"findings: {findings}")
+
+    def test_ordered_iteration_is_fine(self):
+        src = "std::map<int, int> m;\nfor (const auto& [k, v] : m) {}\n"
+        self.assertEqual(lint.lint_cc_source("x.cc", src), [])
+
+
+class RngTest(unittest.TestCase):
+    def test_flags_every_nondeterministic_source(self):
+        findings = lint_fixture("bad_rng.cc")
+        self.assertEqual({f.rule for f in findings}, {"nondeterministic-rng"})
+        # rand, srand, random_device, time-seed, clock-seed
+        self.assertGreaterEqual(len(findings), 5, msg=f"findings: {findings}")
+
+    def test_datagen_may_roll_seeds(self):
+        self.assertEqual(lint_fixture("bad_rng.cc", allow_rng=True), [])
+
+    def test_constant_seed_is_fine(self):
+        src = "std::mt19937_64 gen(0x5eed);\n"
+        self.assertEqual(lint.lint_cc_source("x.cc", src), [])
+
+
+class AddressKeyedTest(unittest.TestCase):
+    def test_flags_pointer_keys(self):
+        findings = lint_fixture("bad_address_keyed.cc")
+        self.assertEqual([f.rule for f in findings], ["address-keyed-map"] * 3,
+                         msg=f"findings: {findings}")
+
+    def test_pointer_values_are_fine(self):
+        src = "std::map<int, Node*> by_id;\n"
+        self.assertEqual(lint.lint_cc_source("x.cc", src), [])
+
+
+class RawMutexTest(unittest.TestCase):
+    def test_flags_raw_primitives_and_unjustified_suppression(self):
+        findings = lint_fixture("bad_raw_mutex.cc")
+        self.assertEqual({f.rule for f in findings}, {"raw-mutex"})
+        # include, lock_guard line, mutex member, cond var, bare suppression
+        self.assertGreaterEqual(len(findings), 5, msg=f"findings: {findings}")
+        self.assertTrue(any("justification" in f.message for f in findings),
+                        msg=f"findings: {findings}")
+
+    def test_wrapper_header_is_exempt(self):
+        src = "#include <mutex>\nstd::mutex mu_;\n"
+        self.assertEqual(
+            lint.lint_cc_source("src/common/thread_annotations.h", src,
+                                allow_raw_mutex=True), [])
+
+    def test_justified_suppression_passes(self):
+        src = ("// uvd-lint: allow(raw-mutex) pthread interop at the ABI edge\n"
+               "std::mutex mu_;\n")
+        self.assertEqual(lint.lint_cc_source("x.cc", src), [])
+
+
+class FastMathTest(unittest.TestCase):
+    def test_flags_each_flag_once(self):
+        path = FIXTURES / "bad_fast_math.cmake"
+        findings = lint.lint_cmake("bad_fast_math.cmake",
+                                   path.read_text(encoding="utf-8"))
+        self.assertEqual([f.rule for f in findings], ["fast-math"] * 4,
+                         msg=f"findings: {findings}")
+
+
+class TreeTest(unittest.TestCase):
+    def test_repo_is_clean(self):
+        root = pathlib.Path(__file__).resolve().parent.parent
+        self.assertEqual([str(f) for f in lint.lint_tree(root)], [])
+
+    def test_rule_catalog_matches_docs(self):
+        doc = (pathlib.Path(__file__).resolve().parent.parent /
+               "docs" / "STATIC_ANALYSIS.md").read_text(encoding="utf-8")
+        for rule in lint.RULES:
+            self.assertIn(rule, doc,
+                          msg=f"rule `{rule}` missing from docs/STATIC_ANALYSIS.md")
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""clang-tidy wall runner: lints every repo TU in compile_commands.json and
+fails on any finding not present in the checked-in baseline
+(tooling/clang_tidy_baseline.txt). See docs/STATIC_ANALYSIS.md.
+
+Findings are normalized to `file:check` pairs — line numbers are dropped so
+unrelated edits do not churn the baseline. A baseline entry that no longer
+fires is reported as stale (non-fatal) so debt shrinks visibly.
+
+Usage:
+  run_clang_tidy.py --build-dir build            # check against baseline
+  run_clang_tidy.py --build-dir build --update-baseline
+Exit status: 0 clean (or all findings baselined), 1 new findings,
+2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+from typing import List, Set
+
+# clang-tidy emits: path:line:col: warning: message [check-name]
+_FINDING_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):\d+:\s+(?:warning|error):\s+"
+    r".*\[(?P<check>[\w.,-]+)\]\s*$")
+
+
+def _normalize(path: str, check: str, root: pathlib.Path) -> str:
+    p = pathlib.Path(path)
+    try:
+        rel = p.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = p.as_posix()  # outside the repo (system header): keep as-is
+    return f"{rel}:{check}"
+
+
+def _run_one(tidy: str, entry: dict, build_dir: pathlib.Path,
+             root: pathlib.Path) -> Set[str]:
+    cmd = [tidy, "-p", str(build_dir), "--quiet", entry["file"]]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    found: Set[str] = set()
+    for line in proc.stdout.splitlines():
+        m = _FINDING_RE.match(line)
+        if not m:
+            continue
+        rel = _normalize(m.group("path"), m.group("check"), root)
+        # Only findings inside the repo count; system headers are not ours.
+        if not rel.startswith(".."):
+            for check in m.group("check").split(","):
+                found.add(_normalize(m.group("path"), check, root))
+    return found
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", type=pathlib.Path, default="build",
+                        help="CMake build dir holding compile_commands.json")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: first of "
+                             "clang-tidy, clang-tidy-18..14 on PATH)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite tooling/clang_tidy_baseline.txt with "
+                             "the current findings")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="parallel clang-tidy processes (0 = cpu count)")
+    args = parser.parse_args(argv)
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+    baseline_path = root / "tooling" / "clang_tidy_baseline.txt"
+
+    tidy = args.clang_tidy or next(
+        (t for t in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                     "clang-tidy-16", "clang-tidy-15", "clang-tidy-14")
+         if shutil.which(t)), None)
+    if tidy is None:
+        print("error: no clang-tidy binary on PATH", file=sys.stderr)
+        return 2
+
+    db_path = args.build_dir / "compile_commands.json"
+    if not db_path.exists():
+        print(f"error: {db_path} not found — configure with "
+              "`cmake -B build -S .` first "
+              "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)",
+              file=sys.stderr)
+        return 2
+
+    entries = [e for e in json.loads(db_path.read_text())
+               if "/src/" in pathlib.Path(e["file"]).as_posix()
+               or pathlib.Path(e["file"]).as_posix().startswith("src/")]
+    if not entries:
+        print("error: no src/ TUs in compile_commands.json", file=sys.stderr)
+        return 2
+
+    jobs = args.jobs or None  # None => ThreadPoolExecutor default
+    findings: Set[str] = set()
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for result in pool.map(
+                lambda e: _run_one(tidy, e, args.build_dir, root), entries):
+            findings |= result
+
+    if args.update_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        header = ("# clang-tidy suppression baseline: one `file:check` per "
+                  "line.\n# Regenerate: python3 scripts/run_clang_tidy.py "
+                  "--build-dir build --update-baseline\n# Shrinking this "
+                  "file is always welcome; growing it needs justification "
+                  "in the PR.\n")
+        baseline_path.write_text(
+            header + "".join(f"{f}\n" for f in sorted(findings)))
+        print(f"baseline updated: {len(findings)} entrie(s) -> "
+              f"{baseline_path.relative_to(root)}")
+        return 0
+
+    baseline: Set[str] = set()
+    if baseline_path.exists():
+        baseline = {line.strip() for line in baseline_path.read_text().splitlines()
+                    if line.strip() and not line.startswith("#")}
+
+    new = sorted(findings - baseline)
+    stale = sorted(baseline - findings)
+    for f in stale:
+        print(f"stale baseline entry (no longer fires, consider removing): {f}")
+    if new:
+        for f in new:
+            print(f"NEW finding: {f}")
+        print(f"\nrun_clang_tidy: {len(new)} new finding(s) not in "
+              f"{baseline_path.relative_to(root)}. Fix them, or (with "
+              "justification in the PR) re-run with --update-baseline.",
+              file=sys.stderr)
+        return 1
+    print(f"run_clang_tidy: clean over {len(entries)} TU(s) "
+          f"({len(baseline)} baselined, {len(stale)} stale)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,20 @@
+// Self-test fixture: containers keyed on pointers. Iteration order then
+// follows allocation addresses (ASLR, allocator state), which differ run
+// to run — the linter must flag every declaration as `address-keyed-map`.
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+struct Bad {
+  std::map<Node*, int> rank_by_node;                 // BAD
+  std::set<const Node*> visited;                     // BAD
+  std::unordered_map<Node*, int> slots;              // BAD
+};
+
+}  // namespace fixture

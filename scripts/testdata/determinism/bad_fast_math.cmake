@@ -1,0 +1,11 @@
+# Self-test fixture: fast-math-class flags in a CMake file. Each marked
+# line must be flagged `fast-math` — these flags license FP reassociation
+# and contraction, which breaks the batch kernels' bitwise scalar-oracle
+# contract. The commented-out flag must NOT be flagged.
+add_compile_options(-Wall)
+add_compile_options(-ffast-math)                 # BAD
+target_compile_options(x PRIVATE -Ofast)         # BAD
+add_compile_options(-funsafe-math-optimizations) # BAD
+add_compile_options(-ffp-contract=fast)          # BAD
+# add_compile_options(-ffast-math) is documented here but disabled: fine.
+set(CMAKE_CXX_FLAGS "${CMAKE_CXX_FLAGS} -O2")

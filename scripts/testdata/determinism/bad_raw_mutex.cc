@@ -1,0 +1,26 @@
+// Self-test fixture: raw synchronization primitives. Every marked line
+// must be flagged `raw-mutex` — lock-guarded state must use the annotated
+// uvd::Mutex wrapper so the Clang thread-safety wall can check it. The
+// unjustified suppression at the bottom must ALSO be flagged.
+#include <mutex>  // BAD: include of <mutex> outside the wrapper header
+
+namespace fixture {
+
+class Bad {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mu_);  // BAD: raw lock_guard
+    ++hits_;
+  }
+
+ private:
+  std::mutex mu_;  // BAD: raw mutex member — the analysis cannot see it
+  std::condition_variable cv_;  // BAD: raw condition variable
+  unsigned long hits_ = 0;
+};
+
+// BAD: a suppression with no justification is itself a finding.
+// uvd-lint: allow(raw-mutex)
+using Unjustified = std::shared_mutex;
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Self-test fixture: nondeterministic randomness sources. Each marked
+// line must be flagged `nondeterministic-rng` when linted as library code
+// (outside src/datagen/).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+inline int BadRand() {
+  return std::rand();  // BAD: process-global seeded state
+}
+
+inline void BadSeed() {
+  srand(42);  // BAD: srand
+}
+
+inline unsigned BadDevice() {
+  std::random_device rd;  // BAD: hardware entropy
+  return rd();
+}
+
+inline std::mt19937 BadTimeSeed() {
+  return std::mt19937(static_cast<unsigned>(time(nullptr)));  // BAD: time-seeded
+}
+
+inline std::mt19937_64 BadClockSeed() {
+  // BAD: clock-seeded
+  return std::mt19937_64(std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace fixture

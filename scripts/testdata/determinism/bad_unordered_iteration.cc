@@ -1,0 +1,32 @@
+// Self-test fixture: iterating unordered containers. The linter must
+// flag BOTH loops below as `unordered-iteration` — hash iteration order
+// is address- and implementation-dependent, so anything it feeds
+// (serialization, digests, merged results) varies run to run.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Summary {
+  std::unordered_map<uint32_t, uint64_t> hits;
+
+  // BAD: range-for over an unordered map inside a serialize-shaped path.
+  std::string Serialize() const {
+    std::string out;
+    for (const auto& [key, count] : hits) {
+      out += std::to_string(key) + ":" + std::to_string(count) + ",";
+    }
+    return out;
+  }
+
+  // BAD: iterator loop over the same container.
+  uint64_t Total() const {
+    uint64_t total = 0;
+    for (auto it = hits.begin(); it != hits.end(); ++it) total += it->second;
+    return total;
+  }
+};
+
+}  // namespace fixture

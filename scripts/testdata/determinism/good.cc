@@ -1,0 +1,53 @@
+// Self-test fixture: determinism-clean code. Every pattern here is the
+// approved counterpart of a bad_*.cc fixture; the linter must report
+// nothing.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+struct Slot {
+  int value = 0;
+};
+
+class Good {
+ public:
+  // Unordered LOOK-UPS are fine; only iteration is banned.
+  int Find(uint32_t key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? -1 : it->second.value;
+  }
+
+  // Iterating an ordered, value-keyed container is deterministic.
+  std::vector<uint32_t> SortedKeys() const {
+    std::vector<uint32_t> keys;
+    for (const auto& [key, slot] : ordered_) keys.push_back(key);
+    return keys;
+  }
+
+  void Touch() {
+    uvd::MutexLock lock(mu_);
+    ++hits_;
+  }
+
+ private:
+  std::unordered_map<uint32_t, Slot> map_;
+  std::map<uint32_t, Slot> ordered_;  // keyed on a stable id, not an address
+  uvd::Mutex mu_;
+  uint64_t hits_ UVD_GUARDED_BY(mu_) = 0;
+};
+
+// Explicitly seeded RNG through the repo wrapper: deterministic.
+inline double Draw(uvd::Rng& rng) { return rng.Uniform(0.0, 1.0); }
+
+// A justified suppression is honored.
+// uvd-lint: allow(raw-mutex) fixture proving justified suppressions pass
+using RawForInterop = std::mutex;
+
+}  // namespace fixture

@@ -43,6 +43,11 @@ const char* TickerName(Ticker t);
 /// while work is in flight are not. Hot loops should still prefer a
 /// per-worker shard merged at the end (MergeFrom) over hammering a shared
 /// instance — the parallel build pipeline does exactly that.
+///
+/// Deliberately lock-free: there is no mutex here for the thread-safety
+/// analysis to check (common/thread_annotations.h), and none is needed —
+/// every member is a std::atomic and no operation spans two counters
+/// (docs/STATIC_ANALYSIS.md, "Atomics vs. guarded fields").
 class Stats {
  public:
   Stats() = default;

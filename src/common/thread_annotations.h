@@ -1,0 +1,140 @@
+// Clang Thread-Safety-Analysis annotations plus the annotated Mutex /
+// MutexLock / CondVar wrappers every lock-guarded structure in src/ must
+// use (scripts/check_determinism.py rejects raw std::mutex declarations).
+//
+// Under Clang the whole tree compiles with -Wthread-safety
+// -Werror=thread-safety (CMakeLists.txt), so a field read outside its
+// mutex, a lock-scope escape, or a call missing its UVD_REQUIRES
+// capability is a COMPILE error — the lock discipline holds for
+// interleavings no TSan run reaches. Under GCC (which has no such
+// analysis) every macro expands to nothing and the wrappers are
+// zero-overhead shims over <mutex>/<condition_variable>, so the tier-1
+// build is unchanged. docs/STATIC_ANALYSIS.md is the discipline guide;
+// tests/common/thread_annotations_compile_fail/ proves violations really
+// fail to compile.
+#ifndef UVD_COMMON_THREAD_ANNOTATIONS_H_
+#define UVD_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define UVD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define UVD_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability (applied to Mutex below).
+#define UVD_CAPABILITY(x) UVD_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (applied to MutexLock below).
+#define UVD_SCOPED_CAPABILITY UVD_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member may only be read or written while holding `x`.
+#define UVD_GUARDED_BY(x) UVD_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose POINTEE may only be accessed while holding `x`
+/// (the pointer itself is unguarded).
+#define UVD_PT_GUARDED_BY(x) UVD_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held ON ENTRY and does
+/// not release them.
+#define UVD_REQUIRES(...) UVD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define UVD_ACQUIRE(...) UVD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a capability acquired earlier.
+#define UVD_RELEASE(...) UVD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire; holds the capability iff it returned `b`.
+#define UVD_TRY_ACQUIRE(...) UVD_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock guard for
+/// functions that acquire them internally).
+#define UVD_EXCLUDES(...) UVD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define UVD_RETURN_CAPABILITY(x) UVD_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment justifying why the discipline cannot be expressed
+/// (docs/STATIC_ANALYSIS.md "Suppressing with justification").
+#define UVD_NO_THREAD_SAFETY_ANALYSIS \
+  UVD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace uvd {
+
+/// \brief std::mutex wrapped as an annotated capability.
+///
+/// Same cost, same semantics — the wrapper exists so GUARDED_BY fields and
+/// REQUIRES contracts are checkable at compile time. Prefer MutexLock over
+/// manual Lock/Unlock pairs; condition waits go through CondVar.
+class UVD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() UVD_ACQUIRE() { mu_.lock(); }
+  void Unlock() UVD_RELEASE() { mu_.unlock(); }
+  bool TryLock() UVD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief RAII lock over a Mutex (the std::lock_guard of the wrapper
+/// world, visible to the analysis as a scoped capability).
+class UVD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) UVD_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() UVD_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// \brief Condition variable paired with Mutex.
+///
+/// Wait requires the mutex to be HELD on entry and holds it again on
+/// return (it is released only while blocked, like std::condition_variable
+/// — the analysis sees an uninterrupted critical section, which is exactly
+/// the guarantee the caller's predicate re-check relies on). Write waits
+/// as explicit loops —
+///     while (!predicate) cv.Wait(mu);
+/// — rather than passing a predicate lambda: lambda bodies are analyzed as
+/// unannotated functions, so guarded reads inside them would defeat the
+/// analysis.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, reacquires `mu`.
+  /// Spurious wakeups happen; always re-check the predicate in a loop.
+  void Wait(Mutex& mu) UVD_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait;
+    // release() afterwards keeps it held for the caller, matching the
+    // REQUIRES contract (held on entry, held on return).
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace uvd
+
+#endif  // UVD_COMMON_THREAD_ANNOTATIONS_H_

@@ -4,18 +4,21 @@
 // Wait over a FIFO task queue — so callers own their scheduling policy
 // (the build pipeline, for instance, submits one long-running loop per
 // worker and sequences results itself to stay deterministic).
+//
+// Lock discipline is compile-time checked: every guarded field carries
+// UVD_GUARDED_BY and the waits are explicit predicate loops over CondVar
+// (see common/thread_annotations.h and docs/STATIC_ANALYSIS.md).
 #ifndef UVD_COMMON_THREAD_POOL_H_
 #define UVD_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 
 namespace uvd {
 
@@ -44,10 +47,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       shutdown_ = true;
     }
-    cv_task_.notify_all();
+    cv_task_.NotifyAll();
     for (std::thread& t : threads_) t.join();
   }
 
@@ -55,57 +58,57 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Must not be called after destruction has begun.
-  void Submit(std::function<void()> task) {
+  void Submit(std::function<void()> task) UVD_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       UVD_CHECK(!shutdown_) << "Submit on a shut-down ThreadPool";
       queue_.push(std::move(task));
       ++pending_;
     }
-    cv_task_.notify_one();
+    cv_task_.NotifyOne();
   }
 
   /// Blocks until every task submitted so far has finished. The pool is
   /// reusable afterwards.
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_idle_.wait(lock, [this] { return pending_ == 0; });
+  void Wait() UVD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (pending_ != 0) cv_idle_.Wait(mu_);
   }
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
   /// Tasks submitted but not yet picked up by a worker — the obs layer's
   /// queue-depth gauge. A momentary value, not a synchronization point.
-  size_t QueueDepth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t QueueDepth() const UVD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return queue_.size();
   }
 
  private:
-  void WorkerLoop() {
+  void WorkerLoop() UVD_EXCLUDES(mu_) {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_task_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        MutexLock lock(mu_);
+        while (!shutdown_ && queue_.empty()) cv_task_.Wait(mu_);
         if (queue_.empty()) return;  // shutdown and drained
         task = std::move(queue_.front());
         queue_.pop();
       }
       task();
       {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (--pending_ == 0) cv_idle_.notify_all();
+        MutexLock lock(mu_);
+        if (--pending_ == 0) cv_idle_.NotifyAll();
       }
     }
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::queue<std::function<void()>> queue_;
-  size_t pending_ = 0;   // submitted but not yet finished
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::queue<std::function<void()>> queue_ UVD_GUARDED_BY(mu_);
+  size_t pending_ UVD_GUARDED_BY(mu_) = 0;  // submitted but not yet finished
+  bool shutdown_ UVD_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 
@@ -123,24 +126,24 @@ class WaitGroup {
   explicit WaitGroup(int count) : remaining_(count) {}
 
   /// Marks one task complete. Call exactly once per counted task.
-  void Done() {
+  void Done() UVD_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --remaining_;
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
   /// Blocks until every counted task called Done().
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return remaining_ <= 0; });
+  void Wait() UVD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (remaining_ > 0) cv_.Wait(mu_);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int remaining_;  // guarded by mu_
+  Mutex mu_;
+  CondVar cv_;
+  int remaining_ UVD_GUARDED_BY(mu_);
 };
 
 }  // namespace uvd

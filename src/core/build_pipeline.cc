@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/uv_cell.h"
@@ -270,12 +269,22 @@ Status RunParallel(const std::vector<uncertain::UncertainObject>& objects,
     StageResult result;
     bool ready = false;
   };
-  std::vector<Slot> ring(window);
-  std::mutex mu;
-  std::condition_variable cv_space;  // consumer advanced or abort
-  std::condition_variable cv_ready;  // a slot became ready
-  size_t consumed = 0;               // guarded by mu
-  bool abort = false;                // guarded by mu
+  // The ring's shared state lives in one annotated struct so the analysis
+  // checks the stage-1-worker / consumer handoff: every guarded access in
+  // the lambdas below must hold ring.mu.
+  struct RingState {
+    Mutex mu;
+    CondVar cv_space;  // consumer advanced or abort
+    CondVar cv_ready;  // a slot became ready
+    std::vector<Slot> slots UVD_GUARDED_BY(mu);
+    size_t consumed UVD_GUARDED_BY(mu) = 0;
+    bool abort UVD_GUARDED_BY(mu) = false;
+  };
+  RingState ring;
+  {
+    MutexLock lock(ring.mu);
+    ring.slots.resize(window);
+  }
   std::atomic<size_t> next{0};
 
   // One Stats shard per worker keeps the hottest tickers (envelope
@@ -297,7 +306,7 @@ Status RunParallel(const std::vector<uncertain::UncertainObject>& objects,
       for (;;) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) {
-          std::lock_guard<std::mutex> lock(mu);
+          MutexLock lock(ring.mu);
           local->stage1_wall_seconds =
               std::max(local->stage1_wall_seconds, phase_timer.ElapsedSeconds());
           return;
@@ -307,20 +316,22 @@ Status RunParallel(const std::vector<uncertain::UncertainObject>& objects,
           // holding the smallest unfilled index is always admitted
           // (window >= workers), so the claim-then-wait order cannot
           // deadlock.
-          std::unique_lock<std::mutex> lock(mu);
-          cv_space.wait(lock, [&] { return abort || i < consumed + window; });
-          if (abort) return;
+          MutexLock lock(ring.mu);
+          while (!ring.abort && i >= ring.consumed + window) {
+            ring.cv_space.Wait(ring.mu);
+          }
+          if (ring.abort) return;
         }
         StageResult r = RunObjectStage(objects, finder, i, domain, options.method,
                                        denom, options.kernel_mode, shard);
         {
-          std::lock_guard<std::mutex> lock(mu);
-          Slot& slot = ring[i % window];
+          MutexLock lock(ring.mu);
+          Slot& slot = ring.slots[i % window];
           UVD_DCHECK(!slot.ready);
           slot.result = std::move(r);
           slot.ready = true;
         }
-        cv_ready.notify_all();
+        ring.cv_ready.NotifyAll();
       }
     });
   }
@@ -332,23 +343,23 @@ Status RunParallel(const std::vector<uncertain::UncertainObject>& objects,
   for (size_t i = 0; i < n; ++i) {
     StageResult r;
     {
-      std::unique_lock<std::mutex> lock(mu);
-      cv_ready.wait(lock, [&] { return ring[i % window].ready; });
-      Slot& slot = ring[i % window];
+      MutexLock lock(ring.mu);
+      while (!ring.slots[i % window].ready) ring.cv_ready.Wait(ring.mu);
+      Slot& slot = ring.slots[i % window];
       r = std::move(slot.result);
       slot.ready = false;
-      consumed = i + 1;
+      ring.consumed = i + 1;
     }
-    cv_space.notify_all();
+    ring.cv_space.NotifyAll();
     Accumulate(r, local);
     status = InsertResult(objects, ptrs, i, r, index, local);
     if (!status.ok()) {
-      std::lock_guard<std::mutex> lock(mu);
-      abort = true;
+      MutexLock lock(ring.mu);
+      ring.abort = true;
       break;
     }
   }
-  cv_space.notify_all();
+  ring.cv_space.NotifyAll();
   pool.Wait();
 
   if (stats != nullptr) {

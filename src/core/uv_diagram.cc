@@ -57,7 +57,7 @@ Result<UVDiagram> UVDiagram::Build(std::vector<uncertain::UncertainObject> objec
 }
 
 void UVDiagram::RefreshRtreeIfStale() const {
-  std::lock_guard<std::mutex> lock(*rtree_mu_);
+  MutexLock lock(*rtree_mu_);
   if (!rtree_stale_) return;
   auto tree =
       rtree::RTree::BulkLoad(objects_, ptrs_, pm_.get(), options_.rtree, stats_);
@@ -79,7 +79,7 @@ Status UVDiagram::InsertObject(uncertain::UncertainObject object) {
   objects_.push_back(std::move(object));
   ptrs_.push_back(ptr.value());
   {
-    std::lock_guard<std::mutex> lock(*rtree_mu_);
+    MutexLock lock(*rtree_mu_);
     rtree_stale_ = true;
   }
 

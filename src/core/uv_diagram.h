@@ -10,11 +10,11 @@
 #define UVD_CORE_UV_DIAGRAM_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/result.h"
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "core/builder.h"
 #include "core/pattern_queries.h"
 #include "core/pnn.h"
@@ -127,9 +127,15 @@ class UVDiagram {
   std::vector<uncertain::ObjectPtr> ptrs_;
   mutable std::unique_ptr<rtree::RTree> rtree_;
   /// Guards rtree_stale_ and the lazy rebuild of *rtree_. A unique_ptr so
-  /// UVDiagram stays movable (Result<UVDiagram> returns by value).
-  mutable std::unique_ptr<std::mutex> rtree_mu_ = std::make_unique<std::mutex>();
-  mutable bool rtree_stale_ = false;  // guarded by rtree_mu_
+  /// UVDiagram stays movable (Result<UVDiagram> returns by value); the
+  /// analysis tracks the capability through the dereference
+  /// (UVD_GUARDED_BY(*rtree_mu_)). The rebuilt R-tree VALUE is read
+  /// lock-free on query paths — that is safe because rebuilds only fire
+  /// inside InsertObject, which callers must not overlap with queries
+  /// (see RefreshRtreeIfStale below), so only the staleness flag carries
+  /// the annotation.
+  mutable std::unique_ptr<Mutex> rtree_mu_ = std::make_unique<Mutex>();
+  mutable bool rtree_stale_ UVD_GUARDED_BY(*rtree_mu_) = false;
   std::unique_ptr<UVIndex> index_;
   BuildStats build_stats_;
 };

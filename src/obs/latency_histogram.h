@@ -13,7 +13,11 @@
 // so one histogram may be shared by concurrent recorders; totals are
 // exact, cross-field snapshots taken mid-flight are not. Hot loops that
 // want zero sharing use a per-worker shard merged via MergeFrom at the
-// end — the query engine does exactly that.
+// end — the query engine does exactly that. Like Stats, the type is
+// deliberately mutex-free, so it carries no thread-safety annotations
+// (docs/STATIC_ANALYSIS.md, "Atomics vs. guarded fields"); the other obs
+// components (TraceRecorder, MetricsRegistry) do hold locks and are
+// fully annotated.
 #ifndef UVD_OBS_LATENCY_HISTOGRAM_H_
 #define UVD_OBS_LATENCY_HISTOGRAM_H_
 

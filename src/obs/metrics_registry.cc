@@ -8,30 +8,30 @@ namespace uvd {
 namespace obs {
 
 void MetricsRegistry::RegisterStats(const std::string& prefix, const Stats* stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.emplace_back(prefix, stats);
 }
 
 void MetricsRegistry::RegisterHistogram(const std::string& name,
                                         const LatencyHistogram* histogram) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   histograms_.emplace_back(name, histogram);
 }
 
 void MetricsRegistry::RegisterGauge(const std::string& name,
                                     std::function<double()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gauges_.emplace_back(name, std::move(fn));
 }
 
 void MetricsRegistry::RegisterCounter(const std::string& name,
                                       std::function<uint64_t()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.emplace_back(name, std::move(fn));
 }
 
 void MetricsRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.clear();
   histograms_.clear();
   gauges_.clear();
@@ -41,7 +41,7 @@ void MetricsRegistry::Clear() {
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot(
     bool include_zero_counters) const {
   Snapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [prefix, stats] : stats_) {
     for (uint32_t t = 0; t < static_cast<uint32_t>(Ticker::kNumTickers); ++t) {
       const uint64_t value = stats->Get(static_cast<Ticker>(t));

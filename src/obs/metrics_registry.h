@@ -17,12 +17,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "obs/latency_histogram.h"
 
 namespace uvd {
@@ -82,11 +82,14 @@ class MetricsRegistry {
   Snapshot TakeSnapshot(bool include_zero_counters = true) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::pair<std::string, const Stats*>> stats_;
-  std::vector<std::pair<std::string, const LatencyHistogram*>> histograms_;
-  std::vector<std::pair<std::string, std::function<double()>>> gauges_;
-  std::vector<std::pair<std::string, std::function<uint64_t()>>> counters_;
+  mutable Mutex mu_;
+  std::vector<std::pair<std::string, const Stats*>> stats_ UVD_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, const LatencyHistogram*>> histograms_
+      UVD_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::function<double()>>> gauges_
+      UVD_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::function<uint64_t()>>> counters_
+      UVD_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

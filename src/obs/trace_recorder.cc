@@ -34,7 +34,7 @@ TraceRecorder::Ring* TraceRecorder::RingForThisThread() {
   if (is_global && tls_global_ring != nullptr) {
     return static_cast<Ring*>(tls_global_ring);
   }
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   const std::thread::id me = std::this_thread::get_id();
   for (const auto& existing : rings_) {
     if (existing->owner == me) {
@@ -45,7 +45,12 @@ TraceRecorder::Ring* TraceRecorder::RingForThisThread() {
   auto ring = std::make_unique<Ring>();
   ring->tid = static_cast<uint32_t>(rings_.size());
   ring->owner = me;
-  ring->events.resize(ring_capacity_);
+  {
+    // The ring is not yet published, but `events` is guarded by `mu`:
+    // taking the (uncontended) lock keeps the annotation exact.
+    MutexLock init_lock(ring->mu);
+    ring->events.resize(ring_capacity_);
+  }
   Ring* raw = ring.get();
   rings_.push_back(std::move(ring));
   if (is_global) tls_global_ring = raw;
@@ -55,7 +60,7 @@ TraceRecorder::Ring* TraceRecorder::RingForThisThread() {
 void TraceRecorder::Record(const char* category, const char* name,
                            uint64_t start_us, uint64_t duration_us) {
   Ring* ring = RingForThisThread();
-  std::lock_guard<std::mutex> lock(ring->mu);
+  MutexLock lock(ring->mu);
   ring->events[ring->next] = TraceEvent{category, name, start_us, duration_us};
   ring->next = (ring->next + 1) % ring->events.size();
   if (ring->size < ring->events.size()) {
@@ -66,9 +71,9 @@ void TraceRecorder::Record(const char* category, const char* name,
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   for (auto& ring : rings_) {
-    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    MutexLock ring_lock(ring->mu);
     ring->next = 0;
     ring->size = 0;
     ring->dropped = 0;
@@ -76,27 +81,27 @@ void TraceRecorder::Clear() {
 }
 
 size_t TraceRecorder::event_count() const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   size_t total = 0;
   for (const auto& ring : rings_) {
-    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    MutexLock ring_lock(ring->mu);
     total += ring->size;
   }
   return total;
 }
 
 uint64_t TraceRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   uint64_t total = 0;
   for (const auto& ring : rings_) {
-    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    MutexLock ring_lock(ring->mu);
     total += ring->dropped;
   }
   return total;
 }
 
 size_t TraceRecorder::thread_count() const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   return rings_.size();
 }
 
@@ -113,9 +118,9 @@ std::string TraceRecorder::ToChromeTraceJson() const {
   std::ostringstream out;
   out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   bool first = true;
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   for (const auto& ring : rings_) {
-    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    MutexLock ring_lock(ring->mu);
     // Oldest event first: the ring holds `size` events ending at `next`.
     const size_t cap = ring->events.size();
     const size_t start = (ring->next + cap - ring->size) % cap;

@@ -24,12 +24,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace uvd {
 namespace obs {
@@ -93,22 +93,26 @@ class TraceRecorder {
 
  private:
   struct Ring {
-    mutable std::mutex mu;
+    mutable Mutex mu;
+    // tid and owner are written once at registration (under the
+    // recorder's registry_mu_, before the ring is published) and
+    // immutable afterwards; the analysis cannot name an outer-instance
+    // mutex from a nested struct, so they stay unannotated by design.
     uint32_t tid = 0;
-    std::thread::id owner;           // registering thread (lookup key)
-    std::vector<TraceEvent> events;  // capacity-bounded ring
-    size_t next = 0;                 // write cursor
-    size_t size = 0;                 // events held (<= capacity)
-    uint64_t dropped = 0;
+    std::thread::id owner;  // registering thread (lookup key)
+    std::vector<TraceEvent> events UVD_GUARDED_BY(mu);  // capacity-bounded
+    size_t next UVD_GUARDED_BY(mu) = 0;     // write cursor
+    size_t size UVD_GUARDED_BY(mu) = 0;     // events held (<= capacity)
+    uint64_t dropped UVD_GUARDED_BY(mu) = 0;
   };
 
-  Ring* RingForThisThread();
+  Ring* RingForThisThread() UVD_EXCLUDES(registry_mu_);
 
   static std::atomic<bool> enabled_;
 
   size_t ring_capacity_;
-  mutable std::mutex registry_mu_;  // guards rings_ growth
-  std::vector<std::unique_ptr<Ring>> rings_;
+  mutable Mutex registry_mu_;  // guards rings_ growth
+  std::vector<std::unique_ptr<Ring>> rings_ UVD_GUARDED_BY(registry_mu_);
 };
 
 /// RAII span: captures the clock at construction (when tracing is enabled)

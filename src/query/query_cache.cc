@@ -31,7 +31,7 @@ Result<std::vector<rtree::LeafEntry>> QueryCache::GetOrLoad(uint32_t leaf,
                                                             Stats* stats) {
   Shard& shard = ShardFor(leaf);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(leaf);
     if (it != shard.map.end()) {
       if (stats != nullptr) stats->Add(Ticker::kQueryCacheHits);
@@ -68,7 +68,7 @@ Result<std::vector<rtree::LeafEntry>> QueryCache::GetOrLoad(uint32_t leaf,
   std::vector<rtree::LeafEntry> tuples = std::move(loaded).value();
 
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(leaf);
     if (it == shard.map.end()) {  // a concurrent miss may have won the race
       shard.probationary.push_front(Entry{leaf, tuples});
@@ -88,14 +88,14 @@ Result<std::vector<rtree::LeafEntry>> QueryCache::GetOrLoad(uint32_t leaf,
 Status QueryCache::WarmInsert(uint32_t leaf, const Loader& loader, Stats* stats) {
   Shard& shard = ShardFor(leaf);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (shard.map.find(leaf) != shard.map.end()) return Status::OK();
   }
   auto loaded = loader();
   if (!loaded.ok()) return loaded.status();
   std::vector<rtree::LeafEntry> tuples = std::move(loaded).value();
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(leaf);
     if (it != shard.map.end()) return Status::OK();  // lost the race: keep theirs
     if (stats != nullptr) stats->Add(Ticker::kQueryCacheWarmInserts);
@@ -111,7 +111,7 @@ Status QueryCache::WarmInsert(uint32_t leaf, const Loader& loader, Stats* stats)
 
 void QueryCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->probationary.clear();
     shard->protected_.clear();
     shard->map.clear();
@@ -121,7 +121,7 @@ void QueryCache::Clear() {
 size_t QueryCache::size() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     n += shard->map.size();
   }
   return n;
@@ -130,7 +130,7 @@ size_t QueryCache::size() const {
 size_t QueryCache::protected_size() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     n += shard->protected_.size();
   }
   return n;

@@ -14,13 +14,13 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "rtree/leaf_codec.h"
 
 namespace uvd {
@@ -110,10 +110,13 @@ class QueryCache {
     bool is_protected;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> probationary;  // front = most recently used
-    std::list<Entry> protected_;    // front = most recently used
-    std::unordered_map<uint32_t, Slot> map;
+    mutable Mutex mu;
+    // Both LRU lists keep most-recently-used at the front. The map is
+    // never iterated (iteration order of an unordered container is not
+    // deterministic — scripts/check_determinism.py enforces this).
+    std::list<Entry> probationary UVD_GUARDED_BY(mu);
+    std::list<Entry> protected_ UVD_GUARDED_BY(mu);
+    std::unordered_map<uint32_t, Slot> map UVD_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(uint32_t leaf) { return *shards_[leaf % shards_.size()]; }

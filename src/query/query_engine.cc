@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <utility>
 
 #include "core/pattern_queries.h"
@@ -47,7 +46,7 @@ void QueryEngine::InvalidateCache() {
 }
 
 std::vector<Stats> QueryEngine::worker_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return worker_stats_;
 }
 
@@ -213,7 +212,7 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(const QueryBatch& batch) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     worker_stats_ = std::move(shards);
   }
   return results;

@@ -46,11 +46,11 @@
 
 #include <array>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/uv_diagram.h"
 #include "obs/latency_histogram.h"
@@ -158,8 +158,9 @@ class QueryEngine {
   int threads_;
   std::unique_ptr<QueryCache> cache_;    // null if disabled
   std::unique_ptr<ThreadPool> pool_;     // null if threads_ == 1
-  mutable std::mutex stats_mu_;          // guards worker_stats_
-  std::vector<Stats> worker_stats_;      // last batch's shards (snapshot)
+  mutable Mutex stats_mu_;
+  // Last batch's shards (observability snapshot, republished per batch).
+  std::vector<Stats> worker_stats_ UVD_GUARDED_BY(stats_mu_);
   // Cumulative per-kind query latency (us); merged from call-local worker
   // shards after each batch, so concurrent callers never contend on it
   // mid-batch.

@@ -178,7 +178,9 @@ std::vector<query::QueryResult> ShardRouter::ExecuteBatch(
   } else {
     // Per-call completion tracking (WaitGroup, not the pool's global
     // Wait): two concurrent router batches share the pool without coupling
-    // each other's latency to the slower batch's drain.
+    // each other's latency to the slower batch's drain. WaitGroup's
+    // counter is UVD_GUARDED_BY its mutex, so the Done/Wait handshake is
+    // checked at compile time under -Wthread-safety.
     std::atomic<size_t> next{0};
     const size_t tasks = std::min<size_t>(
         active.size(), static_cast<size_t>(pool_->num_threads()));

@@ -129,6 +129,14 @@ class ShardRouter {
  private:
   /// Histograms and atomics are non-movable; unique_ptr keeps the vector
   /// regular while workers record through stable addresses.
+  ///
+  /// The router holds no mutex of its own: engines_/shard_obs_ are built
+  /// in the constructor and immutable afterwards, per-worker accumulation
+  /// is relaxed-atomic, and per-call completion uses WaitGroup (whose
+  /// internal lock discipline is compile-time checked via
+  /// common/thread_annotations.h). Any future mutable router state — e.g.
+  /// the streaming merge or admission queues on the ROADMAP — must be
+  /// UVD_GUARDED_BY an annotated Mutex (docs/STATIC_ANALYSIS.md).
   struct ShardObs {
     obs::LatencyHistogram routed_latency_us;
     std::atomic<uint64_t> routed_queries{0};

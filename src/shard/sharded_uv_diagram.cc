@@ -409,6 +409,11 @@ Result<ShardedUVDiagram> ShardedUVDiagram::Build(
   if (workers <= 1) {
     for (size_t s = 0; s < boxes.size(); ++s) build_shard(s);
   } else {
+    // Shared state across workers is exactly one atomic claim cursor; each
+    // shard's storage/index is private to whichever worker claims it, so
+    // there is no guarded state here for the thread-safety analysis — the
+    // pool's own lock discipline is annotated at its source
+    // (common/thread_pool.h; docs/STATIC_ANALYSIS.md).
     ThreadPool pool(workers);
     std::atomic<size_t> next{0};
     for (int w = 0; w < workers; ++w) {

@@ -37,6 +37,14 @@ constexpr size_t kDefaultPageSize = 4096;
 /// only its own page's buffer. The parallel build pipeline relies on
 /// exactly that: UVIndex::FinalizeWith allocates every leaf page up front
 /// in one AllocateRun, then fans the page writes out across workers.
+///
+/// This phase discipline (allocate-then-share) is intentionally mutex-free
+/// — there is no interleaving to guard, so there is nothing here for the
+/// thread-safety analysis (common/thread_annotations.h) to annotate; the
+/// contract lives in this comment and in the TSan CI job instead
+/// (docs/STATIC_ANALYSIS.md, "Phase-disciplined structures"). A future
+/// file-backed PageManager with a buffer pool WILL need guarded state and
+/// must adopt the annotated Mutex wrapper.
 class PageManager {
  public:
   explicit PageManager(size_t page_size = kDefaultPageSize, Stats* stats = nullptr)

@@ -1,0 +1,41 @@
+// Positive control for the negative-compile suite: the same shapes as the
+// ta_fail_* cases with the lock discipline FOLLOWED. If this target ever
+// fails to build, the suite's failures would be meaningless (any compile
+// error — a broken include, a syntax slip — would "pass" a WILL_FAIL
+// test), so it compiles on every toolchain as part of the normal build.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() UVD_EXCLUDES(mu_) {
+    uvd::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  void IncrementLocked() UVD_REQUIRES(mu_) { ++value_; }
+
+  int Get() UVD_EXCLUDES(mu_) {
+    uvd::MutexLock lock(mu_);
+    return value_;
+  }
+
+  uvd::Mutex& mu() UVD_RETURN_CAPABILITY(mu_) { return mu_; }
+
+ private:
+  uvd::Mutex mu_;
+  int value_ UVD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int TaCompilePassDriver() {
+  Counter c;
+  c.Increment();
+  {
+    uvd::MutexLock lock(c.mu());
+    c.IncrementLocked();
+  }
+  return c.Get();
+}

@@ -1,0 +1,24 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety: reads and
+// writes a UVD_GUARDED_BY field without holding its mutex. The ctest
+// thread_annotations_guarded_by_violation_must_not_compile asserts the
+// build of this file fails (WILL_FAIL).
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // VIOLATION: value_ is guarded by mu_, which is never acquired here.
+  void Increment() { ++value_; }
+
+ private:
+  uvd::Mutex mu_;
+  int value_ UVD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void TaGuardedByViolationDriver() {
+  Counter c;
+  c.Increment();
+}

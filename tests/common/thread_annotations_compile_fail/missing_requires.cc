@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety: calls a
+// UVD_REQUIRES(mu_) method without holding the capability. The ctest
+// thread_annotations_missing_requires_must_not_compile asserts the build
+// of this file fails (WILL_FAIL).
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void IncrementLocked() UVD_REQUIRES(mu_) { ++value_; }
+
+  // VIOLATION: IncrementLocked requires mu_, but the caller never takes it.
+  void Increment() { IncrementLocked(); }
+
+ private:
+  uvd::Mutex mu_;
+  int value_ UVD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void TaMissingRequiresDriver() {
+  Counter c;
+  c.Increment();
+}

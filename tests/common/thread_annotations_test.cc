@@ -1,0 +1,94 @@
+// Runtime semantics of the annotated Mutex / MutexLock / CondVar wrappers
+// (common/thread_annotations.h). The compile-time side — violations being
+// rejected — is covered by tests/common/thread_annotations_compile_fail/;
+// this suite proves the wrappers behave exactly like the <mutex> and
+// <condition_variable> primitives they wrap, on every toolchain.
+#include "common/thread_annotations.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace uvd {
+namespace {
+
+TEST(MutexTest, MutualExclusionUnderContention) {
+  Mutex mu;
+  int value = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++value;  // non-atomic: only mutual exclusion keeps this exact
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(value, kThreads * kIncrements);
+}
+
+TEST(MutexTest, TryLockReflectsOwnership) {
+  Mutex mu;
+  mu.Lock();
+  std::thread other([&] {
+    EXPECT_FALSE(mu.TryLock());  // held by the main thread
+  });
+  other.join();
+  mu.Unlock();
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(CondVarTest, WaitReleasesAndReacquiresTheMutex) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  bool observed = false;
+
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    observed = true;  // must hold mu again here
+  });
+
+  // If Wait failed to release the mutex, this Lock would deadlock.
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  EXPECT_TRUE(observed);
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int awake = 0;
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) cv.Wait(mu);
+      ++awake;
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(awake, kWaiters);
+}
+
+}  // namespace
+}  // namespace uvd
