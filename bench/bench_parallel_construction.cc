@@ -1,25 +1,33 @@
-// Staged build pipeline: construction time vs worker count and stage-1
-// kernel implementation for Basic / ICR / IC on the Fig. 7(a) workload.
+// Staged build pipeline: construction time vs worker count, stage-1
+// kernel implementation and stage-1 traversal strategy for Basic / ICR /
+// IC on the Fig. 7(a) workload (uniform and clustered shapes).
 //
-// Two axes:
+// Three axes:
 //
-//   threads      — stage 1 fans out per object; stage 2 (quad-tree
-//                  insertion) runs domain-partitioned with a canonical
-//                  stitch (core/uv_index.h).
-//   kernel_mode  — scalar: the reference per-candidate loops;
-//                  batch: the SoA kernels of geom/batch/ (envelope
-//                  prefilter, squared-distance C-pruning, batched 4-point
-//                  test), optionally SIMD (UVD_ENABLE_SIMD).
+//   threads        — stage 1 fans out per object; stage 2 (quad-tree
+//                    insertion) runs domain-partitioned with a canonical
+//                    stitch (core/uv_index.h).
+//   kernel_mode    — scalar: the reference per-candidate loops;
+//                    batch: the SoA kernels of geom/batch/ (envelope
+//                    prefilter, squared-distance C-pruning, batched
+//                    4-point test), optionally SIMD (UVD_ENABLE_SIMD).
+//   traversal_mode — per_anchor: every anchor restarts the R-tree k-NN /
+//                    range query from the root (the traversal oracle);
+//                    shared: Morton-tiled anchors reuse a per-worker
+//                    rtree::TraversalSession (shared frontier,
+//                    previous-anchor bound, decoded-leaf memo).
 //
 // Every cell builds a byte-identical index; `--determinism-check` proves
-// it by building the example index across thread counts, stage-2 shapes
-// AND kernel modes, diffing serialized digests against the serial build
-// (the CI cross-check step and a ctest smoke run exactly that; exits
-// non-zero on any mismatch).
+// it by building the example index across thread counts, stage-2 shapes,
+// kernel modes AND traversal modes/tile sizes, diffing serialized digests
+// against the serial build (the CI cross-check step and a ctest smoke run
+// exactly that; exits non-zero on any mismatch).
 //
 // `--json <path>` additionally writes every measured cell as a flat JSON
-// record (method, threads, kernel, stage wall clocks, speedups) for bench
-// history tracking — see BENCH_stage1.json at the repo root.
+// record (method, shape, threads, kernel, traversal, stage wall clocks,
+// the stage-1 phase breakdown descent/decode/kernel in aggregate CPU
+// seconds, speedups) for bench history tracking — see BENCH_stage1.json
+// at the repo root.
 #include "bench_common.h"
 
 #include <cstring>
@@ -43,9 +51,9 @@ std::vector<uint8_t> SerializedIndex(const uvd::core::UVDiagram& d) {
   return bytes;
 }
 
-/// Builds the example dataset at every (threads, mode, depth, kernel)
-/// combination and compares serialized digests against the serial build.
-/// Returns the number of mismatches (0 = deterministic).
+/// Builds the example dataset at every (threads, mode, depth, kernel,
+/// traversal, tile) combination and compares serialized digests against
+/// the serial build. Returns the number of mismatches (0 = deterministic).
 int RunDeterminismCheck() {
   using namespace uvd;
   datagen::DatasetOptions opts;
@@ -57,38 +65,57 @@ int RunDeterminismCheck() {
   core::UVDiagramOptions serial_options;
   serial_options.build_threads = 1;
   serial_options.kernel_mode = geom::KernelMode::kScalar;
+  serial_options.traversal_mode = rtree::TraversalMode::kPerAnchor;
   const auto serial =
       core::UVDiagram::Build(objects, domain, serial_options).ValueOrDie();
   const uint64_t serial_digest = Fnv1a(SerializedIndex(serial));
-  std::printf("serial scalar                             digest %016llx\n",
+  std::printf("serial scalar per_anchor                  digest %016llx\n",
               static_cast<unsigned long long>(serial_digest));
 
   int mismatches = 0;
   const auto check = [&](int threads, core::Stage2Mode mode, int depth,
-                         geom::KernelMode kernel) {
+                         geom::KernelMode kernel, rtree::TraversalMode traversal,
+                         int tile) {
     core::UVDiagramOptions options;
     options.build_threads = threads;
     options.stage2 = mode;
     options.stage2_max_depth = depth;
     options.kernel_mode = kernel;
+    options.traversal_mode = traversal;
+    options.traversal_tile_size = tile;
     const auto d = core::UVDiagram::Build(objects, domain, options).ValueOrDie();
     const uint64_t digest = Fnv1a(SerializedIndex(d));
     const bool ok = digest == serial_digest;
-    std::printf("threads=%d %-11s depth=%d kernel=%-6s digest %016llx  %s\n",
-                threads, core::Stage2ModeName(mode), depth,
-                geom::KernelModeName(kernel),
-                static_cast<unsigned long long>(digest), ok ? "OK" : "MISMATCH");
+    std::printf(
+        "threads=%d %-11s depth=%d kernel=%-6s traversal=%-10s tile=%-3d "
+        "digest %016llx  %s\n",
+        threads, core::Stage2ModeName(mode), depth, geom::KernelModeName(kernel),
+        rtree::TraversalModeName(traversal), tile,
+        static_cast<unsigned long long>(digest), ok ? "OK" : "MISMATCH");
     if (!ok) ++mismatches;
   };
   for (int threads : {2, 4, 8}) {
     for (geom::KernelMode kernel :
          {geom::KernelMode::kScalar, geom::KernelMode::kBatch}) {
-      check(threads, core::Stage2Mode::kInOrder, 2, kernel);
-      check(threads, core::Stage2Mode::kPartitioned, 2, kernel);
+      check(threads, core::Stage2Mode::kInOrder, 2, kernel,
+            rtree::TraversalMode::kShared, 64);
+      check(threads, core::Stage2Mode::kPartitioned, 2, kernel,
+            rtree::TraversalMode::kShared, 64);
     }
     for (int depth : {1, 3}) {
       check(threads, core::Stage2Mode::kPartitioned, depth,
-            geom::KernelMode::kBatch);
+            geom::KernelMode::kBatch, rtree::TraversalMode::kShared, 64);
+    }
+  }
+  // Traversal axis: per-anchor and shared across tile sizes (1 exercises
+  // degenerate single-anchor tiles, 7 exercises tail tiles at 800 % 7 != 0,
+  // 256 exercises multi-leaf working sets) on 1 and 8 workers.
+  for (int threads : {1, 8}) {
+    check(threads, core::Stage2Mode::kAuto, 2, geom::KernelMode::kBatch,
+          rtree::TraversalMode::kPerAnchor, 64);
+    for (int tile : {1, 7, 64, 256}) {
+      check(threads, core::Stage2Mode::kAuto, 2, geom::KernelMode::kBatch,
+            rtree::TraversalMode::kShared, tile);
     }
   }
   if (mismatches == 0) {
@@ -99,30 +126,90 @@ int RunDeterminismCheck() {
   return mismatches;
 }
 
+/// Quick traversal-layer smoke for ctest: one small ICR build per
+/// traversal mode, printing the descent/decode/kernel phase breakdown and
+/// asserting (a) byte-identical serialized indexes and (b) that the shared
+/// session actually reused descent work (fewer node visits).
+int RunTraversalSmoke() {
+  using namespace uvd;
+  datagen::DatasetOptions opts;
+  opts.count = 800;
+  opts.seed = 42;
+  const auto objects = datagen::GenerateUniform(opts);
+  const geom::Box domain = datagen::DomainFor(opts);
+
+  uint64_t digests[2] = {0, 0};
+  uint64_t node_visits[2] = {0, 0};
+  const rtree::TraversalMode modes[2] = {rtree::TraversalMode::kPerAnchor,
+                                         rtree::TraversalMode::kShared};
+  for (int m = 0; m < 2; ++m) {
+    Stats stats;
+    core::UVDiagramOptions options;
+    options.method = core::BuildMethod::kICR;
+    options.build_threads = 1;
+    options.traversal_mode = modes[m];
+    const auto d =
+        core::UVDiagram::Build(objects, domain, options, &stats).ValueOrDie();
+    digests[m] = Fnv1a(SerializedIndex(d));
+    node_visits[m] = stats.Get(Ticker::kRtreeNodeVisits);
+    const auto& bs = d.build_stats();
+    std::printf(
+        "traversal=%-10s stage1 %.3fs (descent %.3f decode %.3f kernel %.3f) "
+        "node_visits %llu digest %016llx\n",
+        rtree::TraversalModeName(modes[m]), bs.stage1_wall_seconds,
+        bs.traversal_seconds - bs.decode_seconds, bs.decode_seconds,
+        bs.kernel_seconds, static_cast<unsigned long long>(node_visits[m]),
+        static_cast<unsigned long long>(digests[m]));
+  }
+  if (digests[0] != digests[1]) {
+    std::printf("traversal smoke FAILED: digests differ across modes\n");
+    return 1;
+  }
+  if (node_visits[1] >= node_visits[0]) {
+    std::printf("traversal smoke FAILED: shared mode did not reuse descent "
+                "work (%llu >= %llu node visits)\n",
+                static_cast<unsigned long long>(node_visits[1]),
+                static_cast<unsigned long long>(node_visits[0]));
+    return 1;
+  }
+  std::printf("traversal smoke PASSED\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace uvd;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--traversal-smoke") == 0) {
+      bench::PrintBanner("Traversal-session smoke: phase breakdown + digest",
+                         "bench_parallel_construction --traversal-smoke");
+      return RunTraversalSmoke();
+    }
     if (std::strcmp(argv[i], "--determinism-check") == 0) {
-      bench::PrintBanner("Stage-2 + kernel determinism cross-check",
+      bench::PrintBanner("Stage-2 + kernel + traversal determinism cross-check",
                          "serialized-index digest equality across builds");
       return RunDeterminismCheck() == 0 ? 0 : 1;
     }
   }
   const std::string json_path = bench::ParseJsonPath(argc, argv);
-  bench::JsonReport report("parallel_construction_kernel_sweep");
+  bench::JsonReport report("parallel_construction_stage1_sweep");
 
-  bench::PrintBanner("Parallel construction: T_c vs build_threads and kernel",
+  bench::PrintBanner("Parallel construction: T_c vs threads, kernel, traversal",
                      "staged pipeline over the Fig. 7(a) workload");
   std::printf("hardware concurrency: %d\n", ThreadPool::DefaultThreads());
   std::printf("batch kernels: %s (SIMD %s)\n\n", geom::batch::SimdIsa(),
               geom::batch::SimdEnabled() ? "on" : "off");
 
-  const int thread_sweep[] = {1, 2, 4, 8};
+  const int thread_sweep[] = {1, 8};
   const core::BuildMethod methods[] = {core::BuildMethod::kBasic,
                                        core::BuildMethod::kICR,
                                        core::BuildMethod::kIC};
+  struct ShapeCase {
+    const char* name;
+    bool cloud;
+  };
+  const ShapeCase shapes[] = {{"uniform", false}, {"cluster", true}};
 
   for (core::BuildMethod method : methods) {
     datagen::DatasetOptions opts;
@@ -132,52 +219,74 @@ int main(int argc, char** argv) {
                      ? bench::ScaledCount(2000)
                      : bench::ScaledCount(10000);
     opts.seed = 42;
-    std::printf("%s (|O| = %zu, partitioned stage 2)\n",
-                core::BuildMethodName(method), opts.count);
-    std::printf("%8s | %10s %10s %8s | %10s %10s %8s\n", "threads",
-                "scal s1(s)", "batch s1(s)", "s1 spdup", "scal T_c(s)",
-                "batch T_c(s)", "T_c spdup");
-    for (int threads : thread_sweep) {
-      double s1_wall[2] = {0.0, 0.0};
-      double total[2] = {0.0, 0.0};
-      const geom::KernelMode kernels[2] = {geom::KernelMode::kScalar,
-                                           geom::KernelMode::kBatch};
-      for (int k = 0; k < 2; ++k) {
-        Stats stats;
-        core::UVDiagramOptions options;
-        options.method = method;
-        options.build_threads = threads;
-        options.kernel_mode = kernels[k];
-        auto diagram = bench::BuildDiagram(datagen::GenerateUniform(opts),
-                                           datagen::DomainFor(opts), options, &stats);
-        const core::BuildStats& bs = diagram.build_stats();
-        s1_wall[k] = bs.stage1_wall_seconds;
-        total[k] = bs.total_seconds;
-        report.BeginRecord();
-        report.Add("method", core::BuildMethodName(method));
-        report.Add("objects", static_cast<int64_t>(opts.count));
-        report.Add("threads", static_cast<int64_t>(threads));
-        report.Add("kernel", geom::KernelModeName(kernels[k]));
-        report.Add("simd", geom::batch::SimdEnabled() &&
-                                   kernels[k] == geom::KernelMode::kBatch
-                               ? geom::batch::SimdIsa()
-                               : "none");
-        report.Add("stage1_wall_s", bs.stage1_wall_seconds);
-        report.Add("stage2_wall_s", bs.stage2_wall_seconds);
-        report.Add("total_s", bs.total_seconds);
+    for (const ShapeCase& shape : shapes) {
+      // sigma = domain/8 concentrates the mass like the Fig. 7(g) clouds
+      // without degenerating every k-NN into the same few leaves.
+      const auto objects =
+          shape.cloud
+              ? datagen::GenerateGaussianCloud(opts, opts.domain_size / 8.0)
+              : datagen::GenerateUniform(opts);
+      std::printf("%s / %s (|O| = %zu, partitioned stage 2, batch kernel)\n",
+                  core::BuildMethodName(method), shape.name, opts.count);
+      std::printf("%8s | %11s %10s %8s | %26s\n", "threads", "perA s1(s)",
+                  "shrd s1(s)", "s1 spdup", "shared descent/decode/kern(s)");
+      for (int threads : thread_sweep) {
+        double s1_wall[2] = {0.0, 0.0};
+        double breakdown[3] = {0.0, 0.0, 0.0};
+        const rtree::TraversalMode traversals[2] = {
+            rtree::TraversalMode::kPerAnchor, rtree::TraversalMode::kShared};
+        for (int t = 0; t < 2; ++t) {
+          // The kernel axis rides along only where it changes the answer
+          // materially (scalar vs batch is tracked by earlier PRs'
+          // records); the traversal comparison runs the default batch
+          // kernel in both modes.
+          Stats stats;
+          core::UVDiagramOptions options;
+          options.method = method;
+          options.build_threads = threads;
+          options.kernel_mode = geom::KernelMode::kBatch;
+          options.traversal_mode = traversals[t];
+          auto diagram = bench::BuildDiagram(objects, datagen::DomainFor(opts),
+                                             options, &stats);
+          const core::BuildStats& bs = diagram.build_stats();
+          s1_wall[t] = bs.stage1_wall_seconds;
+          if (traversals[t] == rtree::TraversalMode::kShared) {
+            breakdown[0] = bs.traversal_seconds - bs.decode_seconds;
+            breakdown[1] = bs.decode_seconds;
+            breakdown[2] = bs.kernel_seconds;
+          }
+          report.BeginRecord();
+          report.Add("method", core::BuildMethodName(method));
+          report.Add("shape", shape.name);
+          report.Add("objects", static_cast<int64_t>(opts.count));
+          report.Add("threads", static_cast<int64_t>(threads));
+          report.Add("kernel", geom::KernelModeName(geom::KernelMode::kBatch));
+          report.Add("simd", geom::batch::SimdEnabled() ? geom::batch::SimdIsa()
+                                                        : "none");
+          report.Add("traversal", rtree::TraversalModeName(traversals[t]));
+          report.Add("stage1_wall_s", bs.stage1_wall_seconds);
+          report.Add("stage2_wall_s", bs.stage2_wall_seconds);
+          report.Add("total_s", bs.total_seconds);
+          // Aggregate CPU seconds across workers (can exceed the walls).
+          report.Add("descent_cpu_s", bs.traversal_seconds - bs.decode_seconds);
+          report.Add("decode_cpu_s", bs.decode_seconds);
+          report.Add("kernel_cpu_s", bs.kernel_seconds);
+        }
+        std::printf("%8d | %11.2f %10.2f %7.2fx | %8.2f / %6.2f / %6.2f\n",
+                    threads, s1_wall[0], s1_wall[1], s1_wall[0] / s1_wall[1],
+                    breakdown[0], breakdown[1], breakdown[2]);
       }
-      std::printf("%8d | %10.2f %10.2f %7.2fx | %10.2f %11.2f %8.2fx\n",
-                  threads, s1_wall[0], s1_wall[1], s1_wall[0] / s1_wall[1],
-                  total[0], total[1], total[0] / total[1]);
+      std::printf("\n");
     }
-    std::printf("\n");
   }
   std::printf(
-      "Every cell builds a byte-identical index (geom/batch/kernels.h);\n"
-      "run with --determinism-check to verify digests across thread counts,\n"
-      "stage-2 shapes and kernel modes. The batch columns run the SoA\n"
-      "stage-1 kernels (envelope prefilter, squared-distance C-pruning,\n"
-      "batched 4-point test) with the scalar columns as their oracle.\n");
+      "Every cell builds a byte-identical index (rtree/traversal_session.h,\n"
+      "geom/batch/kernels.h); run with --determinism-check to verify digests\n"
+      "across thread counts, stage-2 shapes, kernel modes and traversal\n"
+      "modes/tile sizes. The shared columns reuse a per-worker traversal\n"
+      "session over Morton-ordered anchor tiles with the per-anchor columns\n"
+      "as their oracle; descent/decode/kernel split stage-1 CPU seconds by\n"
+      "phase (tree descent vs leaf decode vs pruning kernels).\n");
   report.WriteTo(json_path);
   return 0;
 }

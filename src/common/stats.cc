@@ -42,6 +42,10 @@ const char* TickerName(Ticker t) {
       return "query.cache.demotions";
     case Ticker::kQueryCacheWarmInserts:
       return "query.cache.warm.inserts";
+    case Ticker::kLeafMemoHits:
+      return "rtree.leafmemo.hits";
+    case Ticker::kLeafMemoMisses:
+      return "rtree.leafmemo.misses";
     case Ticker::kNumTickers:
       break;
   }

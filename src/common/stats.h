@@ -31,6 +31,8 @@ enum class Ticker : uint32_t {
   kQueryCachePromotions,  ///< Probationary entries promoted on re-reference.
   kQueryCacheDemotions,   ///< Protected entries demoted on segment overflow.
   kQueryCacheWarmInserts, ///< Leaves pre-populated from UV-partition results.
+  kLeafMemoHits,        ///< Traversal-session leaf decodes served from the memo.
+  kLeafMemoMisses,      ///< Traversal-session leaf decodes that read the page.
   kNumTickers,  // must be last
 };
 

@@ -48,6 +48,62 @@ CrFinderOptions FinderOptions(const BuildPipelineOptions& options) {
   return cr;
 }
 
+/// Per-worker Algorithm 2 workspace: always carries reusable buffers; under
+/// TraversalMode::kShared additionally owns the worker's TraversalSession
+/// (billing memo/visit tickers to the worker's Stats shard).
+CrFinderWorkspace MakeWorkspace(const rtree::RTree& tree,
+                                const BuildPipelineOptions& options,
+                                Stats* stats) {
+  CrFinderWorkspace ws;
+  if (options.traversal_mode == rtree::TraversalMode::kShared) {
+    rtree::TraversalSessionOptions sopts;
+    if (options.leaf_memo_capacity > 0) {
+      sopts.leaf_memo_capacity = static_cast<size_t>(options.leaf_memo_capacity);
+    }
+    ws.session = std::make_unique<rtree::TraversalSession>(tree, sopts, stats);
+  }
+  return ws;
+}
+
+/// Interleaves the low 16 bits of `v` with zeros (Morton spreading).
+uint64_t SpreadBits16(uint32_t v) {
+  uint64_t x = v & 0xFFFFu;
+  x = (x | (x << 8)) & 0x00FF00FFu;
+  x = (x | (x << 4)) & 0x0F0F0F0Fu;
+  x = (x | (x << 2)) & 0x33333333u;
+  x = (x | (x << 1)) & 0x55555555u;
+  return x;
+}
+
+/// Deterministic space-filling sweep order for the shared traversal:
+/// object indices sorted by the Morton (Z-order) key of their centers on a
+/// 2^16 grid over the domain, ties by id. Adjacent tiles of this order are
+/// spatially adjacent, which is what makes the session's frontier bound
+/// and leaf memo hit.
+std::vector<uint32_t> MortonOrder(
+    const std::vector<uncertain::UncertainObject>& objects,
+    const geom::Box& domain) {
+  const size_t n = objects.size();
+  const double w = domain.Width() > 0.0 ? domain.Width() : 1.0;
+  const double h = domain.Height() > 0.0 ? domain.Height() : 1.0;
+  constexpr double kGrid = 65535.0;
+  std::vector<uint64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    const geom::Point c = objects[i].center();
+    const double nx = std::min(1.0, std::max(0.0, (c.x - domain.lo.x) / w));
+    const double ny = std::min(1.0, std::max(0.0, (c.y - domain.lo.y) / h));
+    keys[i] = (SpreadBits16(static_cast<uint32_t>(ny * kGrid)) << 1) |
+              SpreadBits16(static_cast<uint32_t>(nx * kGrid));
+  }
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return a < b;
+  });
+  return order;
+}
+
 std::vector<geom::Circle> RegionsOf(const std::vector<uncertain::UncertainObject>& objects,
                                     const std::vector<int>& ids) {
   std::vector<geom::Circle> regions;
@@ -66,6 +122,9 @@ struct StageResult {
   double seed_seconds = 0.0;
   double prune_seconds = 0.0;
   double robject_seconds = 0.0;
+  double traversal_seconds = 0.0;
+  double decode_seconds = 0.0;
+  double kernel_seconds = 0.0;
   double i_prune_frac = 0.0;
   double c_prune_frac = 0.0;
   double cr_count = 0.0;
@@ -80,7 +139,7 @@ StageResult RunObjectStage(const std::vector<uncertain::UncertainObject>& object
                            const CrObjectFinder& finder, size_t i,
                            const geom::Box& domain, BuildMethod method,
                            double denom, geom::KernelMode kernel_mode,
-                           Stats* stats) {
+                           Stats* stats, CrFinderWorkspace* ws) {
   StageResult r;
   switch (method) {
     case BuildMethod::kBasic: {
@@ -91,9 +150,12 @@ StageResult RunObjectStage(const std::vector<uncertain::UncertainObject>& object
       break;
     }
     case BuildMethod::kICR: {
-      const CrResult cr = finder.Find(i);
+      const CrResult cr = finder.Find(i, ws);
       r.seed_seconds = cr.seed_seconds;
       r.prune_seconds = cr.prune_seconds;
+      r.traversal_seconds = cr.traversal_seconds;
+      r.decode_seconds = cr.decode_seconds;
+      r.kernel_seconds = cr.kernel_seconds;
       r.i_prune_frac = 1.0 - static_cast<double>(cr.after_i_pruning) / denom;
       r.c_prune_frac = 1.0 - static_cast<double>(cr.cr_objects.size()) / denom;
       r.cr_count = static_cast<double>(cr.cr_objects.size());
@@ -108,9 +170,12 @@ StageResult RunObjectStage(const std::vector<uncertain::UncertainObject>& object
       break;
     }
     case BuildMethod::kIC: {
-      const CrResult cr = finder.Find(i);
+      const CrResult cr = finder.Find(i, ws);
       r.seed_seconds = cr.seed_seconds;
       r.prune_seconds = cr.prune_seconds;
+      r.traversal_seconds = cr.traversal_seconds;
+      r.decode_seconds = cr.decode_seconds;
+      r.kernel_seconds = cr.kernel_seconds;
       r.i_prune_frac = 1.0 - static_cast<double>(cr.after_i_pruning) / denom;
       r.c_prune_frac = 1.0 - static_cast<double>(cr.cr_objects.size()) / denom;
       r.cr_count = static_cast<double>(cr.cr_objects.size());
@@ -125,6 +190,9 @@ void Accumulate(const StageResult& r, BuildStats* s) {
   s->seed_seconds += r.seed_seconds;
   s->pruning_seconds += r.prune_seconds;
   s->robject_seconds += r.robject_seconds;
+  s->traversal_seconds += r.traversal_seconds;
+  s->decode_seconds += r.decode_seconds;
+  s->kernel_seconds += r.kernel_seconds;
   s->i_pruning_ratio += r.i_prune_frac;
   s->c_pruning_ratio += r.c_prune_frac;
   s->avg_cr_objects += r.cr_count;
@@ -140,6 +208,12 @@ Status InsertResult(const std::vector<uncertain::UncertainObject>& objects,
                              RegionsOf(objects, r.index_ids));
 }
 
+void RunStage1Materialized(const std::vector<uncertain::UncertainObject>& objects,
+                           const rtree::RTree& tree, const geom::Box& domain,
+                           const BuildPipelineOptions& options, int workers,
+                           ThreadPool* pool, std::vector<StageResult>* results,
+                           Stats* stats);
+
 /// The legacy serial loop: compute and insert one object at a time on the
 /// calling thread.
 Status RunSerial(const std::vector<uncertain::UncertainObject>& objects,
@@ -148,12 +222,27 @@ Status RunSerial(const std::vector<uncertain::UncertainObject>& objects,
                  const BuildPipelineOptions& options, UVIndex* index,
                  BuildStats* local, Stats* stats) {
   UVD_TRACE_SPAN("build", "serial_build");
-  const CrObjectFinder finder(objects, tree, domain, FinderOptions(options), stats);
   const size_t n = objects.size();
   const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  if (options.traversal_mode == rtree::TraversalMode::kShared) {
+    // Materialize stage 1 in Morton order (where the session's pool/bound/
+    // memo reuse lives), then insert in id order. Per-object results are
+    // pure functions of the object, Accumulate still runs in id order, and
+    // stage 2 sees the exact per-anchor sequence — digests are unchanged.
+    std::vector<StageResult> results;
+    RunStage1Materialized(objects, tree, domain, options, /*workers=*/1,
+                          /*pool=*/nullptr, &results, stats);
+    for (size_t i = 0; i < n; ++i) {
+      Accumulate(results[i], local);
+      UVD_RETURN_NOT_OK(InsertResult(objects, ptrs, i, results[i], index, local));
+    }
+    return Status::OK();
+  }
+  const CrObjectFinder finder(objects, tree, domain, FinderOptions(options), stats);
+  CrFinderWorkspace ws = MakeWorkspace(tree, options, stats);
   for (size_t i = 0; i < n; ++i) {
     const StageResult r = RunObjectStage(objects, finder, i, domain, options.method,
-                                         denom, options.kernel_mode, stats);
+                                         denom, options.kernel_mode, stats, &ws);
     Accumulate(r, local);
     UVD_RETURN_NOT_OK(InsertResult(objects, ptrs, i, r, index, local));
   }
@@ -173,13 +262,35 @@ void RunStage1Materialized(const std::vector<uncertain::UncertainObject>& object
   const size_t n = objects.size();
   const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
   results->resize(n);
+  const bool tiled = options.traversal_mode == rtree::TraversalMode::kShared;
   if (workers <= 1 || pool == nullptr) {
     const CrObjectFinder finder(objects, tree, domain, FinderOptions(options), stats);
-    for (size_t i = 0; i < n; ++i) {
+    CrFinderWorkspace ws = MakeWorkspace(tree, options, stats);
+    // The Morton sweep matters even single-threaded: the session's pool /
+    // bound / memo only pay off when consecutive anchors are spatially
+    // adjacent, and ids are in dataset order (spatially random). Results
+    // land positionally, so the sweep order never shows in the output.
+    std::vector<uint32_t> order;
+    if (tiled) order = MortonOrder(objects, domain);
+    for (size_t j = 0; j < n; ++j) {
+      const size_t i = tiled ? order[j] : j;
       (*results)[i] = RunObjectStage(objects, finder, i, domain, options.method,
-                                     denom, options.kernel_mode, stats);
+                                     denom, options.kernel_mode, stats, &ws);
     }
     return;
+  }
+  // Tiled Morton sweep under kShared: workers claim contiguous tiles of
+  // the space-filling order, so each session's frontier/bound/memo sees
+  // spatially adjacent anchors back to back. Results land positionally
+  // ((*results)[i]) and every per-object output is state-independent, so
+  // the claim interleaving and tile size never show in the output.
+  std::vector<uint32_t> order;
+  size_t tile = 1;
+  if (tiled) {
+    order = MortonOrder(objects, domain);
+    tile = options.traversal_tile_size > 0
+               ? static_cast<size_t>(options.traversal_tile_size)
+               : 64;
   }
   std::vector<Stats> shards(static_cast<size_t>(workers));
   std::atomic<size_t> next{0};
@@ -189,11 +300,17 @@ void RunStage1Materialized(const std::vector<uncertain::UncertainObject>& object
       UVD_TRACE_SPAN("build", "stage1_worker");
       Stats* shard = stats != nullptr ? &shards[static_cast<size_t>(w)] : nullptr;
       const CrObjectFinder finder(objects, tree, domain, FinderOptions(options), shard);
+      CrFinderWorkspace ws = MakeWorkspace(tree, options, shard);
       for (;;) {
-        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) break;
-        (*results)[i] = RunObjectStage(objects, finder, i, domain, options.method,
-                                       denom, options.kernel_mode, shard);
+        const size_t claim = next.fetch_add(1, std::memory_order_relaxed);
+        const size_t begin = claim * tile;
+        if (begin >= n) break;
+        const size_t end = std::min(n, begin + tile);
+        for (size_t j = begin; j < end; ++j) {
+          const size_t i = tiled ? order[j] : j;
+          (*results)[i] = RunObjectStage(objects, finder, i, domain, options.method,
+                                         denom, options.kernel_mode, shard, &ws);
+        }
       }
       done->Done();
     });
@@ -303,6 +420,10 @@ Status RunParallel(const std::vector<uncertain::UncertainObject>& objects,
       UVD_TRACE_SPAN("build", "stage1_worker");
       Stats* shard = stats != nullptr ? &shards[static_cast<size_t>(w)] : nullptr;
       const CrObjectFinder finder(objects, tree, domain, FinderOptions(options), shard);
+      // Claims stay in id order here (the bounded in-order ring needs
+      // production near the consumption frontier), but the session's
+      // frontier reuse and leaf memo still pay off under kShared.
+      CrFinderWorkspace ws = MakeWorkspace(tree, options, shard);
       for (;;) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) {
@@ -323,7 +444,7 @@ Status RunParallel(const std::vector<uncertain::UncertainObject>& objects,
           if (ring.abort) return;
         }
         StageResult r = RunObjectStage(objects, finder, i, domain, options.method,
-                                       denom, options.kernel_mode, shard);
+                                       denom, options.kernel_mode, shard, &ws);
         {
           MutexLock lock(ring.mu);
           Slot& slot = ring.slots[i % window];

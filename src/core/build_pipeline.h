@@ -29,12 +29,27 @@
 //     single-threaded loop (no pool, no queue); build_threads <= 0 uses
 //     hardware concurrency.
 //
+// Stage-1 traversal strategies (rtree::TraversalMode):
+//
+//   * kShared (default): anchors are swept in Morton order in tiles of
+//     traversal_tile_size; each worker reuses one rtree::TraversalSession
+//     across its tiles (shared k-NN frontier, previous-anchor distance
+//     bound, decoded-leaf memo). Candidate sets are byte-identical to
+//     kPerAnchor for every tile size and thread count.
+//   * kPerAnchor: the historical root-restart per object — the traversal
+//     determinism oracle.
+//
 // Determinism guarantee, all modes: the quad-tree structure, leaf tuples,
 // page layout and every non-timing BuildStats field are byte-identical to
-// build_threads = 1. Stats tickers are exact for kInOrder; kPartitioned
-// preserves every ticker except the pruner-scan-order-dependent
-// kHyperbolaTests / kFourPointTests (same decisions, different scan
-// lengths — see uv_index.h).
+// build_threads = 1, across Stage2Mode, KernelMode and TraversalMode.
+// Stats tickers are exact for every stage-2 mode (the partitioned path
+// replays the serial per-leaf pruner-hint evolution, so even the
+// scan-order tickers kHyperbolaTests / kFourPointTests match — see
+// uv_index.h). Along the traversal axis the work tickers
+// kRtreeNodeVisits / kRtreeLeafReads / kLeafMemo* — and the page-I/O
+// counters kPageReads / kBufferPool* that leaf decodes feed — are
+// config-dependent under kShared (that saved work is the point); every
+// decision-count ticker still matches kPerAnchor exactly.
 //
 // Timing fields (seed/pruning/robject seconds) are summed across workers,
 // i.e. aggregate CPU seconds; with build_threads > 1 they can exceed
@@ -52,6 +67,7 @@
 #include "core/uv_index.h"
 #include "geom/box.h"
 #include "rtree/rtree.h"
+#include "rtree/traversal_session.h"
 #include "uncertain/object_store.h"
 #include "uncertain/uncertain_object.h"
 
@@ -113,6 +129,16 @@ struct BuildStats {
   double stage1_wall_seconds = 0.0;
   double stage2_wall_seconds = 0.0;
 
+  /// Orthogonal split of stage-1 CPU seconds by where the cycles went
+  /// (the bench's traversal-phase breakdown; aggregate across workers like
+  /// the fields above). traversal covers both R-tree queries of Algorithm
+  /// 2 end to end; decode is its leaf-page share (descent = traversal -
+  /// decode); kernel is C-pruning + seed-widening kernel time. All zero
+  /// for kBasic, which never runs Algorithm 2.
+  double traversal_seconds = 0.0;
+  double decode_seconds = 0.0;
+  double kernel_seconds = 0.0;
+
   double i_pruning_ratio = 0.0;   ///< Avg fraction pruned by I-pruning.
   double c_pruning_ratio = 0.0;   ///< Avg fraction pruned after C-pruning.
   double avg_cr_objects = 0.0;    ///< Mean |C_i| (IC / ICR).
@@ -143,6 +169,18 @@ struct BuildPipelineOptions {
   /// Overrides cr.kernel_mode. Both modes build bitwise-identical indexes;
   /// kScalar is the determinism oracle, kBatch the SoA/SIMD block path.
   geom::KernelMode kernel_mode = geom::KernelMode::kBatch;
+  /// Stage-1 R-tree traversal strategy (see the header comment). Both
+  /// modes build bitwise-identical indexes; kPerAnchor is the traversal
+  /// determinism oracle, kShared the tiled session-reuse path.
+  rtree::TraversalMode traversal_mode = rtree::TraversalMode::kShared;
+  /// Anchors per Morton tile under kShared (materialized stage 1 only).
+  /// <= 0: 64. Any value yields byte-identical output; it only tunes how
+  /// often workers touch the shared claim counter vs. how evenly tiles
+  /// balance.
+  int traversal_tile_size = 64;
+  /// Decoded leaves each worker's session retains. <= 0: 256 (see
+  /// rtree::TraversalSessionOptions).
+  int leaf_memo_capacity = 256;
 };
 
 /// Runs the staged pipeline: stage-1 fan-out, in-order stage-2 insertion,

@@ -10,6 +10,17 @@
 namespace uvd {
 namespace core {
 
+namespace {
+
+// Leaf-decode wall accumulated through a workspace so far, whichever
+// traversal owns the buffers (oracle scratch or shared session).
+double DecodeSeconds(const CrFinderWorkspace& ws) {
+  return ws.scratch.decode_seconds +
+         (ws.session != nullptr ? ws.session->decode_seconds() : 0.0);
+}
+
+}  // namespace
+
 CrObjectFinder::CrObjectFinder(const std::vector<uncertain::UncertainObject>& objects,
                                const rtree::RTree& tree, const geom::Box& domain,
                                const CrFinderOptions& options, Stats* stats)
@@ -52,10 +63,24 @@ std::vector<int> CrObjectFinder::SelectSeeds(
   return seeds;
 }
 
-UVCell CrObjectFinder::BuildSeedRegion(size_t index, std::vector<int>* seed_ids) const {
+UVCell CrObjectFinder::BuildSeedRegion(size_t index, std::vector<int>* seed_ids,
+                                       CrFinderWorkspace* ws) const {
+  CrFinderWorkspace local;
+  if (ws == nullptr) ws = &local;
   const uncertain::UncertainObject& anchor = objects_[index];
   // k-NN by dist_min around c_i; +1 because the anchor itself is returned.
-  const auto knn = tree_.KNearestByDistMin(anchor.center(), options_.knn_k + 1);
+  // The session (shared frontier) and the fresh traversal return the same
+  // bytes — the canonical (dist_min, id) order, see rtree::KnnHeapItem.
+  std::vector<rtree::LeafEntry>& knn = ws->knn;
+  {
+    ScopedTimer t(&ws->traversal_seconds);
+    if (ws->session != nullptr) {
+      ws->session->KNearest(anchor.center(), options_.knn_k + 1, &knn);
+    } else {
+      tree_.KNearestByDistMin(anchor.center(), options_.knn_k + 1,
+                              &ws->scratch, &knn);
+    }
+  }
   const std::vector<int> seeds = SelectSeeds(index, knn);
   UVCell region(anchor.region(), anchor.id(), domain_, stats_);
   for (int id : seeds) {
@@ -72,6 +97,7 @@ UVCell CrObjectFinder::BuildSeedRegion(size_t index, std::vector<int>* seed_ids)
   }
   if (options_.adaptive_seed_widening &&
       region.MaxDistanceFromCenter() > knn_radius) {
+    ScopedTimer kernel_timer(&ws->kernel_seconds);
     if (options_.kernel_mode == geom::KernelMode::kBatch) {
       std::vector<geom::Circle> regions;
       std::vector<int> ids;
@@ -94,16 +120,21 @@ UVCell CrObjectFinder::BuildSeedRegion(size_t index, std::vector<int>* seed_ids)
   return region;
 }
 
-CrResult CrObjectFinder::Find(size_t index) const {
+CrResult CrObjectFinder::Find(size_t index, CrFinderWorkspace* ws) const {
   UVD_CHECK_LT(index, objects_.size());
+  CrFinderWorkspace local;
+  if (ws == nullptr) ws = &local;
   const uncertain::UncertainObject& anchor = objects_[index];
   CrResult result;
   result.considered = objects_.size() - 1;
+  const double traversal0 = ws->traversal_seconds;
+  const double decode0 = DecodeSeconds(*ws);
+  const double kernel0 = ws->kernel_seconds;
 
   // Step 1: seeds and initial possible region.
   UVCell region = [&] {
     ScopedTimer t(&result.seed_seconds);
-    return BuildSeedRegion(index, &result.seeds);
+    return BuildSeedRegion(index, &result.seeds, ws);
   }();
 
   ScopedTimer prune_timer(&result.prune_seconds);
@@ -113,8 +144,18 @@ CrResult CrObjectFinder::Find(size_t index) const {
   const double d = region.MaxDistanceFromCenter();
   result.max_dist = d;
   const double range = 2.0 * d - anchor.radius();
-  std::vector<rtree::LeafEntry> candidates =
-      tree_.CentersInRange(anchor.center(), range);
+  // The session returns the same candidate SET as the fresh traversal,
+  // possibly in a different order — unobservable here: every keep decision
+  // below is per-candidate and cr_objects is sorted before returning.
+  std::vector<rtree::LeafEntry>& candidates = ws->candidates;
+  {
+    ScopedTimer t(&ws->traversal_seconds);
+    if (ws->session != nullptr) {
+      ws->session->CentersInRange(anchor.center(), range, &candidates);
+    } else {
+      tree_.CentersInRange(anchor.center(), range, &ws->scratch, &candidates);
+    }
+  }
   // Drop the anchor itself.
   candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
                                   [&](const rtree::LeafEntry& e) {
@@ -134,34 +175,40 @@ CrResult CrObjectFinder::Find(size_t index) const {
   }
 
   result.cr_objects.reserve(candidates.size());
-  if (options_.kernel_mode == geom::KernelMode::kBatch && !hull.empty()) {
-    std::vector<double> xs, ys;
-    xs.reserve(candidates.size());
-    ys.reserve(candidates.size());
-    for (const rtree::LeafEntry& e : candidates) {
-      xs.push_back(e.mbc.center.x);
-      ys.push_back(e.mbc.center.y);
-    }
-    std::vector<uint8_t> keep(candidates.size());
-    geom::batch::AnyHullCircleContains(xs.data(), ys.data(), xs.size(),
-                                       hull.data(), hull_dist2.data(),
-                                       hull.size(), keep.data());
-    for (size_t k = 0; k < candidates.size(); ++k) {
-      if (keep[k]) result.cr_objects.push_back(candidates[k].id);
-    }
-  } else {
-    for (const rtree::LeafEntry& e : candidates) {
-      bool keep = hull.empty();  // degenerate region: keep everything
-      for (size_t m = 0; m < hull.size(); ++m) {
-        if (geom::DistanceSquared(e.mbc.center, hull[m]) <= hull_dist2[m]) {
-          keep = true;
-          break;
-        }
+  {
+    ScopedTimer kernel_timer(&ws->kernel_seconds);
+    if (options_.kernel_mode == geom::KernelMode::kBatch && !hull.empty()) {
+      std::vector<double> xs, ys;
+      xs.reserve(candidates.size());
+      ys.reserve(candidates.size());
+      for (const rtree::LeafEntry& e : candidates) {
+        xs.push_back(e.mbc.center.x);
+        ys.push_back(e.mbc.center.y);
       }
-      if (keep) result.cr_objects.push_back(e.id);
+      std::vector<uint8_t> keep(candidates.size());
+      geom::batch::AnyHullCircleContains(xs.data(), ys.data(), xs.size(),
+                                         hull.data(), hull_dist2.data(),
+                                         hull.size(), keep.data());
+      for (size_t k = 0; k < candidates.size(); ++k) {
+        if (keep[k]) result.cr_objects.push_back(candidates[k].id);
+      }
+    } else {
+      for (const rtree::LeafEntry& e : candidates) {
+        bool keep = hull.empty();  // degenerate region: keep everything
+        for (size_t m = 0; m < hull.size(); ++m) {
+          if (geom::DistanceSquared(e.mbc.center, hull[m]) <= hull_dist2[m]) {
+            keep = true;
+            break;
+          }
+        }
+        if (keep) result.cr_objects.push_back(e.id);
+      }
     }
   }
   std::sort(result.cr_objects.begin(), result.cr_objects.end());
+  result.traversal_seconds = ws->traversal_seconds - traversal0;
+  result.decode_seconds = DecodeSeconds(*ws) - decode0;
+  result.kernel_seconds = ws->kernel_seconds - kernel0;
   return result;
 }
 

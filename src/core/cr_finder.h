@@ -14,12 +14,14 @@
 #ifndef UVD_CORE_CR_FINDER_H_
 #define UVD_CORE_CR_FINDER_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/stats.h"
 #include "core/uv_cell.h"
 #include "geom/box.h"
 #include "rtree/rtree.h"
+#include "rtree/traversal_session.h"
 #include "uncertain/uncertain_object.h"
 
 namespace uvd {
@@ -50,6 +52,29 @@ struct CrResult {
   size_t considered = 0;           ///< n - 1.
   double seed_seconds = 0.0;       ///< Step 1 wall time.
   double prune_seconds = 0.0;      ///< Steps 2-3 wall time.
+  // Orthogonal phase split of the same wall time (bench traversal-phase
+  // breakdown): where inside Steps 1-3 the cycles actually went.
+  double traversal_seconds = 0.0;  ///< R-tree k-NN + range-query wall.
+  double decode_seconds = 0.0;     ///< Leaf-decode share of traversal_seconds.
+  double kernel_seconds = 0.0;     ///< C-pruning + widening kernel wall.
+};
+
+/// Per-worker reusable state for the Algorithm 2 hot loop. A null/default
+/// workspace reproduces the historical behaviour exactly; passing one
+/// across calls removes the per-anchor heap and output allocations
+/// (scratch + buffers), and installing a TraversalSession additionally
+/// switches both R-tree queries to the shared-frontier traversal
+/// (rtree/traversal_session.h). Candidate sets are bitwise identical
+/// either way. Not thread-safe: one workspace per worker.
+struct CrFinderWorkspace {
+  rtree::TraversalScratch scratch;  ///< Per-anchor (oracle) traversal buffers.
+  /// Non-null = TraversalMode::kShared: reuse the frontier across anchors.
+  std::unique_ptr<rtree::TraversalSession> session;
+  std::vector<rtree::LeafEntry> knn;         ///< k-NN output buffer.
+  std::vector<rtree::LeafEntry> candidates;  ///< Range-query output buffer.
+  // Phase-time accumulators (CrResult reports per-call deltas).
+  double traversal_seconds = 0.0;
+  double kernel_seconds = 0.0;
 };
 
 /// \brief Runs Algorithm 2 against a dataset indexed by an R-tree.
@@ -68,12 +93,14 @@ class CrObjectFinder {
                  const rtree::RTree& tree, const geom::Box& domain,
                  const CrFinderOptions& options = {}, Stats* stats = nullptr);
 
-  /// Derives C_i for objects[index].
-  CrResult Find(size_t index) const;
+  /// Derives C_i for objects[index]. `ws` (optional) supplies reusable
+  /// buffers and, when it carries a session, the shared traversal.
+  CrResult Find(size_t index, CrFinderWorkspace* ws = nullptr) const;
 
   /// Step 1 only: the seed-based initial possible region P_i (exposed for
   /// tests and for ICR's refinement).
-  UVCell BuildSeedRegion(size_t index, std::vector<int>* seed_ids = nullptr) const;
+  UVCell BuildSeedRegion(size_t index, std::vector<int>* seed_ids = nullptr,
+                         CrFinderWorkspace* ws = nullptr) const;
 
  private:
   std::vector<int> SelectSeeds(size_t index,

@@ -51,6 +51,9 @@ Result<UVDiagram> UVDiagram::Build(std::vector<uncertain::UncertainObject> objec
   pipeline.stage2_max_depth = options.stage2_max_depth;
   pipeline.stage2_target_subtrees = options.stage2_target_subtrees;
   pipeline.kernel_mode = options.kernel_mode;
+  pipeline.traversal_mode = options.traversal_mode;
+  pipeline.traversal_tile_size = options.traversal_tile_size;
+  pipeline.leaf_memo_capacity = options.leaf_memo_capacity;
   UVD_RETURN_NOT_OK(RunBuildPipeline(d.objects_, d.ptrs_, *d.rtree_, domain, pipeline,
                                      d.index_.get(), &d.build_stats_, d.stats_));
   return d;

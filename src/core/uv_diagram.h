@@ -51,6 +51,12 @@ struct UVDiagramOptions {
   /// core/build_pipeline.h and geom/batch/kernels.h). Applied to cr,
   /// index and the pipeline; the index is byte-identical either way.
   geom::KernelMode kernel_mode = geom::KernelMode::kBatch;
+  /// Stage-1 R-tree traversal strategy and its tuning (see
+  /// core/build_pipeline.h and rtree/traversal_session.h). The index is
+  /// byte-identical across modes, tile sizes and memo capacities.
+  rtree::TraversalMode traversal_mode = rtree::TraversalMode::kShared;
+  int traversal_tile_size = 64;
+  int leaf_memo_capacity = 256;
 };
 
 /// \brief An indexed UV-diagram over a set of uncertain objects.

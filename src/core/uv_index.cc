@@ -60,12 +60,11 @@ UVIndex::BuildArena UVIndex::MainArena() {
   a.enforce_budget = true;
   a.events = nullptr;
   a.stats = stats_;
-  a.pruner_hints = nullptr;
   return a;
 }
 
 bool UVIndex::CheckOverlapWith(const Member& m, const geom::Box& region,
-                               Stats* stats, size_t* last_pruner) const {
+                               Stats* stats, size_t* hint) const {
   if (stats != nullptr) stats->Add(Ticker::kOverlapChecks);
   // Algorithm 5: if any cr-object's outside region fully contains the grid
   // region, the UV-cell cannot overlap it (Lemma 4).
@@ -96,22 +95,22 @@ bool UVIndex::CheckOverlapWith(const Member& m, const geom::Box& region,
       stats->Add(Ticker::kHyperbolaTests, 4 * evaluated);
     }
     if (hit >= 0) {
-      *last_pruner = static_cast<size_t>(hit);
+      *hint = static_cast<size_t>(hit);
       return false;
     }
     return true;
   }
   // Scan, trying the cr-object that pruned last time first: consecutive
   // checks cover adjacent regions, so it usually prunes again.
-  if (*last_pruner < n) {
-    const UVEdge edge(m.region, m.cr_regions[*last_pruner], /*j_id=*/-1);
+  if (*hint < n) {
+    const UVEdge edge(m.region, m.cr_regions[*hint], /*j_id=*/-1);
     if (edge.RegionInOutside(region, stats)) return false;
   }
   for (size_t k = 0; k < n; ++k) {
-    if (k == *last_pruner) continue;
+    if (k == *hint) continue;
     const UVEdge edge(m.region, m.cr_regions[k], /*j_id=*/-1);
     if (edge.RegionInOutside(region, stats)) {
-      *last_pruner = k;
+      *hint = k;
       return false;
     }
   }
@@ -119,49 +118,49 @@ bool UVIndex::CheckOverlapWith(const Member& m, const geom::Box& region,
 }
 
 bool UVIndex::CheckOverlap(const Member& m, const geom::Box& region) const {
-  return CheckOverlapWith(m, region, stats_, &m.last_pruner);
+  size_t hint = 0;
+  return CheckOverlapWith(m, region, stats_, &hint);
 }
 
 bool UVIndex::CheckOverlapArena(const BuildArena& a, uint32_t member_slot,
-                                const geom::Box& region) const {
-  const Member& m = members_[member_slot];
-  if (a.pruner_hints == nullptr) {
-    return CheckOverlapWith(m, region, a.stats, &m.last_pruner);
-  }
-  size_t hint = (*a.pruner_hints)[member_slot];
-  const bool overlap = CheckOverlapWith(m, region, a.stats, &hint);
-  (*a.pruner_hints)[member_slot] = static_cast<uint32_t>(hint);
-  return overlap;
+                                const geom::Box& region, size_t* hint) const {
+  return CheckOverlapWith(members_[member_slot], region, a.stats, hint);
 }
 
 void UVIndex::EnsureSplitCache(const BuildArena& a, uint32_t node_idx) {
   Node& node = (*a.nodes)[node_idx];
   if (node.split_cache_valid) return;
   for (auto& list : node.split_cache) list.clear();
-  for (uint32_t slot : node.member_slots) {
+  UVD_DCHECK_EQ(node.member_hints.size(), node.member_slots.size());
+  for (uint32_t pos = 0; pos < node.member_slots.size(); ++pos) {
+    size_t hint = node.member_hints[pos];
     for (int k = 0; k < 4; ++k) {
-      if (CheckOverlapArena(a, slot, node.region.Quadrant(k))) {
-        node.split_cache[static_cast<size_t>(k)].push_back(slot);
+      if (CheckOverlapArena(a, node.member_slots[pos], node.region.Quadrant(k),
+                            &hint)) {
+        node.split_cache[static_cast<size_t>(k)].push_back(pos);
       }
     }
+    node.member_hints[pos] = static_cast<uint32_t>(hint);
   }
   node.split_cache_valid = true;
 }
 
-void UVIndex::AddToSplitCache(const BuildArena& a, uint32_t node_idx,
-                              uint32_t member_slot) {
+void UVIndex::AddToSplitCache(const BuildArena& a, uint32_t node_idx, uint32_t pos,
+                              size_t* hint) {
   Node& node = (*a.nodes)[node_idx];
   if (!node.split_cache_valid) return;  // rebuilt lazily when needed
   for (int k = 0; k < 4; ++k) {
-    if (CheckOverlapArena(a, member_slot, node.region.Quadrant(k))) {
-      node.split_cache[static_cast<size_t>(k)].push_back(member_slot);
+    if (CheckOverlapArena(a, node.member_slots[pos], node.region.Quadrant(k),
+                          hint)) {
+      node.split_cache[static_cast<size_t>(k)].push_back(pos);
     }
   }
 }
 
 UVIndex::SplitDecision UVIndex::CheckSplit(
     const BuildArena& a, uint32_t node_idx, uint32_t incoming_slot,
-    std::array<std::vector<uint32_t>, 4>* child_lists) {
+    size_t* incoming_hint, std::array<std::vector<uint32_t>, 4>* child_lists,
+    std::array<std::vector<uint32_t>, 4>* child_hints) {
   std::vector<Node>& nodes = *a.nodes;
   // Steps 1-3: room left on the allocated pages.
   if (nodes[node_idx].member_slots.size() < LeafCapacity(nodes[node_idx])) {
@@ -177,13 +176,13 @@ UVIndex::SplitDecision UVIndex::CheckSplit(
   // Steps 7-15: distribute A = O_i union g.list over the four quarters.
   // The resident part of the distribution is memoized (split_cache) and
   // maintained incrementally by the insertion paths, so only the incoming
-  // object is tested here.
+  // object is tested here (threading its leaf-local hint).
   EnsureSplitCache(a, node_idx);
   Node& node = nodes[node_idx];
   std::array<bool, 4> incoming{};
   for (int k = 0; k < 4; ++k) {
-    incoming[static_cast<size_t>(k)] =
-        CheckOverlapArena(a, incoming_slot, node.region.Quadrant(k));
+    incoming[static_cast<size_t>(k)] = CheckOverlapArena(
+        a, incoming_slot, node.region.Quadrant(k), incoming_hint);
   }
 
   // Step 16: split fraction theta (denominator is |g.list|, the resident
@@ -197,13 +196,22 @@ UVIndex::SplitDecision UVIndex::CheckSplit(
       static_cast<double>(min_child) / static_cast<double>(node.member_slots.size());
   if (theta >= options_.split_threshold) return SplitDecision::kOverflow;
 
-  // SPLIT: hand the cached lists (plus the incoming object) to the caller
-  // and drop the cache.
+  // SPLIT: translate the cached POSITION lists into (slot, hint) pairs —
+  // each resident's current hint forks into every child it joins — append
+  // the incoming object with its evolved hint, and drop the cache.
   for (int k = 0; k < 4; ++k) {
-    (*child_lists)[static_cast<size_t>(k)] =
-        std::move(node.split_cache[static_cast<size_t>(k)]);
+    const std::vector<uint32_t>& cached = node.split_cache[static_cast<size_t>(k)];
+    std::vector<uint32_t>& slots = (*child_lists)[static_cast<size_t>(k)];
+    std::vector<uint32_t>& hints = (*child_hints)[static_cast<size_t>(k)];
+    slots.reserve(cached.size() + 1);
+    hints.reserve(cached.size() + 1);
+    for (uint32_t pos : cached) {
+      slots.push_back(node.member_slots[pos]);
+      hints.push_back(node.member_hints[pos]);
+    }
     if (incoming[static_cast<size_t>(k)]) {
-      (*child_lists)[static_cast<size_t>(k)].push_back(incoming_slot);
+      slots.push_back(incoming_slot);
+      hints.push_back(static_cast<uint32_t>(*incoming_hint));
     }
     node.split_cache[static_cast<size_t>(k)].clear();
   }
@@ -214,8 +222,15 @@ UVIndex::SplitDecision UVIndex::CheckSplit(
 void UVIndex::InsertInto(const BuildArena& a, uint32_t node_idx,
                          uint32_t member_slot) {
   std::vector<Node>& nodes = *a.nodes;
-  // Algorithm 3 Step 1.
-  if (!CheckOverlapArena(a, member_slot, nodes[node_idx].region)) return;
+  // Algorithm 3 Step 1. A fresh hint per gate check: descent checks are
+  // hint-independent, which is what lets routed parallel insertion replay
+  // the serial scan lengths (see uv_index.h).
+  {
+    size_t gate_hint = 0;
+    if (!CheckOverlapArena(a, member_slot, nodes[node_idx].region, &gate_hint)) {
+      return;
+    }
+  }
 
   if (!nodes[node_idx].is_leaf) {
     // Steps 2-5: recurse into all four children.
@@ -224,16 +239,27 @@ void UVIndex::InsertInto(const BuildArena& a, uint32_t node_idx,
     return;
   }
 
+  // Leaf operations thread one evolving hint for the incoming member —
+  // from CheckSplit's quadrant tests through AddToSplitCache — and store
+  // the final value as the member's residency hint in this leaf.
+  size_t hint = 0;
   std::array<std::vector<uint32_t>, 4> child_lists;
-  switch (CheckSplit(a, node_idx, member_slot, &child_lists)) {
+  std::array<std::vector<uint32_t>, 4> child_hints;
+  switch (CheckSplit(a, node_idx, member_slot, &hint, &child_lists, &child_hints)) {
     case SplitDecision::kNormal:
       nodes[node_idx].member_slots.push_back(member_slot);
-      AddToSplitCache(a, node_idx, member_slot);
+      AddToSplitCache(a, node_idx,
+                      static_cast<uint32_t>(nodes[node_idx].member_slots.size() - 1),
+                      &hint);
+      nodes[node_idx].member_hints.push_back(static_cast<uint32_t>(hint));
       break;
     case SplitDecision::kOverflow:
       nodes[node_idx].num_pages += 1;  // Step 13: allocate a new page
       nodes[node_idx].member_slots.push_back(member_slot);
-      AddToSplitCache(a, node_idx, member_slot);
+      AddToSplitCache(a, node_idx,
+                      static_cast<uint32_t>(nodes[node_idx].member_slots.size() - 1),
+                      &hint);
+      nodes[node_idx].member_hints.push_back(static_cast<uint32_t>(hint));
       break;
     case SplitDecision::kSplit: {
       // Steps 16-22: the node becomes a non-leaf; CheckSplit already
@@ -249,6 +275,7 @@ void UVIndex::InsertInto(const BuildArena& a, uint32_t node_idx,
         Node child;
         child.region = nodes[node_idx].region.Quadrant(k);
         child.member_slots = std::move(child_lists[static_cast<size_t>(k)]);
+        child.member_hints = std::move(child_hints[static_cast<size_t>(k)]);
         child.num_pages = std::max<size_t>(
             1, (child.member_slots.size() + static_cast<size_t>(options_.leaf_fanout) - 1) /
                    static_cast<size_t>(options_.leaf_fanout));
@@ -260,6 +287,8 @@ void UVIndex::InsertInto(const BuildArena& a, uint32_t node_idx,
       parent.children = child_idx;
       parent.member_slots.clear();
       parent.member_slots.shrink_to_fit();
+      parent.member_hints.clear();
+      parent.member_hints.shrink_to_fit();
       parent.num_pages = 0;
       ++*a.nonleaf_count;
       break;
@@ -285,7 +314,7 @@ Status UVIndex::InsertObject(const geom::Circle& region, int id,
 UVIndex::Member UVIndex::MakeMember(const geom::Circle& region, int id,
                                     uncertain::ObjectPtr ptr,
                                     std::vector<geom::Circle> cr_regions) const {
-  Member member{region, id, ptr, std::move(cr_regions), nullptr, 0, {}};
+  Member member{region, id, ptr, std::move(cr_regions), nullptr, {}};
   if (options_.kernel_mode == geom::KernelMode::kBatch) {
     member.cr_soa.Assign(member.cr_regions);
   }
@@ -446,13 +475,16 @@ Status UVIndex::InsertObjectsPartitioned(std::vector<BulkInsertItem> items,
         const size_t end = std::min(n, begin + kBlock);
         for (size_t i = begin; i < end; ++i) {
           const Member& m = members_[i];
-          size_t hint = 0;
           uint64_t mask = 0;
           uint32_t stack[128];
           int top = 0;
           stack[top++] = root();
           while (top > 0) {
             const uint32_t idx = stack[--top];
+            // Fresh hint per check, matching the serial gate discipline —
+            // this is what makes the routed scan lengths (and tickers)
+            // identical to the serial descent's.
+            size_t hint = 0;
             if (!CheckOverlapWith(m, nodes_[idx].region, shard, &hint)) continue;
             for (uint32_t child : nodes_[idx].children) {
               const int r = rank_of[child];
@@ -522,14 +554,10 @@ Status UVIndex::InsertObjectsPartitioned(std::vector<BulkInsertItem> items,
     });
     std::atomic<size_t> next{0};
     RunWorkers(pool, workers, [&](int) {
-      // One slot-indexed pruner-hint scratch per WORKER, zeroed once;
-      // after each subtree the slots it could have touched are reset —
-      // its routed slots plus every prefix slot (split-cache rebuilds
-      // scan resident prefix members too; p is prefix_cap-bounded, so
-      // this stays cheap) — so every (member, subtree) pair starts from
-      // hint 0 regardless of which worker builds which subtrees, without
-      // O(subtrees x n) zeroing.
-      std::vector<uint32_t> hints(n, 0);
+      // No pruner-hint scratch: descent gates use a fresh hint per check
+      // and residency hints travel inside the extracted nodes
+      // (Node::member_hints), so each subtree replays the serial hint
+      // evolution verbatim whichever worker builds it.
       for (;;) {
         const size_t oi = next.fetch_add(1, std::memory_order_relaxed);
         if (oi >= order.size()) return;
@@ -540,13 +568,10 @@ Status UVIndex::InsertObjectsPartitioned(std::vector<BulkInsertItem> items,
         arena.enforce_budget = false;
         arena.events = &st.events;
         arena.stats = stats_ != nullptr ? &st.stats : nullptr;
-        arena.pruner_hints = &hints;
         for (uint32_t slot : st.slots) {
           arena.order_key = static_cast<int>(slot);
           InsertInto(arena, 0, slot);
         }
-        for (uint32_t slot : st.slots) hints[slot] = 0;
-        std::fill(hints.begin(), hints.begin() + static_cast<long>(p), 0);
       }
     });
   }
@@ -609,11 +634,10 @@ Status UVIndex::InsertObjectsPartitioned(std::vector<BulkInsertItem> items,
       // shards below are never merged) so the counters come out exactly
       // as a serial build's.
       if (stats_ != nullptr) *stats_ = stats_before_build;
-      // Pruner memos too: a fresh serial build starts every member at 0,
-      // so with these reset the rebuild's scan lengths — and therefore
-      // even kHyperbolaTests / kFourPointTests — replay a pure serial
-      // build exactly.
-      for (Member& m : members_) m.last_pruner = 0;
+      // No pruner-memo reset needed: residency hints live in the nodes
+      // being discarded here, so the rebuild's scan lengths — and
+      // therefore even kHyperbolaTests / kFourPointTests — replay a pure
+      // serial build exactly.
       nodes_.clear();
       Node root_node;
       root_node.region = domain_;
@@ -743,6 +767,8 @@ Status UVIndex::FinalizeWith(ThreadPool* pool, int threads) {
       list.shrink_to_fit();
     }
     node.split_cache_valid = false;
+    node.member_hints.clear();
+    node.member_hints.shrink_to_fit();
   }
   finalized_ = true;
   return Status::OK();

@@ -66,11 +66,24 @@ class UVIndex {
     bool is_leaf = true;
     std::array<uint32_t, 4> children{};      // valid iff !is_leaf
     std::vector<uint32_t> member_slots;      // construction-time tuple refs
+    /// Per-resident CheckOverlap pruner hint, parallel to member_slots
+    /// (member_hints[i] belongs to member_slots[i]). Hints live with the
+    /// leaf — not the member — so a leaf's hint evolution is a pure
+    /// function of its own insertion sequence: subtrees built in parallel
+    /// replay the serial scan lengths (and tickers) exactly, and a member
+    /// resident in several leaves keeps an independent hint in each. On a
+    /// split each resident's current hint is forked into every child it
+    /// joins. Construction-time only; never affects decisions (see
+    /// CheckOverlapWith).
+    std::vector<uint32_t> member_hints;
     size_t num_pages = 1;                    // allocated page count
     std::vector<storage::PageId> pages;      // materialized at Finalize()
-    /// Memoized CheckSplit redistribution of member_slots over the four
-    /// quarters, maintained incrementally so repeated OVERFLOW decisions
-    /// stay O(|C_i|) instead of re-testing the whole resident list.
+    /// Memoized CheckSplit redistribution of the residents over the four
+    /// quarters, as POSITIONS into member_slots (stable: the list is
+    /// append-only between splits), maintained incrementally so repeated
+    /// OVERFLOW decisions stay O(|C_i|) instead of re-testing the whole
+    /// resident list. Positions (not slots) let the split fork each
+    /// resident's member_hints entry alongside it.
     std::array<std::vector<uint32_t>, 4> split_cache;
     bool split_cache_valid = false;
   };
@@ -151,11 +164,14 @@ class UVIndex {
   ///      is discarded and the build reruns serially — identical bytes,
   ///      no speedup, reported via PartitionedInsertReport.
   ///
-  /// Stats caveat: structure, pages and every query answer are exact, and
-  /// so are all tickers except kHyperbolaTests / kFourPointTests, whose
-  /// counts depend on the per-member pruner-scan order that the serial
-  /// descent threads through the whole tree but parallel subtrees restart
-  /// per domain (same decisions, different scan lengths).
+  /// Stats: structure, pages, every query answer AND every ticker are
+  /// exact — including the scan-length tickers kHyperbolaTests /
+  /// kFourPointTests. The pruner hints that set scan lengths are
+  /// leaf-resident (Node::member_hints) and descent gates use a fresh
+  /// hint per check, so a leaf's hint evolution depends only on its own
+  /// insertion sequence, which the routing + per-subtree replay preserves
+  /// verbatim. (The KERNEL axis still changes those two tickers — kBatch
+  /// evaluates blockwise — see UVIndexOptions::kernel_mode.)
   ///
   /// Requires a fresh index (no prior insertions). Items need not have
   /// contiguous ids (shard replicas keep global ids); order is what
@@ -262,11 +278,11 @@ class UVIndex {
     /// CheckOverlap: a grid region fully inside the cell can never be
     /// contained in any single outside region, so Algorithm 5 would answer
     /// "overlap" without the scan. Dropped at Finalize().
+    /// (Pruner hints deliberately do NOT live here: a member-resident memo
+    /// threads scan state across leaves in insertion-time order, which
+    /// parallel subtree builds cannot replay. They live in
+    /// Node::member_hints instead.)
     std::unique_ptr<geom::RadialEnvelope> cell;
-    /// Index of the cr-object that pruned the last CheckOverlap; the
-    /// quad-tree descends spatially coherent regions, so the same
-    /// outside region usually prunes again.
-    mutable size_t last_pruner = 0;
     /// SoA mirror of cr_regions for the batch 4-point kernel; filled by
     /// MakeMember iff options_.kernel_mode == kBatch, dropped with the
     /// member records at Finalize().
@@ -287,9 +303,10 @@ class UVIndex {
 
   /// The mutable state one insertion domain operates on. The serial path
   /// binds it to the index's own members (MainArena); partitioned subtree
-  /// builds bind private node vectors, split-event logs, Stats shards and
-  /// pruner-hint tables so concurrent domains share nothing but the
-  /// read-only member records.
+  /// builds bind private node vectors, split-event logs and Stats shards
+  /// so concurrent domains share nothing but the read-only member records
+  /// (all pruner-hint state lives inside the arena's nodes —
+  /// Node::member_hints).
   struct BuildArena {
     std::vector<Node>* nodes = nullptr;
     int* nonleaf_count = nullptr;
@@ -298,9 +315,6 @@ class UVIndex {
     bool enforce_budget = true;
     std::vector<SplitEvent>* events = nullptr;  // null: no logging
     Stats* stats = nullptr;
-    /// Per-arena CheckOverlap pruner memo, indexed by member slot; null
-    /// means use the member-resident `last_pruner` (serial path).
-    std::vector<uint32_t>* pruner_hints = nullptr;
     int order_key = 0;  // stamps SplitEvents; item position being inserted
   };
 
@@ -309,36 +323,49 @@ class UVIndex {
   /// Algorithm 5 core: does the UV-cell represented by the member's
   /// cr-objects overlap `region`? Conservative: may answer true for a
   /// disjoint cell (extra candidates filtered at query time), never false
-  /// for an overlapping one (Lemma 4). `last_pruner` memoizes the index of
-  /// the cr-object that pruned last; the answer never depends on it, only
-  /// the scan length does.
+  /// for an overlapping one (Lemma 4). `hint` is the scan-start memo (the
+  /// cr-object that pruned last usually prunes again); it is read, and
+  /// overwritten on a "no overlap" answer. The answer never depends on
+  /// it, only the scan length does — callers choose the hint discipline:
+  /// descent gates pass a fresh 0 (checks are independent), split-cache
+  /// maintenance threads the per-leaf residency hint
+  /// (Node::member_hints).
   bool CheckOverlapWith(const Member& m, const geom::Box& region, Stats* stats,
-                        size_t* last_pruner) const;
+                        size_t* hint) const;
 
-  /// CheckOverlap through the serial path's member-resident memo.
+  /// CheckOverlapWith against the index's own Stats with a fresh hint —
+  /// the one-shot form used outside arena insertion (live inserts).
   bool CheckOverlap(const Member& m, const geom::Box& region) const;
 
-  /// CheckOverlap for one member slot through the arena's memo.
+  /// CheckOverlapWith for one member slot, billed to the arena's Stats.
   bool CheckOverlapArena(const BuildArena& a, uint32_t member_slot,
-                         const geom::Box& region) const;
+                         const geom::Box& region, size_t* hint) const;
 
-  /// Algorithm 4. On kSplit, child_lists holds the redistributed members
-  /// (including the incoming one).
+  /// Algorithm 4. `incoming_hint` is the incoming member's evolving hint
+  /// for this leaf (starts 0; the caller threads it on into
+  /// AddToSplitCache or stores it as the residency hint). On kSplit,
+  /// child_lists holds the redistributed member slots (incoming one
+  /// included) and child_hints their forked residency hints, parallel.
   SplitDecision CheckSplit(const BuildArena& a, uint32_t node_idx,
-                           uint32_t incoming_slot,
-                           std::array<std::vector<uint32_t>, 4>* child_lists);
+                           uint32_t incoming_slot, size_t* incoming_hint,
+                           std::array<std::vector<uint32_t>, 4>* child_lists,
+                           std::array<std::vector<uint32_t>, 4>* child_hints);
 
   /// Builds the construction-time member record; the cell envelope is only
   /// materialized for large cr-sets where the interior fast path pays.
   Member MakeMember(const geom::Circle& region, int id, uncertain::ObjectPtr ptr,
                     std::vector<geom::Circle> cr_regions) const;
 
-  /// Rebuilds the node's split cache from member_slots if invalid.
+  /// Rebuilds the node's split cache from member_slots if invalid,
+  /// threading each resident's member_hints entry through its four
+  /// quadrant checks.
   void EnsureSplitCache(const BuildArena& a, uint32_t node_idx);
 
-  /// Appends one member's quarter distribution to a valid split cache.
-  void AddToSplitCache(const BuildArena& a, uint32_t node_idx,
-                       uint32_t member_slot);
+  /// Appends the quarter distribution of the member at position `pos` of
+  /// member_slots to a valid split cache, threading `hint` through the
+  /// four quadrant checks.
+  void AddToSplitCache(const BuildArena& a, uint32_t node_idx, uint32_t pos,
+                       size_t* hint);
 
   void InsertInto(const BuildArena& a, uint32_t node_idx, uint32_t member_slot);
 

@@ -61,7 +61,8 @@ bool RadialEnvelope::Insert(const RadialConstraint& c) {
   // currently on the envelope. Between consecutive candidates the winner of
   // "new vs current envelope" cannot change, so midpoint evaluation decides
   // ownership exactly.
-  std::vector<double> cand;
+  std::vector<double>& cand = cand_scratch_;
+  cand.clear();
   cand.reserve(arcs_.size() + 8);
   for (const EnvelopeArc& arc : arcs_) cand.push_back(NormalizeAngle(arc.begin));
 
@@ -70,7 +71,8 @@ bool RadialEnvelope::Insert(const RadialConstraint& c) {
   cand.push_back(NormalizeAngle(dom->first));
   cand.push_back(NormalizeAngle(dom->second));
 
-  std::vector<int> owners;
+  std::vector<int>& owners = owner_scratch_;
+  owners.clear();
   owners.reserve(arcs_.size());
   for (const EnvelopeArc& arc : arcs_) {
     if (arc.cidx != EnvelopeArc::kUnbounded) owners.push_back(arc.cidx);
@@ -78,17 +80,31 @@ bool RadialEnvelope::Insert(const RadialConstraint& c) {
   std::sort(owners.begin(), owners.end());
   owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
   for (int cidx : owners) {
-    for (double a : CrossingAngles(c, constraints_[static_cast<size_t>(cidx)])) {
-      cand.push_back(a);
-    }
+    double cross[2];
+    const int nc = CrossingAngles(c, constraints_[static_cast<size_t>(cidx)], cross);
+    for (int j = 0; j < nc; ++j) cand.push_back(cross[j]);
   }
 
-  std::sort(cand.begin(), cand.end());
-  // Deduplicate near-identical angles (also across the 0/2*pi seam).
-  std::vector<double> angles;
+  // The arc-begin prefix of cand is already ascending (the arcs_ invariant
+  // ArcIndexAt's binary search relies on), so sort only the appended tail
+  // and merge — the merged value sequence is exactly sort(cand)'s.
+  const size_t prefix = arcs_.size();
+  std::sort(cand.begin() + static_cast<long>(prefix), cand.end());
+  // Deduplicate near-identical angles (also across the 0/2*pi seam) while
+  // merging the two sorted runs.
+  std::vector<double>& angles = angle_scratch_;
+  angles.clear();
   angles.reserve(cand.size());
-  for (double a : cand) {
-    if (angles.empty() || a - angles.back() > kAngleEps) angles.push_back(a);
+  {
+    const size_t total = cand.size();
+    size_t a = 0;
+    size_t b = prefix;
+    while (a < prefix || b < total) {
+      const double v = (b >= total || (a < prefix && cand[a] <= cand[b]))
+                           ? cand[a++]
+                           : cand[b++];
+      if (angles.empty() || v - angles.back() > kAngleEps) angles.push_back(v);
+    }
   }
   if (angles.size() > 1 && (angles.front() + kTwoPi) - angles.back() <= kAngleEps) {
     angles.pop_back();
@@ -98,17 +114,42 @@ bool RadialEnvelope::Insert(const RadialConstraint& c) {
   constraints_.push_back(c);
   const int new_idx = static_cast<int>(constraints_.size()) - 1;
 
-  std::vector<EnvelopeArc> result;
+  std::vector<EnvelopeArc>& result = arc_scratch_;
+  result.clear();
   result.reserve(angles.size());
   bool used = false;
   const size_t m = angles.size();
+  // The sweep's midpoints ascend (one possible wrap past 2*pi at the end),
+  // so the owning arc advances monotonically: walk forward from the last
+  // hit instead of binary-searching every interval. The walk computes the
+  // same "last arc with begin <= t" the binary search does, so ownership
+  // decisions are bit-identical.
+  const size_t n_arcs = arcs_.size();
+  int arc_hint = -1;
   for (size_t i = 0; i < m; ++i) {
     const double begin = angles[i];
     const double end = (i + 1 < m) ? angles[i + 1] : angles[0] + kTwoPi;
     const double mid = 0.5 * (begin + end);
-    const EnvelopeArc& old_arc = arcs_[static_cast<size_t>(ArcIndexAt(mid))];
-    const double rho_old = RhoOfArc(old_arc, mid);
-    const double rho_new = c.RhoAtAngle(mid);
+    const double t = NormalizeAngle(mid);
+    int ai;
+    if (arc_hint >= 0 && arcs_[static_cast<size_t>(arc_hint)].begin <= t) {
+      ai = arc_hint;
+      while (ai + 1 < static_cast<int>(n_arcs) &&
+             arcs_[static_cast<size_t>(ai) + 1].begin <= t) {
+        ++ai;
+      }
+    } else {
+      ai = ArcIndexAt(t);
+    }
+    arc_hint = ai;
+    const EnvelopeArc& old_arc = arcs_[static_cast<size_t>(ai)];
+    // One sincos per midpoint: both rho evaluations share the direction.
+    const Vec2 u = UnitVector(mid);
+    const double rho_old =
+        old_arc.cidx == EnvelopeArc::kUnbounded
+            ? std::numeric_limits<double>::infinity()
+            : constraints_[static_cast<size_t>(old_arc.cidx)].Rho(u);
+    const double rho_new = c.Rho(u);
     // Strict comparison keeps the incumbent on exact ties (e.g. duplicate
     // objects), which makes ownership deterministic.
     const int winner = (rho_new < rho_old) ? new_idx : old_arc.cidx;
@@ -142,7 +183,8 @@ bool RadialEnvelope::Insert(const RadialConstraint& c) {
     constraints_.pop_back();  // keep the constraint store compact
     return false;
   }
-  arcs_ = std::move(result);
+  // Swap (not move): the outgoing arcs_ buffer becomes next call's scratch.
+  arcs_.swap(arc_scratch_);
   return true;
 }
 
@@ -218,12 +260,24 @@ bool RadialEnvelope::ContainsBox(const Box& r) const {
 
 double RadialEnvelope::MaxVertexDistance() const {
   double best = 0.0;
+  // Adjacent arcs share their boundary angle bitwise (arc.end is assigned
+  // from the next arc's begin), so one sincos serves both evaluations.
+  double cached_angle = std::numeric_limits<double>::quiet_NaN();
+  Vec2 cached_u{0.0, 0.0};
+  const auto unit = [&](double a) {
+    if (a != cached_angle) {
+      cached_u = UnitVector(a);
+      cached_angle = a;
+    }
+    return cached_u;
+  };
   for (const EnvelopeArc& arc : arcs_) {
     if (arc.cidx == EnvelopeArc::kUnbounded) {
       return std::numeric_limits<double>::infinity();
     }
-    best = std::max(best, RhoOfArc(arc, arc.begin));
-    best = std::max(best, RhoOfArc(arc, arc.end));
+    const RadialConstraint& c = constraints_[static_cast<size_t>(arc.cidx)];
+    best = std::max(best, c.Rho(unit(arc.begin)));
+    best = std::max(best, c.Rho(unit(arc.end)));
   }
   return best;
 }

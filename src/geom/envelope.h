@@ -107,6 +107,13 @@ class RadialEnvelope {
   Stats* stats_;
   std::vector<RadialConstraint> constraints_;
   std::vector<EnvelopeArc> arcs_;
+  // Insert scratch, reused across calls: an envelope takes dozens of
+  // inserts and a build runs hundreds of thousands of envelopes, so
+  // per-call vectors dominate the allocator otherwise.
+  std::vector<double> cand_scratch_;
+  std::vector<double> angle_scratch_;
+  std::vector<int> owner_scratch_;
+  std::vector<EnvelopeArc> arc_scratch_;
 };
 
 }  // namespace geom

@@ -47,8 +47,8 @@ std::vector<RadialConstraint> RadialConstraint::ForDomainWalls(const Point& cent
   };
 }
 
-std::vector<double> CrossingAngles(const RadialConstraint& c1,
-                                   const RadialConstraint& c2) {
+int CrossingAngles(const RadialConstraint& c1, const RadialConstraint& c2,
+                   double out[2]) {
   // rho_1(u) = rho_2(u)  with rho_k = K_k / (u.w_k - s_k) expands to
   //   u . (K1*w2 - K2*w1) = K1*s2 - K2*s1,
   // a linear trigonometric equation A*cos + B*sin = C.
@@ -59,20 +59,27 @@ std::vector<double> CrossingAngles(const RadialConstraint& c1,
   const double b = coeff.y;
   const double c = k1 * c2.s - k2 * c1.s;
   const double r = std::hypot(a, b);
-  std::vector<double> out;
   if (r < 1e-15) {
     // Identical (or anti-parallel degenerate) curves: no isolated crossings.
-    return out;
+    return 0;
   }
   const double ratio = c / r;
-  if (ratio > 1.0 || ratio < -1.0) return out;  // curves never meet
+  if (ratio > 1.0 || ratio < -1.0) return 0;  // curves never meet
   const double phi0 = std::atan2(b, a);
   const double delta = std::acos(std::clamp(ratio, -1.0, 1.0));
-  out.push_back(NormalizeAngle(phi0 + delta));
+  out[0] = NormalizeAngle(phi0 + delta);
   if (delta > 0.0 && delta < M_PI) {
-    out.push_back(NormalizeAngle(phi0 - delta));
+    out[1] = NormalizeAngle(phi0 - delta);
+    return 2;
   }
-  return out;
+  return 1;
+}
+
+std::vector<double> CrossingAngles(const RadialConstraint& c1,
+                                   const RadialConstraint& c2) {
+  double buf[2];
+  const int n = CrossingAngles(c1, c2, buf);
+  return std::vector<double>(buf, buf + n);
 }
 
 }  // namespace geom

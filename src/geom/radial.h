@@ -82,6 +82,12 @@ struct RadialConstraint {
 std::vector<double> CrossingAngles(const RadialConstraint& c1,
                                    const RadialConstraint& c2);
 
+/// Allocation-free form: writes the crossings (same values, same order)
+/// into out[0..1] and returns their count. The hot path — envelope Insert
+/// evaluates this for every (new constraint, boundary owner) pair.
+int CrossingAngles(const RadialConstraint& c1, const RadialConstraint& c2,
+                   double out[2]);
+
 }  // namespace geom
 }  // namespace uvd
 

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
+#include <functional>
 
+#include "common/timer.h"
 #include "storage/record.h"
 
 namespace uvd {
@@ -137,56 +138,77 @@ Status RTree::ReadLeaf(storage::PageId page, std::vector<LeafEntry>* out) const 
 }
 
 std::vector<LeafEntry> RTree::KNearestByDistMin(const geom::Point& q, int k) const {
-  // Best-first search: priority queue keyed by a lower bound on dist_min.
-  enum class Kind { kNode, kLeafPage, kEntry };
-  struct Item {
-    double key;
-    Kind kind;
-    uint32_t index;       // node index or leaf index
-    LeafEntry entry;      // valid when kind == kEntry
-    bool operator>(const Item& o) const { return key > o.key; }
-  };
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-  pq.push({0.0, Kind::kNode, root_, {}});
-
+  TraversalScratch scratch;
   std::vector<LeafEntry> result;
-  std::vector<LeafEntry> page_entries;
-  while (!pq.empty() && result.size() < static_cast<size_t>(k)) {
-    const Item item = pq.top();
-    pq.pop();
+  KNearestByDistMin(q, k, &scratch, &result);
+  return result;
+}
+
+void RTree::KNearestByDistMin(const geom::Point& q, int k,
+                              TraversalScratch* scratch,
+                              std::vector<LeafEntry>* out) const {
+  // Best-first search: min-heap keyed by a lower bound on dist_min with
+  // the canonical tie-break (see KnnHeapItem). std::greater over
+  // operator>, push_heap/pop_heap on the caller's reusable vector.
+  out->clear();
+  std::vector<KnnHeapItem>& heap = scratch->heap;
+  heap.clear();
+  const std::greater<KnnHeapItem> worse;
+  heap.push_back({0.0, root_, -1, 0, {}});
+
+  std::vector<LeafEntry>& page_entries = scratch->page_entries;
+  while (!heap.empty() && out->size() < static_cast<size_t>(k)) {
+    std::pop_heap(heap.begin(), heap.end(), worse);
+    const KnnHeapItem item = std::move(heap.back());
+    heap.pop_back();
     switch (item.kind) {
-      case Kind::kNode: {
+      case 0: {  // node
         if (stats_ != nullptr) stats_->Add(Ticker::kRtreeNodeVisits);
         const Node& node = nodes_[item.index];
         for (uint32_t c : node.children) {
           if (node.leaf_children) {
-            pq.push({leaf_mbrs_[c].MinDist(q), Kind::kLeafPage, c, {}});
+            heap.push_back({leaf_mbrs_[c].MinDist(q), c, -1, 1, {}});
           } else {
-            pq.push({nodes_[c].mbr.MinDist(q), Kind::kNode, c, {}});
+            heap.push_back({nodes_[c].mbr.MinDist(q), c, -1, 0, {}});
           }
+          std::push_heap(heap.begin(), heap.end(), worse);
         }
         break;
       }
-      case Kind::kLeafPage: {
-        if (!ReadLeaf(leaf_pages_[item.index], &page_entries).ok()) break;
+      case 1: {  // leaf page
+        {
+          ScopedTimer t(&scratch->decode_seconds);
+          if (!ReadLeaf(leaf_pages_[item.index], &page_entries).ok()) break;
+        }
         for (const LeafEntry& e : page_entries) {
-          pq.push({e.mbc.DistMin(q), Kind::kEntry, 0, e});
+          heap.push_back({e.mbc.DistMin(q), item.index, e.id, 2, e});
+          std::push_heap(heap.begin(), heap.end(), worse);
         }
         break;
       }
-      case Kind::kEntry:
-        result.push_back(item.entry);
+      default:  // entry
+        out->push_back(item.entry);
         break;
     }
   }
-  return result;
 }
 
 std::vector<LeafEntry> RTree::CentersInRange(const geom::Point& center,
                                              double radius) const {
+  TraversalScratch scratch;
   std::vector<LeafEntry> result;
-  std::vector<LeafEntry> page_entries;
-  std::vector<uint32_t> stack = {root_};
+  CentersInRange(center, radius, &scratch, &result);
+  return result;
+}
+
+void RTree::CentersInRange(const geom::Point& center, double radius,
+                           TraversalScratch* scratch,
+                           std::vector<LeafEntry>* out) const {
+  out->clear();
+  std::vector<LeafEntry>& page_entries = scratch->page_entries;
+  std::vector<uint32_t>& stack = scratch->stack;
+  stack.clear();
+  stack.push_back(root_);
   while (!stack.empty()) {
     const uint32_t idx = stack.back();
     stack.pop_back();
@@ -195,10 +217,13 @@ std::vector<LeafEntry> RTree::CentersInRange(const geom::Point& center,
     for (uint32_t c : node.children) {
       if (node.leaf_children) {
         if (leaf_mbrs_[c].MinDist(center) > radius) continue;
-        if (!ReadLeaf(leaf_pages_[c], &page_entries).ok()) continue;
+        {
+          ScopedTimer t(&scratch->decode_seconds);
+          if (!ReadLeaf(leaf_pages_[c], &page_entries).ok()) continue;
+        }
         for (const LeafEntry& e : page_entries) {
           if (geom::Distance(e.mbc.center, center) <= radius) {
-            result.push_back(e);
+            out->push_back(e);
           }
         }
       } else if (nodes_[c].mbr.MinDist(center) <= radius) {
@@ -206,7 +231,6 @@ std::vector<LeafEntry> RTree::CentersInRange(const geom::Point& center,
       }
     }
   }
-  return result;
 }
 
 size_t RTree::MemoryBytes() const {

@@ -28,6 +28,41 @@ struct RTreeOptions {
   int fanout = 100;  ///< Max children per node and entries per leaf page.
 };
 
+/// One best-first frontier element. The comparator is a TOTAL order —
+/// (key, kind, index-or-id) — so at equal keys container elements pop
+/// before entries and tying entries pop in id order. That makes the k-NN
+/// output a pure function of (q, k): the k canonically smallest entries by
+/// (dist_min, id), independent of the traversal that produced them —
+/// which is what lets rtree::TraversalSession resume from a refined
+/// frontier and still match a fresh root-to-leaf search bit for bit.
+struct KnnHeapItem {
+  double key = 0.0;
+  uint32_t index = 0;  ///< node or leaf-page index (kind 0 / 1)
+  int32_t id = -1;     ///< entry id (kind 2)
+  uint8_t kind = 0;    ///< 0 node, 1 leaf page, 2 entry
+  LeafEntry entry;     ///< valid when kind == 2
+
+  /// "Worse-than" for a std::greater min-heap on the canonical order.
+  bool operator>(const KnnHeapItem& o) const {
+    if (key != o.key) return key > o.key;
+    if (kind != o.kind) return kind > o.kind;
+    if (kind == 2) return id > o.id;
+    return index > o.index;
+  }
+};
+
+/// Caller-owned reusable buffers for the traversal paths, so a hot loop
+/// (one k-NN + one range query per anchor in Algorithm 2) stops paying a
+/// heap/page-buffer allocation per call.
+struct TraversalScratch {
+  std::vector<KnnHeapItem> heap;
+  std::vector<LeafEntry> page_entries;
+  std::vector<uint32_t> stack;
+  /// Wall seconds spent decoding leaf pages through this scratch,
+  /// accumulated across calls (the bench's leaf-decode phase).
+  double decode_seconds = 0.0;
+};
+
 /// \brief Packed R-tree with disk-resident leaves.
 ///
 /// Thread safety: the tree is immutable after BulkLoad — the const query
@@ -55,13 +90,25 @@ class RTree {
                                 Stats* stats = nullptr);
 
   /// The k objects with smallest dist_min(O, q), best-first. Used by seed
-  /// selection (paper Sec. IV-B, k = 300).
+  /// selection (paper Sec. IV-B, k = 300). Output order is canonical:
+  /// ascending (dist_min, id) — see KnnHeapItem.
   std::vector<LeafEntry> KNearestByDistMin(const geom::Point& q, int k) const;
+
+  /// Allocation-free k-NN: reuses `scratch`'s heap and page buffer and
+  /// appends nothing — `out` is cleared first. Identical output to the
+  /// allocating overload.
+  void KNearestByDistMin(const geom::Point& q, int k, TraversalScratch* scratch,
+                         std::vector<LeafEntry>* out) const;
 
   /// Objects whose region centers lie within Cir(center, radius). Used by
   /// I-pruning (paper Lemma 2: radius 2d - r_i).
   std::vector<LeafEntry> CentersInRange(const geom::Point& center,
                                         double radius) const;
+
+  /// Allocation-free range query; `out` is cleared first. Identical output
+  /// to the allocating overload.
+  void CentersInRange(const geom::Point& center, double radius,
+                      TraversalScratch* scratch, std::vector<LeafEntry>* out) const;
 
   /// Reads one leaf page back into entries; bills one R-tree leaf I/O.
   Status ReadLeaf(storage::PageId page, std::vector<LeafEntry>* out) const;

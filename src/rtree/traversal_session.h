@@ -1,0 +1,235 @@
+// Shared-traversal layer for stage 1 (ISSUE 9): neighboring anchors issue
+// k-NN and range queries against nearly identical regions of the R-tree,
+// so per-anchor root restarts and leaf re-decodes are massively redundant
+// (the divide-and-conquer-of-envelopes observation — spatially adjacent
+// subproblems share their lower envelope structure). A TraversalSession is
+// a per-worker object reused across a tile of Morton-adjacent anchors that
+// keeps three pieces of state between queries:
+//
+//   * Frontier cut — a set of {node | leaf page} elements that exactly
+//     covers the tree. Best-first search runs over the cut instead of the
+//     root; expanding a node permanently replaces it with its children, so
+//     later anchors skip the upper levels the tile already descended.
+//   * Previous-anchor bound — dist_min is 1-Lipschitz in the query point,
+//     so B = prev_kth_dist + |q - q_prev| upper-bounds the current k-th
+//     distance and cut elements with MinDist(q) > B are skipped outright.
+//   * Decoded-leaf memo — a segmented LRU (the admission policy of
+//     query::QueryCache, single-threaded here) over DecodeLeafEntries
+//     output, so each leaf page is decoded at most once per tile sweep
+//     instead of once per anchor.
+//   * Entry pool — a materialized superset ball: every entry whose
+//     dist_min to pool_center_ is <= pool_radius_. While consecutive
+//     anchors stay inside the ball (dist_min is 1-Lipschitz in the query
+//     point, so needed_radius + |q - pool_center| <= pool_radius proves
+//     coverage), both query kinds are answered by a flat scan of the pool
+//     — no heap, no tree descent, no per-entry memo lookups. The pool is
+//     rebuilt from the frontier cut when the walk exits the ball
+//     (every ~pool_margin * radius of Morton travel).
+//
+// Determinism: KNearest returns the k canonically smallest entries by
+// (dist_min, id) and CentersInRange an order-insensitive candidate set —
+// both pure functions of the query, independent of session state, tile
+// size and anchor order (traversal_session_test pins this against fresh
+// RTree traversals). Only the traversal-effort tickers
+// (kRtreeNodeVisits / kRtreeLeafReads) differ from the per-anchor oracle.
+//
+// Thread safety: none — one session per worker, by design.
+#ifndef UVD_RTREE_TRAVERSAL_SESSION_H_
+#define UVD_RTREE_TRAVERSAL_SESSION_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "geom/point.h"
+#include "rtree/leaf_codec.h"
+#include "rtree/rtree.h"
+
+namespace uvd {
+namespace rtree {
+
+/// How stage 1 traverses the R-tree (core/build_pipeline.h wires it
+/// through CrObjectFinder). Both modes produce bitwise-identical candidate
+/// sets, serialized indexes and PNN digests; kPerAnchor restarts every
+/// query from the root and is the determinism oracle.
+enum class TraversalMode {
+  kPerAnchor,  ///< Fresh root-to-leaf traversal per anchor (oracle).
+  kShared,     ///< Tiled TraversalSession reuse (default).
+};
+
+const char* TraversalModeName(TraversalMode m);
+
+struct TraversalSessionOptions {
+  /// Decoded leaves the memo retains (segmented LRU). The default covers
+  /// every leaf of a 25K-object tree; smaller values trade decode repeats
+  /// for memory (one leaf ~ fanout * sizeof(LeafEntry) ~ 5.6 KB).
+  size_t leaf_memo_capacity = 256;
+  /// Fraction of the memo reserved for re-referenced leaves (see
+  /// query::QueryCache). 0 disables the protected segment (plain LRU).
+  double protected_fraction = 0.8;
+  /// Slack factor on the entry pool's radius beyond the radius the
+  /// triggering query needs. Larger values rebuild less often but make
+  /// every per-anchor pool scan proportionally longer (pool area grows
+  /// with (1 + margin)^2). Purely a work knob — results are identical
+  /// for any value >= 0. The default trades a ~4x-area pool for a
+  /// rebuild only once per k-NN-radius of Morton travel.
+  double pool_margin = 1.0;
+};
+
+/// \brief Reusable k-NN / range traversal state over one immutable RTree.
+class TraversalSession {
+ public:
+  explicit TraversalSession(const RTree& tree,
+                            const TraversalSessionOptions& options = {},
+                            Stats* stats = nullptr);
+
+  /// The k entries with smallest (dist_min, id) — byte-identical to
+  /// RTree::KNearestByDistMin for every session state. `out` is cleared.
+  void KNearest(const geom::Point& q, int k, std::vector<LeafEntry>* out);
+
+  /// Entries whose centers lie within Cir(center, radius) — the same SET
+  /// RTree::CentersInRange returns (element order may differ; Algorithm 2
+  /// sorts the ids it keeps, so the order is never observable downstream).
+  /// `out` is cleared.
+  void CentersInRange(const geom::Point& center, double radius,
+                      std::vector<LeafEntry>* out);
+
+  /// Drops the frontier cut back to {root} and forgets the previous-anchor
+  /// bound. The leaf memo survives (capacity-bounded either way).
+  void Reset();
+
+  size_t memo_hits() const { return memo_hits_; }
+  size_t memo_misses() const { return memo_misses_; }
+  size_t memo_size() const { return memo_map_.size(); }
+  /// Live (non-tombstoned) cut elements.
+  size_t cut_size() const { return cut_.size() - cut_dead_; }
+  /// Wall seconds spent decoding leaf pages (memo misses).
+  double decode_seconds() const { return decode_seconds_; }
+  /// Entries currently materialized in the pool (0 when invalid).
+  size_t pool_size() const { return pool_radius_ < 0.0 ? 0 : pool_.size(); }
+  /// Times the pool was (re)built from the frontier cut.
+  size_t pool_rebuilds() const { return pool_rebuilds_; }
+  /// Queries answered by a pool scan (vs heap traversal / cut sweep).
+  size_t pool_serves() const { return pool_serves_; }
+
+ private:
+  enum : uint8_t { kNode = 0, kLeafPage = 1, kEntry = 2, kDead = 3 };
+
+  struct CutElement {
+    uint32_t index;
+    uint8_t kind;  // kNode or kLeafPage (kDead = tombstone)
+  };
+
+  /// Compact frontier/heap element: entries reference the decoded leaf by
+  /// (leaf index, position) instead of carrying the 36-byte tuple, so the
+  /// per-anchor heap stays cache-resident.
+  struct HeapItem {
+    double key;
+    uint32_t index;  // node / leaf index
+    int32_t id;      // entry id (kind kEntry); -1 otherwise
+    uint32_t pos;    // cut position (kNode) or entry position (kEntry)
+    uint8_t kind;
+
+    /// Canonical total order, matching rtree::KnnHeapItem: at equal keys
+    /// containers pop before entries and entries tie-break by id, which
+    /// makes the pop sequence of entries algorithm-independent.
+    bool operator>(const HeapItem& o) const {
+      if (key != o.key) return key > o.key;
+      if (kind != o.kind) return kind > o.kind;
+      if (kind == kEntry) return id > o.id;
+      return index > o.index;
+    }
+  };
+
+  struct MemoEntry {
+    uint32_t leaf;
+    std::vector<LeafEntry> entries;
+  };
+  struct MemoSlot {
+    std::list<MemoEntry>::iterator it;
+    bool is_protected;
+  };
+
+  /// Decoded entries of `leaf`, via the memo. The reference is valid until
+  /// the next GetLeaf call (which may evict it).
+  const std::vector<LeafEntry>& GetLeaf(uint32_t leaf);
+
+  /// Tombstones cut_[pos] and appends the node's children to the cut.
+  /// Returns the position of the first appended child.
+  size_t ExpandCutNode(size_t pos);
+
+  void CompactCut();
+
+  /// True when every entry a query of `needed` radius around `q` can
+  /// return provably lies in the pool (1-Lipschitz transfer bound, with a
+  /// relative guard band absorbing floating-point triangle-inequality
+  /// slop — conservative: may say no near the boundary, never wrongly yes).
+  bool PoolCovers(const geom::Point& q, double needed) const;
+
+  /// Re-centers the pool on `center` and re-collects every entry with
+  /// dist_min(center) <= radius by sweeping (and refining) the cut.
+  void RebuildPool(const geom::Point& center, double radius);
+
+  /// Answers KNearest by flat pool scan: the k canonically smallest
+  /// (dist_min, id) among pool entries. Pre-condition: PoolCovers(q, bound)
+  /// with bound >= the true k-th distance. Returns false (out untouched
+  /// beyond clear) if the pool unexpectedly holds fewer than k candidates;
+  /// the caller falls back to the heap traversal.
+  bool ServeFromPool(const geom::Point& q, int k, double bound,
+                     std::vector<LeafEntry>* out);
+
+  /// The original best-first traversal over the cut (the cold-start and
+  /// fallback path; also the code the pool's output is defined against).
+  void HeapKNearest(const geom::Point& q, int k, std::vector<LeafEntry>* out);
+
+  const RTree& tree_;
+  TraversalSessionOptions options_;
+  Stats* stats_;
+
+  std::vector<CutElement> cut_;
+  size_t cut_dead_ = 0;
+  std::vector<HeapItem> heap_;  // reused across KNearest calls
+
+  // Entry pool (see the header comment). pool_radius_ < 0 marks it
+  // invalid; last_window_ remembers the largest radius recently requested
+  // so a rebuild triggered by the (smaller) k-NN bound already sizes the
+  // ball for the range query that follows at the same anchor.
+  std::vector<LeafEntry> pool_;
+  geom::Point pool_center_;
+  double pool_radius_ = -1.0;
+  double last_window_ = 0.0;
+  struct PoolCandidate {
+    double key;
+    int32_t id;
+    uint32_t pos;  // index into pool_
+  };
+  std::vector<PoolCandidate> pool_cand_;  // reused across ServeFromPool calls
+  size_t pool_rebuilds_ = 0;
+  size_t pool_serves_ = 0;
+
+  // Previous-anchor bound (valid only when the last KNearest returned a
+  // full k entries).
+  geom::Point prev_q_;
+  double prev_kth_ = 0.0;
+  int prev_k_ = 0;
+  bool prev_valid_ = false;
+
+  // Segmented-LRU decoded-leaf memo (query_cache.h's policy, lock-free
+  // single-owner edition). Most-recently-used at the front of each list;
+  // the map is never iterated (scripts/check_determinism.py).
+  size_t protected_capacity_ = 0;
+  std::list<MemoEntry> memo_probation_;
+  std::list<MemoEntry> memo_protected_;
+  std::unordered_map<uint32_t, MemoSlot> memo_map_;
+  std::vector<LeafEntry> decode_buf_;
+  size_t memo_hits_ = 0;
+  size_t memo_misses_ = 0;
+  double decode_seconds_ = 0.0;
+};
+
+}  // namespace rtree
+}  // namespace uvd
+
+#endif  // UVD_RTREE_TRAVERSAL_SESSION_H_

@@ -20,6 +20,17 @@ double Imbalance(const std::vector<size_t>& counts) {
   return mean > 0.0 ? static_cast<double>(max_count) / mean : 1.0;
 }
 
+double ImbalanceOf(const std::vector<double>& loads) {
+  if (loads.empty()) return 1.0;
+  double total = 0.0, max_load = 0.0;
+  for (const double l : loads) {
+    total += l;
+    max_load = std::max(max_load, l);
+  }
+  const double mean = total / static_cast<double>(loads.size());
+  return mean > 0.0 ? max_load / mean : 1.0;
+}
+
 }  // namespace
 
 std::string RebalanceAdvice::ToString() const {
@@ -70,6 +81,83 @@ RebalanceAdvice RebalanceAdvisor::Advise(const ShardedUVDiagram& diagram,
     }
   }
   advice.predicted_imbalance = Imbalance(advice.predicted_objects);
+
+  advice.rebalance_recommended =
+      advice.current_imbalance > options.imbalance_threshold &&
+      advice.predicted_imbalance <
+          advice.current_imbalance * (1.0 - options.min_relative_gain);
+  return advice;
+}
+
+RebalanceAdvice RebalanceAdvisor::Advise(
+    const ShardedUVDiagram& diagram,
+    const std::vector<uint64_t>& routed_queries,
+    const RebalanceAdvisorOptions& options) {
+  const double lambda =
+      std::min(1.0, std::max(0.0, options.query_weight_lambda));
+  uint64_t total_q = 0;
+  for (const uint64_t q : routed_queries) total_q += q;
+  if (lambda <= 0.0 || total_q == 0 ||
+      routed_queries.size() != diagram.num_shards()) {
+    return Advise(diagram, options);
+  }
+
+  // Ownership by extent center: the shard a query at that point routes to,
+  // which is the load the observed counters actually measured.
+  const std::vector<ObjectExtent>& extents = diagram.object_extents();
+  const size_t shards = diagram.num_shards();
+  std::vector<size_t> owned(shards, 0);
+  std::vector<int> owner(extents.size(), 0);
+  for (size_t i = 0; i < extents.size(); ++i) {
+    int s = diagram.ShardIndexForPoint(extents[i].center);
+    if (s < 0 || static_cast<size_t>(s) >= shards) s = 0;
+    owner[i] = s;
+    ++owned[static_cast<size_t>(s)];
+  }
+
+  // Per-shard weight: relative query pressure, blended toward 1.0 by
+  // (1 - lambda). A shard receiving twice its "fair" query share (Q-share
+  // over N-share) counts its objects twice at lambda = 1.
+  const double n_total = static_cast<double>(extents.size());
+  std::vector<double> shard_weight(shards, 1.0);
+  for (size_t s = 0; s < shards; ++s) {
+    if (owned[s] == 0) continue;  // weight never applied: no owned objects
+    const double q_share = static_cast<double>(routed_queries[s]) /
+                           static_cast<double>(total_q);
+    const double n_share = static_cast<double>(owned[s]) / n_total;
+    shard_weight[s] = (1.0 - lambda) + lambda * (q_share / n_share);
+  }
+
+  std::vector<ObjectExtent> weighted = extents;
+  for (size_t i = 0; i < weighted.size(); ++i) {
+    weighted[i].weight = shard_weight[static_cast<size_t>(owner[i])];
+  }
+
+  RebalanceAdvice advice;
+  // Current imbalance in the query-weighted currency: each shard's load is
+  // the weighted sum of the objects it owns (equivalently, its observed
+  // query pressure spread over its objects).
+  std::vector<double> current_load(shards, 0.0);
+  for (size_t i = 0; i < weighted.size(); ++i) {
+    current_load[static_cast<size_t>(owner[i])] += weighted[i].weight;
+  }
+  advice.current_imbalance = ImbalanceOf(current_load);
+
+  advice.proposed_boxes =
+      PartitionDomain(diagram.domain(), static_cast<int>(shards),
+                      ShardPartitioning::kMedian, weighted);
+
+  advice.predicted_objects.assign(advice.proposed_boxes.size(), 0);
+  std::vector<double> predicted_load(advice.proposed_boxes.size(), 0.0);
+  for (size_t i = 0; i < weighted.size(); ++i) {
+    for (size_t s = 0; s < advice.proposed_boxes.size(); ++s) {
+      if (weighted[i].bounds.Intersects(advice.proposed_boxes[s])) {
+        ++advice.predicted_objects[s];
+        predicted_load[s] += weighted[i].weight;
+      }
+    }
+  }
+  advice.predicted_imbalance = ImbalanceOf(predicted_load);
 
   advice.rebalance_recommended =
       advice.current_imbalance > options.imbalance_threshold &&

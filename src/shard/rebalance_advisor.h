@@ -29,6 +29,7 @@
 #ifndef UVD_SHARD_REBALANCE_ADVISOR_H_
 #define UVD_SHARD_REBALANCE_ADVISOR_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,11 @@ struct RebalanceAdvisorOptions {
   /// imbalance is below current * (1 - min_relative_gain), so a rebuild
   /// is never advised for noise-level gains.
   double min_relative_gain = 0.05;
+  /// Blend factor for the query-aware Advise overload: 0 keeps the pure
+  /// object-count objective (unit weights), 1 weights each object fully by
+  /// the relative query pressure (query share / object share) of the shard
+  /// that currently owns it. Values in between interpolate linearly.
+  double query_weight_lambda = 0.5;
 };
 
 /// The advisor's verdict: measured load, proposed cuts, predicted load.
@@ -69,6 +75,18 @@ class RebalanceAdvisor {
   /// Measures the deployment, proposes median cuts, predicts their load.
   /// Pure read: never mutates or rebuilds.
   static RebalanceAdvice Advise(const ShardedUVDiagram& diagram,
+                                const RebalanceAdvisorOptions& options = {});
+
+  /// Query-aware variant: `routed_queries` is the observed per-shard query
+  /// count (ShardRouter::routed_queries, one entry per shard). Each object
+  /// is weighted by (1 - lambda) + lambda * (Q_s/sum Q) / (N_s/sum N) of
+  /// the shard owning its extent center, so the proposed median cuts
+  /// balance observed query load instead of raw object counts; imbalances
+  /// are reported in the same query-weighted currency. Falls back to the
+  /// count-based overload when lambda <= 0, no queries were observed, or
+  /// the vector's size does not match the shard count.
+  static RebalanceAdvice Advise(const ShardedUVDiagram& diagram,
+                                const std::vector<uint64_t>& routed_queries,
                                 const RebalanceAdvisorOptions& options = {});
 
   /// Rebuilds the deployment with ShardPartitioning::kMedian (same shard

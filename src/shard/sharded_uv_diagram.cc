@@ -48,36 +48,66 @@ bool OwnsAxis(double v, double lo, double hi, double domain_hi) {
   return v == hi && hi == domain_hi;
 }
 
+/// Per-object extent interval along the cut axis plus its load weight
+/// (ObjectExtent::weight), already clamped to [axis_lo, axis_hi].
+struct AxisSpan {
+  double lo = 0.0;
+  double hi = 0.0;
+  double weight = 1.0;
+};
+
 /// One split of the extent-weighted median partitioner: the cut along
 /// [axis_lo, axis_hi] minimizing the predicted worst per-shard share
-/// max(n_lower/kl, n_upper/kr), where n_lower(c) = #{spans with lo <= c}
-/// and n_upper(c) = #{spans with hi >= c} — an extent straddling c counts
-/// toward both sides, exactly the replica the cut would create. `spans`
-/// are per-object extent intervals along the axis, already clamped to
-/// [axis_lo, axis_hi]. Both counts change only at span endpoints, so the
-/// candidates are every distinct endpoint plus the midpoints between
-/// consecutive distinct endpoints; ties break toward the geometric
-/// proportional cut, then toward the smaller coordinate (deterministic).
-/// Falls back to the geometric cut when no candidate is strictly interior.
-double MedianCut(const std::vector<std::pair<double, double>>& spans, int kl,
-                 int kr, double axis_lo, double axis_hi) {
+/// max(w_lower/kl, w_upper/kr), where w_lower(c) sums the weights of
+/// spans with lo <= c and w_upper(c) those with hi >= c — an extent
+/// straddling c counts toward both sides, exactly the replica the cut
+/// would create, and unit weights reduce the sums to object counts. Both
+/// sums change only at span endpoints, so the candidates are every
+/// distinct endpoint plus the midpoints between consecutive distinct
+/// endpoints (weights shift WHERE the optimum lands, never where the step
+/// points are); ties break toward the geometric proportional cut, then
+/// toward the smaller coordinate (deterministic). Falls back to the
+/// geometric cut when no candidate is strictly interior.
+double MedianCut(const std::vector<AxisSpan>& spans, int kl, int kr,
+                 double axis_lo, double axis_hi) {
   const double geometric =
       axis_lo + (axis_hi - axis_lo) *
                     (static_cast<double>(kl) / static_cast<double>(kl + kr));
-  std::vector<double> los, his, endpoints;
+  // (coordinate, weight) pairs sorted by coordinate, with weight prefix
+  // sums so each candidate's w_lower / w_upper is two binary searches.
+  std::vector<std::pair<double, double>> los, his;
+  std::vector<double> endpoints;
   los.reserve(spans.size());
   his.reserve(spans.size());
   endpoints.reserve(spans.size() * 2);
-  for (const auto& span : spans) {
-    los.push_back(span.first);
-    his.push_back(span.second);
-    endpoints.push_back(span.first);
-    endpoints.push_back(span.second);
+  for (const AxisSpan& span : spans) {
+    los.emplace_back(span.lo, span.weight);
+    his.emplace_back(span.hi, span.weight);
+    endpoints.push_back(span.lo);
+    endpoints.push_back(span.hi);
   }
-  std::sort(los.begin(), los.end());
-  std::sort(his.begin(), his.end());
+  // Sort by coordinate only: equal-coordinate weights land in one prefix
+  // bucket regardless of their relative order, so the sums — and the cut
+  // — stay deterministic for a fixed dataset.
+  const auto by_coord = [](const std::pair<double, double>& a,
+                           const std::pair<double, double>& b) {
+    return a.first < b.first;
+  };
+  std::sort(los.begin(), los.end(), by_coord);
+  std::sort(his.begin(), his.end(), by_coord);
   std::sort(endpoints.begin(), endpoints.end());
   endpoints.erase(std::unique(endpoints.begin(), endpoints.end()), endpoints.end());
+
+  // prefix[i] = total weight of the first i sorted spans.
+  std::vector<double> lo_prefix(los.size() + 1, 0.0);
+  std::vector<double> hi_prefix(his.size() + 1, 0.0);
+  for (size_t i = 0; i < los.size(); ++i) {
+    lo_prefix[i + 1] = lo_prefix[i] + los[i].second;
+  }
+  for (size_t i = 0; i < his.size(); ++i) {
+    hi_prefix[i + 1] = hi_prefix[i] + his[i].second;
+  }
+  const double total_weight = hi_prefix[his.size()];
 
   std::vector<double> candidates;
   candidates.reserve(endpoints.size() * 2);
@@ -93,11 +123,15 @@ double MedianCut(const std::vector<std::pair<double, double>>& spans, int kl,
   double best_geo_dist = std::numeric_limits<double>::infinity();
   for (const double c : candidates) {
     if (!(c > axis_lo && c < axis_hi)) continue;  // sub-boxes must have area
-    const auto n_lower = static_cast<double>(
-        std::upper_bound(los.begin(), los.end(), c) - los.begin());
-    const auto n_upper = static_cast<double>(
-        his.end() - std::lower_bound(his.begin(), his.end(), c));
-    const double share = std::max(n_lower / kl, n_upper / kr);
+    const size_t lo_idx = static_cast<size_t>(
+        std::upper_bound(los.begin(), los.end(), std::make_pair(c, 0.0), by_coord) -
+        los.begin());
+    const size_t hi_idx = static_cast<size_t>(
+        std::lower_bound(his.begin(), his.end(), std::make_pair(c, 0.0), by_coord) -
+        his.begin());
+    const double w_lower = lo_prefix[lo_idx];
+    const double w_upper = total_weight - hi_prefix[hi_idx];
+    const double share = std::max(w_lower / kl, w_upper / kr);
     const double geo_dist = std::abs(c - geometric);
     if (share < best_share ||
         (share == best_share &&
@@ -129,19 +163,20 @@ void MedianSplit(const geom::Box& box, int k,
   const double axis_lo = cut_x ? box.lo.x : box.lo.y;
   const double axis_hi = cut_x ? box.hi.x : box.hi.y;
 
-  std::vector<std::pair<double, double>> spans;
+  std::vector<AxisSpan> spans;
   spans.reserve(ids.size());
   for (const uint32_t id : ids) {
     const geom::Box& b = extents[id].bounds;
-    spans.emplace_back(std::max(cut_x ? b.lo.x : b.lo.y, axis_lo),
-                       std::min(cut_x ? b.hi.x : b.hi.y, axis_hi));
+    spans.push_back({std::max(cut_x ? b.lo.x : b.lo.y, axis_lo),
+                     std::min(cut_x ? b.hi.x : b.hi.y, axis_hi),
+                     extents[id].weight});
   }
   const double cut = MedianCut(spans, kl, kr, axis_lo, axis_hi);
 
   std::vector<uint32_t> lower_ids, upper_ids;
   for (size_t i = 0; i < ids.size(); ++i) {
-    if (spans[i].first <= cut) lower_ids.push_back(ids[i]);
-    if (spans[i].second >= cut) upper_ids.push_back(ids[i]);
+    if (spans[i].lo <= cut) lower_ids.push_back(ids[i]);
+    if (spans[i].hi >= cut) upper_ids.push_back(ids[i]);
   }
   if (cut_x) {
     MedianSplit(geom::Box(box.lo, {cut, box.hi.y}), kl, extents, lower_ids, out);

@@ -112,6 +112,14 @@ enum class ShardPartitioning {
 struct ObjectExtent {
   geom::Point center;
   geom::Box bounds;
+  /// Load weight of this object in the kMedian cut objective. 1.0 (the
+  /// build-time default) balances registration COUNTS; RebalanceAdvisor's
+  /// query-aware overload scales weights by the observed per-shard query
+  /// share ((1 - lambda) + lambda * query_share / object_share of the
+  /// shard owning `center`), so the proposed cuts balance queries per
+  /// second instead of object counts. Weights never affect correctness —
+  /// registration stays with UvCellMayOverlap.
+  double weight = 1.0;
 };
 
 struct ShardedUVDiagramOptions {
@@ -233,9 +241,11 @@ std::vector<geom::Box> PartitionDomain(const geom::Box& domain, int num_shards,
 /// Data-aware overload: for kMedian, recursive longest-axis cuts at the
 /// extent-weighted object-count median. At every split of k shards into
 /// ceil/floor halves (kl, kr), the cut c minimizing
-/// max(n_lower(c)/kl, n_upper(c)/kr) is chosen, where an object counts
-/// toward a side whenever its extent box touches that side — a straddler
-/// counts toward both, anticipating the border replica the cut creates.
+/// max(w_lower(c)/kl, w_upper(c)/kr) is chosen, where w_lower/w_upper sum
+/// ObjectExtent::weight over the objects whose extent box touches that
+/// side — a straddler counts toward both, anticipating the border replica
+/// the cut creates, and uniform weights reduce the sums to the original
+/// object counts.
 /// Candidate cuts are every distinct extent endpoint and the midpoints
 /// between consecutive endpoints (the only places the counts change); ties
 /// break toward the geometric proportional cut, then toward the smaller

@@ -2,9 +2,12 @@
 // every tested thread count, frontier depth and dataset shape (uniform and
 // the Fig. 7(g) skewed Gaussian clouds), the serialized UV-index from
 // Stage2Mode::kPartitioned must be BITWISE-identical to the serial build —
-// structure, leaf tuples and page layout — and every Stats ticker except
-// the pruner-scan-order pair (kHyperbolaTests / kFourPointTests) must match
-// exactly. PNN answers are cross-checked through QueryEngine and
+// structure, leaf tuples and page layout — and EVERY Stats ticker must
+// match exactly, the pruner-scan-order pair (kHyperbolaTests /
+// kFourPointTests) included: residency hints live per (leaf, member)
+// (UVIndex::Node::member_hints) and descent gates use a fresh hint per
+// check, so the partitioned subtrees replay the serial scan lengths
+// verbatim. PNN answers are cross-checked through QueryEngine and
 // ShardRouter, the max_nonleaf budget fallback is exercised directly
 // through UVIndex::InsertObjectsPartitioned, and the per-shard balance
 // report is validated on a skewed cloud.
@@ -134,25 +137,27 @@ TEST(Stage2PartitionTest, IcrPartitionedMatchesSerial) {
   EXPECT_EQ(Serialized(serial), Serialized(partitioned));
 }
 
-TEST(Stage2PartitionTest, ExactTickerSubsetMatchesSerial) {
-  // Everything except the pruner-scan-order pair is exact: the partitioned
-  // build performs the same CheckOverlap tests, envelope insertions and
-  // page I/O as the serial build, just distributed differently.
+TEST(Stage2PartitionTest, EveryTickerMatchesSerial) {
+  // Every ticker is exact, the pruner-scan-order pair included: the
+  // partitioned build performs the same CheckOverlap tests with the same
+  // per-(leaf, member) hint evolution as the serial build, just
+  // distributed differently (see uv_index.h). Stage 1 is pinned to the
+  // kPerAnchor traversal oracle so its work tickers don't vary with the
+  // worker count (build_pipeline.h documents that kShared's do).
   const size_t n = 700;
   Stats serial_stats;
   Stats partitioned_stats;
   UVDiagramOptions serial_options;
   serial_options.build_threads = 1;
+  serial_options.traversal_mode = rtree::TraversalMode::kPerAnchor;
   BuildWith(Shape::kUniform, n, 23, 0.0, serial_options, &serial_stats);
   UVDiagramOptions options;
   options.build_threads = 4;
   options.stage2 = Stage2Mode::kPartitioned;
+  options.traversal_mode = rtree::TraversalMode::kPerAnchor;
   BuildWith(Shape::kUniform, n, 23, 0.0, options, &partitioned_stats);
   for (uint32_t i = 0; i < static_cast<uint32_t>(Ticker::kNumTickers); ++i) {
     const Ticker t = static_cast<Ticker>(i);
-    if (t == Ticker::kHyperbolaTests || t == Ticker::kFourPointTests) {
-      continue;  // scan-order dependent; see uv_index.h
-    }
     EXPECT_EQ(serial_stats.Get(t), partitioned_stats.Get(t)) << TickerName(t);
   }
   EXPECT_GT(partitioned_stats.Get(Ticker::kHyperbolaTests), 0u);
@@ -244,8 +249,9 @@ TEST(Stage2PartitionTest, BudgetBoundFallsBackIdentically) {
   EXPECT_EQ(twins.serial_bytes, twins.partitioned_bytes);
   EXPECT_TRUE(twins.report.serial_fallback);
   // The discarded optimistic phases must not leak into the counters: the
-  // fallback unwinds the tickers AND the pruner memos, so EVERY ticker —
-  // scan-order pair included — replays the serial build exactly.
+  // fallback unwinds the tickers, and the pruner hints die with the
+  // discarded nodes (Node::member_hints), so EVERY ticker — scan-order
+  // pair included — replays the serial build exactly.
   for (uint32_t i = 0; i < static_cast<uint32_t>(Ticker::kNumTickers); ++i) {
     const Ticker t = static_cast<Ticker>(i);
     EXPECT_EQ(twins.serial_stats.Get(t), twins.partitioned_stats.Get(t))

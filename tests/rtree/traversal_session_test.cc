@@ -1,0 +1,181 @@
+// Tests for the shared-traversal session (rtree/traversal_session.h): the
+// session's KNearest must be byte-identical to RTree::KNearestByDistMin
+// and its CentersInRange must return the same SET RTree::CentersInRange
+// returns, for every interleaving of queries across a Morton-like sweep —
+// plus leaf-memo and entry-pool accounting, eviction under tiny
+// capacities, and Reset semantics.
+#include "rtree/traversal_session.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/random.h"
+#include "rtree/rtree.h"
+#include "storage/page_manager.h"
+#include "uncertain/object_store.h"
+
+namespace uvd {
+namespace rtree {
+namespace {
+
+struct Fixture {
+  Stats stats;
+  storage::PageManager pm{4096, &stats};
+  uncertain::ObjectStore store{&pm};
+  std::vector<uncertain::UncertainObject> objects;
+  std::vector<uncertain::ObjectPtr> ptrs;
+  std::optional<RTree> tree;
+
+  void Build(int n, uint64_t seed = 3, int fanout = 32) {
+    Rng rng(seed);
+    objects.clear();
+    for (int i = 0; i < n; ++i) {
+      objects.push_back(uncertain::UncertainObject::WithGaussianPdf(
+          i, geom::Circle({rng.Uniform(0, 10000), rng.Uniform(0, 10000)},
+                          rng.Uniform(0.5, 25.0))));
+    }
+    UVD_CHECK_OK(store.BulkLoad(objects, &ptrs));
+    auto t = RTree::BulkLoad(objects, ptrs, &pm, {fanout}, &stats);
+    UVD_CHECK(t.ok()) << t.status().ToString();
+    tree.emplace(std::move(t).value());
+  }
+};
+
+std::vector<int> SortedIds(const std::vector<LeafEntry>& entries) {
+  std::vector<int> ids;
+  ids.reserve(entries.size());
+  for (const LeafEntry& e : entries) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// Query points sweeping the domain diagonally — adjacent queries are
+// spatially close (the workload the session is built for), with one long
+// jump in the middle to force a pool rebuild mid-sweep.
+std::vector<geom::Point> SweepPoints(int count) {
+  std::vector<geom::Point> pts;
+  pts.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double t = static_cast<double>(i) / std::max(1, count - 1);
+    const double jump = (i == count / 2) ? 4000.0 : 0.0;
+    pts.push_back({500.0 + 9000.0 * t,
+                   std::min(9800.0, 700.0 + 8600.0 * t + jump)});
+  }
+  return pts;
+}
+
+TEST(TraversalSessionTest, KNearestMatchesFreshTreeTraversals) {
+  Fixture f;
+  f.Build(900, 7);
+  for (int tile : {1, 7, 64}) {
+    TraversalSession session(*f.tree);
+    int since_reset = 0;
+    for (const geom::Point& q : SweepPoints(60)) {
+      if (since_reset++ == tile) {
+        session.Reset();  // tile boundary: new sweep, same session object
+        since_reset = 1;
+      }
+      for (int k : {1, 10, 50}) {
+        std::vector<LeafEntry> got;
+        session.KNearest(q, k, &got);
+        const std::vector<LeafEntry> want = f.tree->KNearestByDistMin(q, k);
+        ASSERT_EQ(want.size(), got.size()) << "tile=" << tile << " k=" << k;
+        for (size_t i = 0; i < want.size(); ++i) {
+          EXPECT_EQ(want[i].id, got[i].id) << "tile=" << tile << " k=" << k
+                                           << " rank=" << i;
+          EXPECT_EQ(want[i].mbc.center.x, got[i].mbc.center.x);
+          EXPECT_EQ(want[i].mbc.center.y, got[i].mbc.center.y);
+          EXPECT_EQ(want[i].mbc.radius, got[i].mbc.radius);
+        }
+      }
+    }
+  }
+}
+
+TEST(TraversalSessionTest, CentersInRangeMatchesFreshTreeSet) {
+  Fixture f;
+  f.Build(900, 11);
+  TraversalSession session(*f.tree);
+  for (const geom::Point& q : SweepPoints(60)) {
+    // Interleave with k-NN the way BuildSeedRegion + Find do per anchor.
+    std::vector<LeafEntry> knn;
+    session.KNearest(q, 20, &knn);
+    for (double radius : {30.0, 250.0, 1200.0}) {
+      std::vector<LeafEntry> got;
+      session.CentersInRange(q, radius, &got);
+      EXPECT_EQ(SortedIds(f.tree->CentersInRange(q, radius)), SortedIds(got))
+          << "radius=" << radius;
+    }
+  }
+}
+
+TEST(TraversalSessionTest, PoolAccountingAndLocalityPayoff) {
+  Fixture f;
+  f.Build(900, 13);
+  TraversalSession session(*f.tree);
+  for (const geom::Point& q : SweepPoints(80)) {
+    std::vector<LeafEntry> out;
+    session.KNearest(q, 30, &out);
+    session.CentersInRange(q, 120.0, &out);
+  }
+  // The sweep is local, so the pool must serve nearly every query and
+  // rebuild far less often than once per anchor.
+  EXPECT_GT(session.pool_serves(), 100u);   // 160 queries issued
+  EXPECT_LT(session.pool_rebuilds(), 40u);  // vs 160 worst case
+  EXPECT_GT(session.pool_size(), 0u);
+  EXPECT_GT(session.memo_hits() + session.memo_misses(), 0u);
+}
+
+TEST(TraversalSessionTest, TinyMemoEvictsButStaysExact) {
+  Fixture f;
+  f.Build(900, 17, /*fanout=*/16);  // many leaves, 2-slot memo
+  TraversalSessionOptions options;
+  options.leaf_memo_capacity = 2;
+  TraversalSession session(*f.tree, options);
+  for (const geom::Point& q : SweepPoints(40)) {
+    std::vector<LeafEntry> got;
+    session.KNearest(q, 25, &got);
+    const std::vector<LeafEntry> want = f.tree->KNearestByDistMin(q, 25);
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(want[i].id, got[i].id);
+  }
+  EXPECT_LE(session.memo_size(), 2u);
+  EXPECT_GT(session.memo_misses(), 2u);  // eviction happened
+}
+
+TEST(TraversalSessionTest, ResetDropsPoolAndBound) {
+  Fixture f;
+  f.Build(400, 19);
+  TraversalSession session(*f.tree);
+  std::vector<LeafEntry> out;
+  session.KNearest({5000.0, 5000.0}, 10, &out);
+  session.Reset();
+  EXPECT_EQ(session.pool_size(), 0u);
+  // Still exact after the reset.
+  session.KNearest({8000.0, 2000.0}, 10, &out);
+  const std::vector<LeafEntry> want =
+      f.tree->KNearestByDistMin({8000.0, 2000.0}, 10);
+  ASSERT_EQ(want.size(), out.size());
+  for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(want[i].id, out[i].id);
+}
+
+TEST(TraversalSessionTest, DegenerateQueries) {
+  Fixture f;
+  f.Build(50, 23);
+  TraversalSession session(*f.tree);
+  std::vector<LeafEntry> out;
+  session.KNearest({5000.0, 5000.0}, 0, &out);
+  EXPECT_TRUE(out.empty());
+  session.KNearest({5000.0, 5000.0}, 500, &out);  // k > n clamps to n
+  EXPECT_EQ(out.size(), 50u);
+  session.CentersInRange({5000.0, 5000.0}, 0.0, &out);
+  EXPECT_EQ(SortedIds(f.tree->CentersInRange({5000.0, 5000.0}, 0.0)),
+            SortedIds(out));
+}
+
+}  // namespace
+}  // namespace rtree
+}  // namespace uvd

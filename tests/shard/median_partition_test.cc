@@ -245,6 +245,55 @@ TEST(MedianPartitionTest, MedianBalancesClusteredCloudAtK8AndAdvisorClosesLoop) 
   }
 }
 
+bool SameBoxes(const std::vector<geom::Box>& a, const std::vector<geom::Box>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].lo.x != b[i].lo.x || a[i].lo.y != b[i].lo.y ||
+        a[i].hi.x != b[i].hi.x || a[i].hi.y != b[i].hi.y) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(MedianPartitionTest, QueryWeightedAdviseRespondsToSkewedTraffic) {
+  // Uniform data in a K = 4 grid: object counts are balanced, so the
+  // count-based advisor is content — but when observed traffic hammers one
+  // shard, the query-weighted overload must surface the imbalance in the
+  // weighted currency, move the proposed cuts, and recommend a rebuild.
+  const size_t n = 600;
+  const auto objects = MakeObjects(/*clustered=*/false, n, 23);
+  const auto grid = BuildSharded(objects, 4, ShardPartitioning::kGrid);
+  const RebalanceAdvice by_count = RebalanceAdvisor::Advise(grid);
+  EXPECT_FALSE(by_count.rebalance_recommended);
+
+  std::vector<uint64_t> routed(4, 1);
+  routed[0] = 97;  // ~97% of queries land on shard 0
+  const RebalanceAdvice by_queries = RebalanceAdvisor::Advise(grid, routed);
+  EXPECT_GT(by_queries.current_imbalance, 1.25);
+  EXPECT_LT(by_queries.predicted_imbalance, by_queries.current_imbalance);
+  EXPECT_TRUE(by_queries.rebalance_recommended);
+  ASSERT_EQ(by_queries.proposed_boxes.size(), 4u);
+  EXPECT_FALSE(SameBoxes(by_queries.proposed_boxes, by_count.proposed_boxes))
+      << "query weights did not move the median cuts";
+
+  // Determinism: the same observations produce the same advice.
+  const RebalanceAdvice again = RebalanceAdvisor::Advise(grid, routed);
+  EXPECT_TRUE(SameBoxes(again.proposed_boxes, by_queries.proposed_boxes));
+  EXPECT_DOUBLE_EQ(again.predicted_imbalance, by_queries.predicted_imbalance);
+
+  // Fallbacks reproduce the count-based advice exactly: lambda = 0 and
+  // no observed queries.
+  RebalanceAdvisorOptions lambda_off;
+  lambda_off.query_weight_lambda = 0.0;
+  const RebalanceAdvice no_lambda = RebalanceAdvisor::Advise(grid, routed, lambda_off);
+  EXPECT_TRUE(SameBoxes(no_lambda.proposed_boxes, by_count.proposed_boxes));
+  EXPECT_DOUBLE_EQ(no_lambda.current_imbalance, by_count.current_imbalance);
+  const RebalanceAdvice no_traffic =
+      RebalanceAdvisor::Advise(grid, std::vector<uint64_t>(4, 0));
+  EXPECT_TRUE(SameBoxes(no_traffic.proposed_boxes, by_count.proposed_boxes));
+}
+
 }  // namespace
 }  // namespace shard
 }  // namespace uvd
