@@ -14,6 +14,8 @@ const char* TickerName(Ticker t) {
       return "bufferpool.hits";
     case Ticker::kBufferPoolMisses:
       return "bufferpool.misses";
+    case Ticker::kBufferPoolEvictions:
+      return "bufferpool.evictions";
     case Ticker::kRtreeNodeVisits:
       return "rtree.node.visits";
     case Ticker::kRtreeLeafReads:

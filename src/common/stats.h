@@ -16,7 +16,8 @@ enum class Ticker : uint32_t {
   kPageReads = 0,       ///< Simulated disk pages read.
   kPageWrites,          ///< Simulated disk pages written.
   kBufferPoolHits,      ///< Page reads served from the buffer pool.
-  kBufferPoolMisses,    ///< Page reads that went to "disk".
+  kBufferPoolMisses,    ///< Page reads that went to disk (real or simulated).
+  kBufferPoolEvictions, ///< Frames evicted to admit a missed page.
   kRtreeNodeVisits,     ///< R-tree nodes popped during any traversal.
   kRtreeLeafReads,      ///< R-tree leaf pages fetched (I/O unit for R-tree).
   kUvIndexNodeVisits,   ///< UV-index non-leaf nodes visited.

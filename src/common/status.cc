@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

@@ -23,6 +23,11 @@ enum class StatusCode {
   kInternal,
   kNotImplemented,
   kIOError,
+  /// Stored bytes fail validation (checksum mismatch, torn page, truncated
+  /// file): the data reached the device but cannot be trusted. Distinct
+  /// from kIOError (the device itself failed) so recovery paths can tell
+  /// "retry elsewhere" from "this replica is damaged".
+  kCorruption,
 };
 
 /// \brief Lightweight status object carrying an error code and message.
@@ -61,6 +66,9 @@ class [[nodiscard]] Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -10,6 +10,7 @@
 #define UVD_CORE_UV_DIAGRAM_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -22,6 +23,7 @@
 #include "geom/box.h"
 #include "rtree/pnn_baseline.h"
 #include "rtree/rtree.h"
+#include "storage/file_page_manager.h"
 #include "storage/page_manager.h"
 #include "uncertain/object_store.h"
 #include "uncertain/uncertain_object.h"
@@ -57,6 +59,18 @@ struct UVDiagramOptions {
   rtree::TraversalMode traversal_mode = rtree::TraversalMode::kShared;
   int traversal_tile_size = 64;
   int leaf_memo_capacity = 256;
+  /// Persistent storage. Empty (the default): pages live in the in-RAM
+  /// simulated disk and the diagram dies with the process. Non-empty: the
+  /// whole stack — object records, R-tree leaves, UV-index pages — lands
+  /// in a checksummed paged file at this path; Checkpoint() makes the
+  /// built index durable and Open() serves it cold in a later process
+  /// (docs/STORAGE.md).
+  std::string storage_path;
+  /// Buffer pool capacity in pages for the file-backed store (ignored
+  /// without storage_path). 0 disables the pool: every read hits the file.
+  size_t buffer_pool_pages = 0;
+  /// Protected-segment fraction of the pool (see BufferPoolOptions).
+  double buffer_pool_protected_fraction = 0.8;
 };
 
 /// \brief An indexed UV-diagram over a set of uncertain objects.
@@ -70,6 +84,34 @@ class UVDiagram {
   static Result<UVDiagram> Build(std::vector<uncertain::UncertainObject> objects,
                                  const geom::Box& domain, const Options& options = {},
                                  Stats* stats = nullptr);
+
+  /// Reopens a diagram checkpointed at `path` and serves it cold: objects
+  /// and store directory come back from the file's manifest, the UV-index
+  /// is deserialized, and page reads flow through the (optional) buffer
+  /// pool. `options.page_size` is ignored — the file's metapage rules.
+  /// The R-tree is NOT rebuilt eagerly; the first R-tree-path call
+  /// (QueryPnnWithRtree / rtree()) reconstructs it from the reloaded
+  /// objects. Failure codes are the storage layer's typed ones: a damaged
+  /// file yields Corruption (etc.), never a silently wrong diagram.
+  static Result<UVDiagram> Open(const std::string& path,
+                                const Options& options = {},
+                                Stats* stats = nullptr);
+
+  /// Durability point for a file-backed diagram (InvalidArgument without
+  /// storage_path): saves the UV-index structure and the store/domain
+  /// manifest into pages, points the file's bootstrap at them, and
+  /// checkpoints the file. Open() recovers exactly this state.
+  Status Checkpoint();
+
+  /// Checkpoint + close the backing file. The diagram must not be used
+  /// afterwards; reopen with Open(). No-op for in-RAM diagrams.
+  Status CloseStorage();
+
+  /// True when this diagram is backed by a paged file.
+  bool persistent() const { return fpm_ != nullptr; }
+  /// The file-backed manager, or nullptr for in-RAM diagrams (metrics
+  /// registration, crash harnesses).
+  storage::FilePageManager* file_page_manager() { return fpm_; }
 
   /// Incremental insertion (paper Sec. VII future work): derives the new
   /// object's cr-objects against the current population and appends it to
@@ -129,6 +171,8 @@ class UVDiagram {
   Stats* stats_ = nullptr;                 // external or owned_stats_.get()
   std::unique_ptr<Stats> owned_stats_;
   std::unique_ptr<storage::PageManager> pm_;
+  /// pm_ downcast when storage_path is configured; null for in-RAM.
+  storage::FilePageManager* fpm_ = nullptr;
   std::unique_ptr<uncertain::ObjectStore> store_;
   std::vector<uncertain::ObjectPtr> ptrs_;
   mutable std::unique_ptr<rtree::RTree> rtree_;

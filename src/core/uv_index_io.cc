@@ -119,24 +119,44 @@ Result<UVIndex> UVIndex::DeserializeStructure(const std::vector<uint8_t>& data,
   return index;
 }
 
-Result<SavedIndexHandle> SaveUvIndex(const UVIndex& index,
-                                     storage::PageManager* pm) {
-  std::vector<uint8_t> stream;
-  UVD_RETURN_NOT_OK(index.SerializeStructure(&stream));
+Result<SavedIndexHandle> WriteStreamToPages(const std::vector<uint8_t>& stream,
+                                            storage::PageManager* pm) {
   SavedIndexHandle handle;
   const size_t page_size = pm->page_size();
   handle.page_count =
       static_cast<uint32_t>((stream.size() + page_size - 1) / page_size);
+  if (handle.page_count == 0) return handle;
+  handle.first_page = pm->AllocateRun(handle.page_count);
+  if (handle.first_page == storage::kInvalidPageId) {
+    return Status::IOError("page allocation failed while saving a stream");
+  }
   for (uint32_t i = 0; i < handle.page_count; ++i) {
-    const storage::PageId page = pm->Allocate();
-    if (i == 0) handle.first_page = page;
     const size_t begin = static_cast<size_t>(i) * page_size;
     const size_t len = std::min(page_size, stream.size() - begin);
     std::vector<uint8_t> chunk(stream.begin() + static_cast<long>(begin),
                                stream.begin() + static_cast<long>(begin + len));
-    UVD_RETURN_NOT_OK(pm->Write(page, chunk));
+    UVD_RETURN_NOT_OK(pm->Write(handle.first_page + i, chunk));
   }
   return handle;
+}
+
+Status ReadPagesToStream(const storage::PageManager& pm,
+                         const SavedIndexHandle& handle,
+                         std::vector<uint8_t>* stream) {
+  stream->clear();
+  std::vector<uint8_t> buf;
+  for (uint32_t i = 0; i < handle.page_count; ++i) {
+    UVD_RETURN_NOT_OK(pm.Read(handle.first_page + i, &buf));
+    stream->insert(stream->end(), buf.begin(), buf.end());
+  }
+  return Status::OK();
+}
+
+Result<SavedIndexHandle> SaveUvIndex(const UVIndex& index,
+                                     storage::PageManager* pm) {
+  std::vector<uint8_t> stream;
+  UVD_RETURN_NOT_OK(index.SerializeStructure(&stream));
+  return WriteStreamToPages(stream, pm);
 }
 
 Result<UVIndex> LoadUvIndex(storage::PageManager* pm, const SavedIndexHandle& handle,
@@ -145,11 +165,7 @@ Result<UVIndex> LoadUvIndex(storage::PageManager* pm, const SavedIndexHandle& ha
     return Status::InvalidArgument("empty index handle");
   }
   std::vector<uint8_t> stream;
-  std::vector<uint8_t> buf;
-  for (uint32_t i = 0; i < handle.page_count; ++i) {
-    UVD_RETURN_NOT_OK(pm->Read(handle.first_page + i, &buf));
-    stream.insert(stream.end(), buf.begin(), buf.end());
-  }
+  UVD_RETURN_NOT_OK(ReadPagesToStream(*pm, handle, &stream));
   return UVIndex::DeserializeStructure(stream, pm, stats);
 }
 

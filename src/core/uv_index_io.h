@@ -19,6 +19,19 @@ struct SavedIndexHandle {
   uint32_t page_count = 0;
 };
 
+/// Chunks an arbitrary byte stream into freshly allocated pages and
+/// returns its locator (the last page is zero-padded). Shared by the
+/// index saver below and the diagram manifest (core/uv_diagram.cc).
+Result<SavedIndexHandle> WriteStreamToPages(const std::vector<uint8_t>& stream,
+                                            storage::PageManager* pm);
+
+/// Reads a page chain back into *stream (INCLUDING the final page's zero
+/// padding — callers that need the exact byte length record it beside the
+/// handle).
+Status ReadPagesToStream(const storage::PageManager& pm,
+                         const SavedIndexHandle& handle,
+                         std::vector<uint8_t>* stream);
+
 /// Serializes a finalized index's structure (domain, options, quad-tree
 /// nodes, leaf page ids) into freshly allocated pages.
 Result<SavedIndexHandle> SaveUvIndex(const UVIndex& index,

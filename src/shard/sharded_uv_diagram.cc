@@ -12,7 +12,9 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/uv_index_io.h"
 #include "rtree/rtree.h"
+#include "storage/record.h"
 
 namespace uvd {
 namespace shard {
@@ -39,6 +41,15 @@ void Bisect(const geom::Box& box, int k, std::vector<geom::Box>* out) {
     Bisect(geom::Box({box.lo.x, cut}, box.hi), k - kl, out);
   }
 }
+
+// Per-shard paged-file manifest (see ShardedUVDiagram::Checkpoint): each
+// shard file is self-describing — it knows its index in the fleet, the
+// fleet size, the global domain and object count — so Open can bootstrap
+// the whole deployment from shard 0 and cross-check every other file.
+constexpr uint32_t kShardBootstrapMagic = 0x55565342;   // "UVSB"
+constexpr uint32_t kShardBootstrapVersion = 1;
+constexpr uint32_t kShardManifestMagic = 0x5556534D;    // "UVSM"
+constexpr uint32_t kShardManifestVersion = 1;
 
 /// Clamped half-open ownership along one axis: [lo, hi), closed at hi only
 /// where hi is the domain's own max edge (no upper neighbor exists there).
@@ -381,8 +392,24 @@ Result<ShardedUVDiagram> ShardedUVDiagram::Build(
     Shard& sh = d.shards_[s];
     sh.box = boxes[s];
     sh.stats = std::make_unique<Stats>();
-    sh.pm = std::make_unique<storage::PageManager>(d.options_.diagram.page_size,
-                                                   sh.stats.get());
+    if (!d.options_.diagram.storage_path.empty()) {
+      storage::FilePageManagerOptions file_options;
+      file_options.buffer_pool_pages = d.options_.diagram.buffer_pool_pages;
+      file_options.buffer_pool_protected_fraction =
+          d.options_.diagram.buffer_pool_protected_fraction;
+      auto fpm = storage::FilePageManager::Create(
+          ShardFilePath(d.options_.diagram.storage_path, s),
+          d.options_.diagram.page_size, file_options, sh.stats.get());
+      if (!fpm.ok()) {
+        shard_status[s] = fpm.status();
+        return;
+      }
+      sh.fpm = fpm.value().get();
+      sh.pm = std::move(fpm).value();
+    } else {
+      sh.pm = std::make_unique<storage::PageManager>(d.options_.diagram.page_size,
+                                                     sh.stats.get());
+    }
     sh.store = std::make_unique<uncertain::ObjectStore>(sh.pm.get());
 
     // Border replication: every object whose cell may reach this sub-box,
@@ -466,6 +493,208 @@ Result<ShardedUVDiagram> ShardedUVDiagram::Build(
 
   for (double seconds : shard_seconds) d.build_stats_.indexing_seconds += seconds;
   d.build_stats_.total_seconds = total_timer.ElapsedSeconds();
+  return d;
+}
+
+std::string ShardedUVDiagram::ShardFilePath(const std::string& path_prefix,
+                                            size_t s) {
+  return path_prefix + ".shard" + std::to_string(s);
+}
+
+Status ShardedUVDiagram::Checkpoint() {
+  if (!persistent()) {
+    return Status::InvalidArgument(
+        "Checkpoint requires a sharded diagram built with "
+        "options.diagram.storage_path");
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = shards_[s];
+    UVD_ASSIGN_OR_RETURN(core::SavedIndexHandle index_handle,
+                         core::SaveUvIndex(*sh.index, sh.pm.get()));
+
+    std::vector<uint8_t> manifest;
+    storage::Encoder enc(&manifest);
+    enc.PutU32(kShardManifestMagic);
+    enc.PutU32(kShardManifestVersion);
+    enc.PutU32(static_cast<uint32_t>(s));
+    enc.PutU32(static_cast<uint32_t>(shards_.size()));
+    enc.PutU32(static_cast<uint32_t>(objects_.size()));
+    enc.PutDouble(domain_.lo.x);
+    enc.PutDouble(domain_.lo.y);
+    enc.PutDouble(domain_.hi.x);
+    enc.PutDouble(domain_.hi.y);
+    enc.PutDouble(sh.box.lo.x);
+    enc.PutDouble(sh.box.lo.y);
+    enc.PutDouble(sh.box.hi.x);
+    enc.PutDouble(sh.box.hi.y);
+    enc.PutU32(static_cast<uint32_t>(sh.object_ids.size()));
+    for (int id : sh.object_ids) enc.PutI32(id);
+    sh.store->EncodeState(&enc);
+    enc.PutU32(index_handle.first_page);
+    enc.PutU32(index_handle.page_count);
+    UVD_ASSIGN_OR_RETURN(core::SavedIndexHandle manifest_handle,
+                         core::WriteStreamToPages(manifest, sh.pm.get()));
+
+    std::vector<uint8_t> bootstrap;
+    storage::Encoder boot(&bootstrap);
+    boot.PutU32(kShardBootstrapMagic);
+    boot.PutU32(kShardBootstrapVersion);
+    boot.PutU32(manifest_handle.first_page);
+    boot.PutU32(manifest_handle.page_count);
+    boot.PutU32(static_cast<uint32_t>(manifest.size()));
+    UVD_RETURN_NOT_OK(sh.fpm->SetBootstrap(bootstrap));
+    UVD_RETURN_NOT_OK(sh.fpm->Checkpoint());
+  }
+  return Status::OK();
+}
+
+Status ShardedUVDiagram::CloseStorage() {
+  if (!persistent()) return Status::OK();
+  UVD_RETURN_NOT_OK(Checkpoint());
+  for (Shard& sh : shards_) {
+    UVD_RETURN_NOT_OK(sh.fpm->Close());
+  }
+  return Status::OK();
+}
+
+Result<ShardedUVDiagram> ShardedUVDiagram::Open(
+    const std::string& path_prefix, const ShardedUVDiagramOptions& options,
+    Stats* stats) {
+  ShardedUVDiagram d;
+  d.options_ = options;
+  d.options_.diagram.storage_path = path_prefix;
+  if (stats != nullptr) {
+    d.stats_ = stats;
+  } else {
+    d.owned_stats_ = std::make_unique<Stats>();
+    d.stats_ = d.owned_stats_.get();
+  }
+
+  uint32_t num_shards = 0;
+  uint32_t total_objects = 0;
+  // objects_[gid] filled from whichever shard store holds gid first;
+  // border replicas decode to identical records.
+  std::vector<bool> have_object;
+  std::vector<uncertain::UncertainObject> merged;
+
+  for (size_t s = 0; num_shards == 0 || s < num_shards; ++s) {
+    Shard sh;
+    sh.stats = std::make_unique<Stats>();
+    storage::FilePageManagerOptions file_options;
+    file_options.buffer_pool_pages = options.diagram.buffer_pool_pages;
+    file_options.buffer_pool_protected_fraction =
+        options.diagram.buffer_pool_protected_fraction;
+    auto fpm = storage::FilePageManager::Open(ShardFilePath(path_prefix, s),
+                                              file_options, sh.stats.get());
+    if (!fpm.ok()) return fpm.status();
+    sh.fpm = fpm.value().get();
+    sh.pm = std::move(fpm).value();
+
+    const std::vector<uint8_t>& bootstrap = sh.fpm->bootstrap();
+    if (bootstrap.size() < 20) {
+      return Status::Corruption("shard file carries no shard bootstrap");
+    }
+    storage::Decoder boot(bootstrap);
+    if (boot.GetU32() != kShardBootstrapMagic) {
+      return Status::InvalidArgument("paged file is not a UV-diagram shard");
+    }
+    if (boot.GetU32() > kShardBootstrapVersion) {
+      return Status::NotImplemented("shard bootstrap from a future version");
+    }
+    core::SavedIndexHandle manifest_handle;
+    manifest_handle.first_page = boot.GetU32();
+    manifest_handle.page_count = boot.GetU32();
+    const uint32_t manifest_bytes = boot.GetU32();
+
+    std::vector<uint8_t> manifest;
+    UVD_RETURN_NOT_OK(
+        core::ReadPagesToStream(*sh.pm, manifest_handle, &manifest));
+    if (manifest.size() < manifest_bytes || manifest_bytes < 8) {
+      return Status::Corruption("shard manifest truncated");
+    }
+    manifest.resize(manifest_bytes);
+    storage::Decoder dec(manifest);
+    if (dec.GetU32() != kShardManifestMagic) {
+      return Status::Corruption("shard manifest has a bad magic");
+    }
+    if (dec.GetU32() > kShardManifestVersion) {
+      return Status::NotImplemented("shard manifest from a future version");
+    }
+    const uint32_t shard_index = dec.GetU32();
+    const uint32_t fleet_size = dec.GetU32();
+    const uint32_t object_count = dec.GetU32();
+    if (shard_index != s || fleet_size == 0) {
+      return Status::Corruption("shard manifest names the wrong shard index");
+    }
+    geom::Box file_domain;
+    file_domain.lo.x = dec.GetDouble();
+    file_domain.lo.y = dec.GetDouble();
+    file_domain.hi.x = dec.GetDouble();
+    file_domain.hi.y = dec.GetDouble();
+    if (s == 0) {
+      num_shards = fleet_size;
+      total_objects = object_count;
+      d.domain_ = file_domain;
+      d.shards_.reserve(num_shards);
+      have_object.assign(total_objects, false);
+      merged.reserve(total_objects);
+    } else if (fleet_size != num_shards || object_count != total_objects) {
+      return Status::Corruption(
+          "shard files disagree about the fleet size (mixed checkpoints?)");
+    }
+    sh.box.lo.x = dec.GetDouble();
+    sh.box.lo.y = dec.GetDouble();
+    sh.box.hi.x = dec.GetDouble();
+    sh.box.hi.y = dec.GetDouble();
+    const uint32_t registered = dec.GetU32();
+    sh.object_ids.reserve(registered);
+    for (uint32_t i = 0; i < registered; ++i) {
+      sh.object_ids.push_back(dec.GetI32());
+    }
+
+    sh.store = std::make_unique<uncertain::ObjectStore>(sh.pm.get());
+    UVD_RETURN_NOT_OK(sh.store->RestoreState(&dec));
+    std::vector<uncertain::UncertainObject> subset;
+    UVD_RETURN_NOT_OK(sh.store->LoadAll(&subset, &sh.ptrs));
+    if (subset.size() != sh.object_ids.size()) {
+      return Status::Corruption(
+          "shard store record count disagrees with its registered ids");
+    }
+
+    core::SavedIndexHandle index_handle;
+    index_handle.first_page = dec.GetU32();
+    index_handle.page_count = dec.GetU32();
+    UVD_ASSIGN_OR_RETURN(
+        core::UVIndex index,
+        core::LoadUvIndex(sh.pm.get(), index_handle, sh.stats.get()));
+    d.shards_.push_back(Shard{});
+    Shard& placed = d.shards_.back();
+    placed = std::move(sh);
+    placed.index = std::make_unique<core::UVIndex>(std::move(index));
+
+    for (size_t k = 0; k < subset.size(); ++k) {
+      const int gid = placed.object_ids[k];
+      if (gid < 0 || static_cast<uint32_t>(gid) >= total_objects) {
+        return Status::Corruption("shard manifest holds an out-of-range id");
+      }
+      if (!have_object[static_cast<size_t>(gid)]) {
+        have_object[static_cast<size_t>(gid)] = true;
+        merged.push_back(std::move(subset[k]));
+      }
+    }
+  }
+
+  // Every object is registered with at least the shard owning its center,
+  // so the merge must cover 0..n-1; sort back into id order.
+  std::sort(merged.begin(), merged.end(),
+            [](const uncertain::UncertainObject& a,
+               const uncertain::UncertainObject& b) { return a.id() < b.id(); });
+  if (merged.size() != total_objects) {
+    return Status::Corruption("shard stores do not cover every object id");
+  }
+  d.objects_ = std::move(merged);
+  d.options_.num_shards = static_cast<int>(num_shards);
+  d.options_.diagram.page_size = d.shards_.front().pm->page_size();
   return d;
 }
 

@@ -142,6 +142,8 @@ class ShardedUVDiagram {
     geom::Box box;
     std::unique_ptr<Stats> stats;  // billed by pm/store/index/engine view
     std::unique_ptr<storage::PageManager> pm;
+    /// pm downcast when the diagram is file-backed; null for in-RAM.
+    storage::FilePageManager* fpm = nullptr;
     std::unique_ptr<uncertain::ObjectStore> store;
     std::vector<uncertain::ObjectPtr> ptrs;
     std::vector<int> object_ids;
@@ -155,6 +157,35 @@ class ShardedUVDiagram {
   static Result<ShardedUVDiagram> Build(
       std::vector<uncertain::UncertainObject> objects, const geom::Box& domain,
       const ShardedUVDiagramOptions& options = {}, Stats* stats = nullptr);
+
+  /// Reopens a sharded diagram checkpointed under `path_prefix` (shard k's
+  /// file is "<path_prefix>.shard<k>"; the shard count comes from shard
+  /// 0's manifest). Objects are merged back from the shard stores (border
+  /// replicas re-read identically), every shard's UV-index is
+  /// deserialized, and `options.diagram` pool/qualification knobs apply to
+  /// serving. object_extents() is empty after a reopen (it is a build-time
+  /// artifact). Damaged files surface the storage layer's typed errors.
+  static Result<ShardedUVDiagram> Open(const std::string& path_prefix,
+                                       const ShardedUVDiagramOptions& options = {},
+                                       Stats* stats = nullptr);
+
+  /// Durability point for a file-backed sharded diagram: checkpoints every
+  /// shard's file with its manifest (box, registered ids, store directory,
+  /// index handle). InvalidArgument without a storage_path.
+  Status Checkpoint();
+
+  /// Checkpoint + close every shard file. The diagram must not be used
+  /// afterwards; reopen with Open(). No-op for in-RAM diagrams.
+  Status CloseStorage();
+
+  /// True when the shards are backed by paged files.
+  bool persistent() const {
+    return !shards_.empty() && shards_.front().fpm != nullptr;
+  }
+
+  /// The file path of shard `s` under `path_prefix` (exposed for tests and
+  /// crash harnesses).
+  static std::string ShardFilePath(const std::string& path_prefix, size_t s);
 
   size_t num_shards() const { return shards_.size(); }
   const Shard& shard(size_t s) const { return shards_[s]; }

@@ -1,0 +1,218 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+namespace uvd {
+namespace storage {
+
+BufferPool::BufferPool(const BufferPoolOptions& options, size_t page_size,
+                       Backing backing, Stats* stats)
+    : capacity_(options.capacity_pages),
+      // Unbounded pools never evict, so segmentation is moot; bounded ones
+      // keep at least one probationary slot (same guard as QueryCache: a
+      // fully-protected pool would evict each incoming page immediately).
+      protected_capacity_(
+          capacity_ == 0
+              ? 0
+              : std::min(capacity_ - 1,
+                         static_cast<size_t>(
+                             std::min(1.0, std::max(
+                                               0.0, options.protected_fraction)) *
+                             static_cast<double>(capacity_)))),
+      page_size_(page_size),
+      backing_(std::move(backing)),
+      stats_(stats) {}
+
+BufferPool::PageRef& BufferPool::PageRef::operator=(PageRef&& other) noexcept {
+  if (this == &other) return *this;
+  if (frame_ != nullptr) pool_->Unpin(frame_);
+  pool_ = other.pool_;
+  frame_ = other.frame_;
+  other.pool_ = nullptr;
+  other.frame_ = nullptr;
+  return *this;
+}
+
+BufferPool::PageRef::~PageRef() {
+  if (frame_ != nullptr) pool_->Unpin(frame_);
+}
+
+Result<BufferPool::PageRef> BufferPool::Pin(PageId id) {
+  {
+    MutexLock lock(mu_);
+    auto it = map_.find(id);
+    if (it != map_.end()) {
+      ++hits_;
+      if (stats_ != nullptr) stats_->Add(Ticker::kBufferPoolHits);
+      auto frame_it = it->second;
+      if (frame_it->is_protected) {
+        protected_.splice(protected_.begin(), protected_, frame_it);
+      } else if (protected_capacity_ > 0) {
+        // First re-reference: promote. A full protected segment demotes
+        // its LRU tail back to the probationary front (one more chance
+        // before scan traffic can evict it).
+        protected_.splice(protected_.begin(), probationary_, frame_it);
+        frame_it->is_protected = true;
+        if (protected_.size() > protected_capacity_) {
+          auto demoted = std::prev(protected_.end());
+          demoted->is_protected = false;
+          probationary_.splice(probationary_.begin(), protected_, demoted);
+        }
+      } else {
+        probationary_.splice(probationary_.begin(), probationary_, frame_it);
+      }
+      ++frame_it->pins;
+      return PageRef(this, &*frame_it);
+    }
+  }
+
+  // Miss: load outside the lock (QueryCache loader discipline — duplicate
+  // reads of the same page beat serializing every miss behind one I/O).
+  std::vector<uint8_t> data;
+  UVD_RETURN_NOT_OK(backing_(id, &data));
+
+  MutexLock lock(mu_);
+  ++misses_;
+  if (stats_ != nullptr) stats_->Add(Ticker::kBufferPoolMisses);
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    // A concurrent miss won the insertion race; adopt its frame (the
+    // bytes are identical — the backing is read-only under concurrency).
+    auto frame_it = it->second;
+    ++frame_it->pins;
+    return PageRef(this, &*frame_it);
+  }
+  probationary_.push_front(BufferPoolFrame{});
+  auto frame_it = probationary_.begin();
+  frame_it->id = id;
+  frame_it->data = std::move(data);
+  frame_it->pins = 1;
+  map_[id] = frame_it;
+  EvictToCapacity();
+  return PageRef(this, &*frame_it);
+}
+
+Status BufferPool::Read(PageId id, std::vector<uint8_t>* out) {
+  auto pinned = Pin(id);
+  if (!pinned.ok()) return pinned.status();
+  PageRef ref = std::move(pinned).value();
+  *out = ref.data();
+  return Status::OK();
+}
+
+void BufferPool::Put(PageId id, const std::vector<uint8_t>& data) {
+  MutexLock lock(mu_);
+  auto it = map_.find(id);
+  if (it == map_.end()) return;
+  BufferPoolFrame& frame = *it->second;
+  const size_t n = std::min(data.size(), frame.data.size());
+  std::copy(data.begin(), data.begin() + static_cast<long>(n),
+            frame.data.begin());
+  std::fill(frame.data.begin() + static_cast<long>(n), frame.data.end(), 0);
+}
+
+void BufferPool::Invalidate(PageId id) {
+  MutexLock lock(mu_);
+  auto it = map_.find(id);
+  if (it == map_.end()) return;
+  auto frame_it = it->second;
+  map_.erase(it);
+  ++invalidations_;
+  std::list<BufferPoolFrame>& src =
+      frame_it->is_protected ? protected_ : probationary_;
+  if (frame_it->pins == 0) {
+    src.erase(frame_it);
+  } else {
+    frame_it->doomed = true;
+    doomed_.splice(doomed_.begin(), src, frame_it);
+  }
+}
+
+void BufferPool::Clear() {
+  MutexLock lock(mu_);
+  invalidations_ += map_.size();
+  map_.clear();
+  for (std::list<BufferPoolFrame>* list : {&probationary_, &protected_}) {
+    for (auto it = list->begin(); it != list->end();) {
+      auto next = std::next(it);
+      if (it->pins == 0) {
+        list->erase(it);
+      } else {
+        it->doomed = true;
+        doomed_.splice(doomed_.begin(), *list, it);
+      }
+      it = next;
+    }
+  }
+}
+
+void BufferPool::Unpin(BufferPoolFrame* frame) {
+  MutexLock lock(mu_);
+  --frame->pins;
+  if (frame->doomed && frame->pins == 0) {
+    for (auto it = doomed_.begin(); it != doomed_.end(); ++it) {
+      if (&*it == frame) {
+        doomed_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+void BufferPool::EvictToCapacity() {
+  if (capacity_ == 0) return;
+  while (map_.size() > capacity_) {
+    bool evicted = false;
+    // Probationary LRU tail first (scan resistance), then the protected
+    // tail; pinned frames are skipped — they cannot be freed.
+    for (std::list<BufferPoolFrame>* list : {&probationary_, &protected_}) {
+      for (auto it = list->rbegin(); it != list->rend(); ++it) {
+        if (it->pins != 0) continue;
+        auto victim = std::next(it).base();
+        map_.erase(victim->id);
+        list->erase(victim);
+        ++evictions_;
+        if (stats_ != nullptr) stats_->Add(Ticker::kBufferPoolEvictions);
+        evicted = true;
+        break;
+      }
+      if (evicted) break;
+    }
+    if (!evicted) break;  // every frame pinned: transient overflow
+  }
+}
+
+size_t BufferPool::size() const {
+  MutexLock lock(mu_);
+  return map_.size();
+}
+
+size_t BufferPool::protected_size() const {
+  MutexLock lock(mu_);
+  return protected_.size();
+}
+
+uint64_t BufferPool::hits() const {
+  MutexLock lock(mu_);
+  return hits_;
+}
+
+uint64_t BufferPool::misses() const {
+  MutexLock lock(mu_);
+  return misses_;
+}
+
+uint64_t BufferPool::evictions() const {
+  MutexLock lock(mu_);
+  return evictions_;
+}
+
+uint64_t BufferPool::invalidations() const {
+  MutexLock lock(mu_);
+  return invalidations_;
+}
+
+}  // namespace storage
+}  // namespace uvd

@@ -65,31 +65,5 @@ Status PageManager::Write(PageId id, const std::vector<uint8_t>& data) {
   return Status::OK();
 }
 
-Status BufferPool::Read(PageId id, std::vector<uint8_t>* out) {
-  auto it = map_.find(id);
-  if (it != map_.end()) {
-    if (stats_ != nullptr) stats_->Add(Ticker::kBufferPoolHits);
-    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-    *out = it->second->data;
-    return Status::OK();
-  }
-  if (stats_ != nullptr) stats_->Add(Ticker::kBufferPoolMisses);
-  UVD_RETURN_NOT_OK(pm_->Read(id, out));
-  lru_.push_front(Entry{id, *out});
-  map_[id] = lru_.begin();
-  if (map_.size() > capacity_) {
-    map_.erase(lru_.back().id);
-    lru_.pop_back();
-  }
-  return Status::OK();
-}
-
-void BufferPool::Invalidate(PageId id) {
-  auto it = map_.find(id);
-  if (it == map_.end()) return;
-  lru_.erase(it->second);
-  map_.erase(it);
-}
-
 }  // namespace storage
 }  // namespace uvd

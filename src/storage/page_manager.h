@@ -1,14 +1,14 @@
-// Simulated disk: fixed-size pages with read/write I/O accounting. The
-// paper's evaluation (Sec. VI) stores index leaf levels and object pdfs on
-// disk and reports page I/O counts (Fig. 6(b)); this module is the unit of
-// that accounting. A small LRU buffer pool is provided for completeness
-// (benchmarks run with it disabled, matching the paper's cold reads).
+// Page-granular storage interface plus the in-RAM simulated disk that
+// implements it. The paper's evaluation (Sec. VI) stores index leaf levels
+// and object pdfs on disk and reports page I/O counts (Fig. 6(b)); this
+// module is the unit of that accounting. The file-backed implementation
+// (storage/file_page_manager.h) persists the same pages in a checksummed
+// single-file store behind this interface, so every index structure can be
+// pointed at either backend without change.
 #ifndef UVD_STORAGE_PAGE_MANAGER_H_
 #define UVD_STORAGE_PAGE_MANAGER_H_
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "common/stats.h"
@@ -26,8 +26,21 @@ constexpr size_t kDefaultPageSize = 4096;
 
 /// \brief Page-granular storage with I/O tickers.
 ///
-/// Pages live in memory but every Read/Write increments
-/// Ticker::kPageReads / kPageWrites, which benchmarks report as I/O counts.
+/// The base class IS the in-RAM simulated disk (pages live in a vector;
+/// reads optionally block for SetSimulatedReadLatencyUs to model a device).
+/// Every accessor that touches the page table is virtual, so subclasses can
+/// replace the backing store wholesale: FaultInjectionPageManager
+/// (storage/fault_injection.h) wraps the in-RAM table with injected
+/// errors, FilePageManager (storage/file_page_manager.h) stores pages in a
+/// checksummed paged file with an optional buffer pool and reports REAL
+/// I/O time instead of the simulation.
+///
+/// Latency seam: simulated device latency belongs to the in-RAM store
+/// only. Read() here sleeps per the global knob and records the padded
+/// time into the page-read histogram; FilePageManager::Read never sleeps
+/// and records measured file/pool time into the same histogram. Benches
+/// choose the regime explicitly by choosing the backend (plus the knob for
+/// the simulated one) — see docs/TUNING.md "Storage backends".
 ///
 /// Thread safety: concurrent Read calls are safe (Stats tickers are
 /// atomic). Allocate mutates the page table (it can reallocate the backing
@@ -37,14 +50,15 @@ constexpr size_t kDefaultPageSize = 4096;
 /// only its own page's buffer. The parallel build pipeline relies on
 /// exactly that: UVIndex::FinalizeWith allocates every leaf page up front
 /// in one AllocateRun, then fans the page writes out across workers.
+/// Subclasses must honor the same contract (FilePageManager does: its
+/// buffer pool is internally locked and file writes go to disjoint
+/// offsets).
 ///
 /// This phase discipline (allocate-then-share) is intentionally mutex-free
 /// — there is no interleaving to guard, so there is nothing here for the
 /// thread-safety analysis (common/thread_annotations.h) to annotate; the
 /// contract lives in this comment and in the TSan CI job instead
-/// (docs/STATIC_ANALYSIS.md, "Phase-disciplined structures"). A future
-/// file-backed PageManager with a buffer pool WILL need guarded state and
-/// must adopt the annotated Mutex wrapper.
+/// (docs/STATIC_ANALYSIS.md, "Phase-disciplined structures").
 class PageManager {
  public:
   explicit PageManager(size_t page_size = kDefaultPageSize, Stats* stats = nullptr)
@@ -52,79 +66,57 @@ class PageManager {
   virtual ~PageManager() = default;
 
   size_t page_size() const { return page_size_; }
-  size_t num_pages() const { return pages_.size(); }
-  uint64_t bytes_on_disk() const { return pages_.size() * page_size_; }
+  virtual size_t num_pages() const { return pages_.size(); }
+  virtual uint64_t bytes_on_disk() const { return pages_.size() * page_size_; }
 
   /// Allocates a zero-filled page and returns its id.
-  PageId Allocate();
+  virtual PageId Allocate();
 
   /// Allocates `count` zero-filled pages with consecutive ids and returns
   /// the first id — the same ids `count` Allocate() calls would hand out,
   /// minus the per-call reallocation, and the arena under parallel
   /// finalization: once the run is reserved, workers may Write its pages
   /// concurrently. Returns the would-be next id when count == 0.
-  PageId AllocateRun(size_t count);
+  virtual PageId AllocateRun(size_t count);
 
   /// Copies the page contents into *out (resized to page_size()).
-  /// Virtual so tests can inject I/O faults (FaultInjectionPageManager).
+  /// Virtual so backends can swap the store (FilePageManager) or inject
+  /// I/O faults (FaultInjectionPageManager).
   virtual Status Read(PageId id, std::vector<uint8_t>* out) const;
 
   /// Writes data (at most page_size() bytes; shorter data is zero-padded).
   virtual Status Write(PageId id, const std::vector<uint8_t>& data);
 
-  /// Simulated per-read disk latency: every Read blocks for this many
-  /// microseconds before returning. 0 (the default — tests and figure
-  /// benches are unaffected) disables the sleep. Process-global so
-  /// throughput benches can put the system into the paper's disk-bound
-  /// regime (Sec. VI: leaf pages and pdfs live on disk) without plumbing
-  /// a knob through every layer; concurrency features then demonstrably
-  /// hide this latency instead of merely charging it post hoc.
+  /// Simulated per-read disk latency FOR THE IN-RAM BACKEND: every base
+  /// Read blocks for this many microseconds before returning. 0 (the
+  /// default — tests and figure benches are unaffected) disables the
+  /// sleep. Process-global so throughput benches can put the system into
+  /// the paper's disk-bound regime (Sec. VI: leaf pages and pdfs live on
+  /// disk) without plumbing a knob through every layer. File-backed
+  /// managers ignore it — they have a real device to measure.
   static void SetSimulatedReadLatencyUs(uint32_t us);
   static uint32_t SimulatedReadLatencyUs();
 
-  /// Per-manager page-read latency distribution in microseconds, simulated
-  /// disk latency included — the I/O histogram the metrics registry
-  /// unifies (register it as e.g. "shard0.storage.page.read.latency.us").
-  /// Recording is skipped while obs::MetricsEnabled() is off.
+  /// Per-manager page-read latency distribution in microseconds — the I/O
+  /// histogram the metrics registry unifies (register it as e.g.
+  /// "shard0.storage.page.read.latency.us"). For the in-RAM backend the
+  /// simulated latency is included; for FilePageManager it is measured
+  /// file/pool time. Recording is skipped while obs::MetricsEnabled() is
+  /// off.
   const obs::LatencyHistogram& read_latency_histogram() const {
     return read_latency_us_;
   }
+
+ protected:
+  /// Billing helpers for subclasses that replace the backing store.
+  Stats* stats() const { return stats_; }
+  void RecordReadLatencyUs(uint64_t us) const { read_latency_us_.Record(us); }
 
  private:
   size_t page_size_;
   Stats* stats_;
   mutable obs::LatencyHistogram read_latency_us_;  // recorded in const Read
   std::vector<std::vector<uint8_t>> pages_;
-};
-
-/// \brief LRU page cache in front of a PageManager.
-///
-/// Reads served from the pool increment kBufferPoolHits and perform no disk
-/// I/O; misses increment kBufferPoolMisses and read through.
-class BufferPool {
- public:
-  BufferPool(PageManager* pm, size_t capacity_pages, Stats* stats = nullptr)
-      : pm_(pm), capacity_(capacity_pages), stats_(stats) {}
-
-  Status Read(PageId id, std::vector<uint8_t>* out);
-
-  /// Drops a page from the pool (call after writing through PageManager).
-  void Invalidate(PageId id);
-
-  size_t capacity() const { return capacity_; }
-  size_t size() const { return map_.size(); }
-
- private:
-  struct Entry {
-    PageId id;
-    std::vector<uint8_t> data;
-  };
-
-  PageManager* pm_;
-  size_t capacity_;
-  Stats* stats_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<PageId, std::list<Entry>::iterator> map_;
 };
 
 }  // namespace storage

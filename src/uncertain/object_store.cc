@@ -108,6 +108,50 @@ Result<ObjectPtr> ObjectStore::Append(const UncertainObject& object) {
   return ptr;
 }
 
+void ObjectStore::EncodeState(storage::Encoder* enc) const {
+  enc->PutU32(static_cast<uint32_t>(record_size_));
+  enc->PutU32(static_cast<uint32_t>(records_per_page_));
+  enc->PutU32(tail_count_);
+  enc->PutU32(static_cast<uint32_t>(data_pages_.size()));
+  for (storage::PageId p : data_pages_) enc->PutU32(p);
+}
+
+Status ObjectStore::RestoreState(storage::Decoder* dec) {
+  record_size_ = dec->GetU32();
+  records_per_page_ = dec->GetU32();
+  tail_count_ = dec->GetU32();
+  const uint32_t num_pages = dec->GetU32();
+  data_pages_.clear();
+  data_pages_.reserve(num_pages);
+  for (uint32_t i = 0; i < num_pages; ++i) data_pages_.push_back(dec->GetU32());
+  if (!data_pages_.empty() &&
+      (record_size_ == 0 || records_per_page_ == 0 ||
+       tail_count_ > records_per_page_)) {
+    return Status::Corruption("object store manifest state is inconsistent");
+  }
+  return Status::OK();
+}
+
+Status ObjectStore::LoadAll(std::vector<UncertainObject>* objects,
+                            std::vector<ObjectPtr>* ptrs) const {
+  objects->clear();
+  ptrs->clear();
+  std::vector<uint8_t> buf;
+  for (size_t i = 0; i < data_pages_.size(); ++i) {
+    const storage::PageId page = data_pages_[i];
+    UVD_RETURN_NOT_OK(pm_->Read(page, &buf));
+    const uint32_t count = (i + 1 == data_pages_.size())
+                               ? tail_count_
+                               : static_cast<uint32_t>(records_per_page_);
+    for (uint32_t slot = 0; slot < count; ++slot) {
+      storage::Decoder dec(buf.data() + slot * record_size_, record_size_);
+      objects->push_back(DecodeObject(&dec));
+      ptrs->push_back(MakePtr(page, slot));
+    }
+  }
+  return Status::OK();
+}
+
 Result<UncertainObject> ObjectStore::Fetch(ObjectPtr ptr) const {
   const storage::PageId page = PtrPage(ptr);
   const uint32_t slot = PtrSlot(ptr);

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/stats.h"
 #include "storage/page_manager.h"
+#include "storage/record.h"
 #include "uncertain/uncertain_object.h"
 
 namespace uvd {
@@ -35,6 +36,21 @@ class ObjectStore {
 
   /// Reads one record; each call costs one page read (plus decoding).
   Result<UncertainObject> Fetch(ObjectPtr ptr) const;
+
+  /// Serializes the store's transient layout state (record size, page
+  /// list, tail occupancy) — everything a fresh ObjectStore over the SAME
+  /// page manager needs to resume serving. Part of the diagram manifest
+  /// (core/uv_diagram.cc Checkpoint).
+  void EncodeState(storage::Encoder* enc) const;
+
+  /// Restores state written by EncodeState. The pages themselves stay on
+  /// the page manager; this only rebuilds the in-RAM directory.
+  Status RestoreState(storage::Decoder* dec);
+
+  /// Decodes every record back, in id order, with ptrs[i] for objects[i]
+  /// — the reopen path's way to repopulate UVDiagram::objects().
+  Status LoadAll(std::vector<UncertainObject>* objects,
+                 std::vector<ObjectPtr>* ptrs) const;
 
   size_t num_pages() const { return data_pages_.size(); }
 

@@ -2,6 +2,12 @@
 // LRU behaviour, record encode/decode round-trips.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
+#include "common/timer.h"
+#include "storage/buffer_pool.h"
+#include "storage/file_page_manager.h"
 #include "storage/page_manager.h"
 #include "storage/record.h"
 
@@ -68,6 +74,19 @@ TEST(PageManagerTest, OverwriteClearsOldData) {
   EXPECT_EQ(out[63], 0);
 }
 
+// Wires a pool's miss path to a PageManager (the arrangement
+// FilePageManager uses with its file).
+BufferPool MakePool(PageManager* pm, size_t capacity, Stats* stats,
+                    double protected_fraction = 0.0) {
+  BufferPoolOptions options;
+  options.capacity_pages = capacity;
+  options.protected_fraction = protected_fraction;
+  return BufferPool(
+      options, pm->page_size(),
+      [pm](PageId id, std::vector<uint8_t>* out) { return pm->Read(id, out); },
+      stats);
+}
+
 TEST(BufferPoolTest, HitsAndMisses) {
   Stats stats;
   PageManager pm(128, &stats);
@@ -77,7 +96,7 @@ TEST(BufferPoolTest, HitsAndMisses) {
   ASSERT_TRUE(pm.Write(b, {2}).ok());
   stats.Reset();
 
-  BufferPool pool(&pm, 2, &stats);
+  BufferPool pool = MakePool(&pm, 2, &stats);
   std::vector<uint8_t> out;
   ASSERT_TRUE(pool.Read(a, &out).ok());  // miss
   ASSERT_TRUE(pool.Read(a, &out).ok());  // hit
@@ -93,13 +112,14 @@ TEST(BufferPoolTest, LruEviction) {
   const PageId a = pm.Allocate();
   const PageId b = pm.Allocate();
   const PageId c = pm.Allocate();
-  BufferPool pool(&pm, 2, &stats);
+  BufferPool pool = MakePool(&pm, 2, &stats);
   std::vector<uint8_t> out;
   ASSERT_TRUE(pool.Read(a, &out).ok());
   ASSERT_TRUE(pool.Read(b, &out).ok());
   ASSERT_TRUE(pool.Read(a, &out).ok());  // a becomes most recent
   ASSERT_TRUE(pool.Read(c, &out).ok());  // evicts b
   EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.evictions(), 1u);
   stats.Reset();
   ASSERT_TRUE(pool.Read(a, &out).ok());  // still cached
   EXPECT_EQ(stats.Get(Ticker::kBufferPoolHits), 1u);
@@ -111,13 +131,75 @@ TEST(BufferPoolTest, InvalidateForcesReread) {
   Stats stats;
   PageManager pm(64, &stats);
   const PageId a = pm.Allocate();
-  BufferPool pool(&pm, 4, &stats);
+  BufferPool pool = MakePool(&pm, 4, &stats);
   std::vector<uint8_t> out;
   ASSERT_TRUE(pool.Read(a, &out).ok());
   ASSERT_TRUE(pm.Write(a, {9}).ok());
   pool.Invalidate(a);
+  EXPECT_EQ(pool.invalidations(), 1u);
   ASSERT_TRUE(pool.Read(a, &out).ok());
   EXPECT_EQ(out[0], 9);
+}
+
+TEST(BufferPoolTest, PutIsWriteThrough) {
+  Stats stats;
+  PageManager pm(64, &stats);
+  const PageId a = pm.Allocate();
+  BufferPool pool = MakePool(&pm, 4, &stats);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(pm.Write(a, std::vector<uint8_t>(64, 0xAB)).ok());
+  ASSERT_TRUE(pool.Read(a, &out).ok());
+  ASSERT_TRUE(pm.Write(a, {7}).ok());
+  pool.Put(a, {7});  // what FilePageManager::Write does after the file write
+  ASSERT_TRUE(pool.Read(a, &out).ok());
+  EXPECT_EQ(out[0], 7);
+  EXPECT_EQ(out[1], 0);  // Put zero-pads like the page write did
+  EXPECT_EQ(pool.misses(), 1u);  // second read was a (fresh) hit
+}
+
+TEST(BufferPoolTest, PinnedFramesSurviveEviction) {
+  Stats stats;
+  PageManager pm(64, &stats);
+  const PageId a = pm.Allocate();
+  const PageId b = pm.Allocate();
+  const PageId c = pm.Allocate();
+  ASSERT_TRUE(pm.Write(a, {1}).ok());
+  BufferPool pool = MakePool(&pm, 1, &stats);
+  auto pinned = pool.Pin(a);
+  ASSERT_TRUE(pinned.ok());
+  BufferPool::PageRef ref = std::move(pinned).value();
+  std::vector<uint8_t> out;
+  // Capacity is 1 and the only frame is pinned: these reads overflow
+  // transiently but must not free a's frame.
+  ASSERT_TRUE(pool.Read(b, &out).ok());
+  ASSERT_TRUE(pool.Read(c, &out).ok());
+  EXPECT_EQ(ref.data()[0], 1);  // still valid
+  ref = BufferPool::PageRef();  // unpin
+  ASSERT_TRUE(pool.Read(b, &out).ok());
+  EXPECT_LE(pool.size(), 1u + 1u);  // back under control once unpinned
+}
+
+TEST(BufferPoolTest, ProtectedSegmentResistsScan) {
+  Stats stats;
+  PageManager pm(64, &stats);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 12; ++i) pages.push_back(pm.Allocate());
+  BufferPool pool = MakePool(&pm, 4, &stats, /*protected_fraction=*/0.5);
+  std::vector<uint8_t> out;
+  // Reference pages 0 and 1 twice: they join the protected segment.
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(pool.Read(pages[0], &out).ok());
+    ASSERT_TRUE(pool.Read(pages[1], &out).ok());
+  }
+  EXPECT_EQ(pool.protected_size(), 2u);
+  // A one-pass scan over everything else churns probationary only.
+  for (size_t i = 2; i < pages.size(); ++i) {
+    ASSERT_TRUE(pool.Read(pages[i], &out).ok());
+  }
+  const uint64_t misses_before = pool.misses();
+  ASSERT_TRUE(pool.Read(pages[0], &out).ok());
+  ASSERT_TRUE(pool.Read(pages[1], &out).ok());
+  EXPECT_EQ(pool.misses(), misses_before);  // working set survived the scan
 }
 
 TEST(RecordTest, RoundTripPrimitives) {
@@ -147,6 +229,85 @@ TEST(RecordTest, SkipAndPosition) {
   dec.Skip(4);
   EXPECT_EQ(dec.position(), 4u);
   EXPECT_EQ(dec.GetU32(), 2u);
+}
+
+TEST(FilePageManagerTest, RoundTripAndAccounting) {
+  const std::string path = ::testing::TempDir() + "/uvd_fpm_roundtrip";
+  std::remove(path.c_str());
+  Stats stats;
+  FilePageManagerOptions options;
+  options.buffer_pool_pages = 2;
+  auto fpm = FilePageManager::Create(path, 256, options, &stats).ValueOrDie();
+  const PageId a = fpm->Allocate();
+  const PageId b = fpm->Allocate();
+  ASSERT_NE(a, kInvalidPageId);
+  ASSERT_NE(b, kInvalidPageId);
+  UVD_CHECK_OK(fpm->io_status());
+
+  std::vector<uint8_t> data(256, 0x5A);
+  ASSERT_TRUE(fpm->Write(a, data).ok());
+  std::vector<uint8_t> out;
+  // Put has no admission policy (build writes must not flood the pool), so
+  // the first read is a miss billed as one physical page read...
+  stats.Reset();
+  ASSERT_TRUE(fpm->Read(a, &out).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(stats.Get(Ticker::kPageReads), 1u);
+  EXPECT_EQ(stats.Get(Ticker::kBufferPoolMisses), 1u);
+  // ...and the second is a pool hit: no new physical read.
+  ASSERT_TRUE(fpm->Read(a, &out).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(stats.Get(Ticker::kPageReads), 1u);
+  EXPECT_EQ(stats.Get(Ticker::kBufferPoolHits), 1u);
+  // Once resident, a write-through Put updates the frame in place: the
+  // next read is a hit AND serves the new bytes.
+  std::vector<uint8_t> updated(256, 0x6B);
+  ASSERT_TRUE(fpm->Write(a, updated).ok());
+  ASSERT_TRUE(fpm->Read(a, &out).ok());
+  EXPECT_EQ(out, updated);
+  EXPECT_EQ(stats.Get(Ticker::kPageReads), 1u);
+  EXPECT_EQ(stats.Get(Ticker::kBufferPoolHits), 2u);
+  // A page never touched since creation misses and reads the file.
+  ASSERT_TRUE(fpm->Read(b, &out).ok());
+  EXPECT_EQ(stats.Get(Ticker::kPageReads), 2u);
+  UVD_CHECK_OK(fpm->Close());
+  std::remove(path.c_str());
+}
+
+TEST(FilePageManagerTest, RealReadsIgnoreTheSimulatedLatencySeam) {
+  // The base PageManager models a 2010-era disk by SLEEPING per read;
+  // FilePageManager does real I/O and must report MEASURED time instead —
+  // reads must not inherit the simulation (the latency seam,
+  // docs/STORAGE.md). 20 ms x 32 reads would be >600 ms if it did.
+  const std::string path = ::testing::TempDir() + "/uvd_fpm_seam";
+  std::remove(path.c_str());
+  Stats stats;
+  auto fpm = FilePageManager::Create(path, 256, {}, &stats).ValueOrDie();
+  const PageId first = fpm->AllocateRun(32);
+  ASSERT_NE(first, kInvalidPageId);
+
+  PageManager::SetSimulatedReadLatencyUs(20000);
+  Timer timer;
+  std::vector<uint8_t> out;
+  for (uint32_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(fpm->Read(first + i, &out).ok());
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  PageManager::SetSimulatedReadLatencyUs(0);
+  EXPECT_LT(elapsed, 0.3) << "FilePageManager::Read slept the simulated "
+                             "latency instead of measuring real I/O";
+
+  // The base class keeps the simulation: same knob, in-RAM manager, one
+  // read must take at least the configured 20 ms.
+  PageManager ram(256, &stats);
+  const PageId p = ram.Allocate();
+  PageManager::SetSimulatedReadLatencyUs(20000);
+  Timer ram_timer;
+  ASSERT_TRUE(ram.Read(p, &out).ok());
+  PageManager::SetSimulatedReadLatencyUs(0);
+  EXPECT_GE(ram_timer.ElapsedSeconds(), 0.015);
+  UVD_CHECK_OK(fpm->Close());
+  std::remove(path.c_str());
 }
 
 }  // namespace
